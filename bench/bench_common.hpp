@@ -1,0 +1,52 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Each bench_eN binary regenerates one experiment from DESIGN.md §3 and
+// prints a Markdown table; EXPERIMENTS.md records the observed shapes
+// against the paper's theorem claims.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+#include "sketch/stretch_eval.hpp"
+
+namespace dsketch::bench {
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n## %s\n\n", title.c_str());
+  std::string head = "|", rule = "|";
+  for (const auto& c : columns) {
+    head += " " + c + " |";
+    rule += "---|";
+  }
+  std::printf("%s\n%s\n", head.c_str(), rule.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells) {
+  std::string row = "|";
+  for (const auto& c : cells) row += " " + c + " |";
+  std::printf("%s\n", row.c_str());
+}
+
+inline std::string fmt(double x, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+  return buf;
+}
+inline std::string fmt(std::uint64_t x) { return std::to_string(x); }
+inline std::string fmt(std::uint32_t x) { return std::to_string(x); }
+inline std::string fmt(int x) { return std::to_string(x); }
+
+/// Shorthand: evaluate an estimator over sampled ground truth.
+inline StretchReport eval(const Graph& g, const SampledGroundTruth& gt,
+                          const Estimator& est, double epsilon = 0.0) {
+  EvalOptions opts;
+  opts.epsilon = epsilon;
+  return evaluate_stretch(g, gt, est, opts);
+}
+
+}  // namespace dsketch::bench

@@ -1,0 +1,53 @@
+// E10 — spanner extraction ([TZ05 §4], the structural sibling of the
+// sketches): the union of cluster shortest-path trees is a (2k-1)-spanner
+// with O(k n^{1+1/k}) edges in expectation.
+//
+// Sweeps k on a dense graph: spanner edge count (normalized by k n^{1+1/k})
+// and the worst observed stretch of spanner distances.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "sketch/hierarchy.hpp"
+#include "sketch/spanner.hpp"
+
+using namespace dsketch;
+using namespace dsketch::bench;
+
+int main() {
+  std::printf("# E10: Thorup-Zwick spanners (size vs stretch tradeoff)\n");
+  print_header("dense erdos-renyi n=600, |E|~27000",
+               {"k", "bound 2k-1", "spanner edges", "edges/(k n^{1+1/k})",
+                "kept fraction", "max stretch", "mean stretch"});
+  const NodeId n = 600;
+  const Graph g = erdos_renyi(n, 0.15, {1, 9}, 3);
+  const SampledGroundTruth gt(g, 12, 7);
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u, 5u}) {
+    Hierarchy h = Hierarchy::sample(n, k, 100 + k);
+    for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
+      h = Hierarchy::sample(n, k, 100 + k + b);
+    }
+    const Graph sp = spanner_graph(g, h);
+    SampleSet stretch;
+    for (std::size_t row = 0; row < gt.num_rows(); ++row) {
+      const auto dh = dijkstra(sp, gt.sources()[row]);
+      for (NodeId v = 0; v < n; v += 2) {
+        if (v == gt.sources()[row]) continue;
+        stretch.add(static_cast<double>(dh[v]) /
+                    static_cast<double>(gt.dist(row, v)));
+      }
+    }
+    const double denom =
+        k * std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+    print_row({fmt(k), fmt(2 * k - 1), fmt(sp.num_edges()),
+               fmt(static_cast<double>(sp.num_edges()) / denom, 3),
+               fmt(static_cast<double>(sp.num_edges()) /
+                   static_cast<double>(g.num_edges())),
+               fmt(stretch.max()), fmt(stretch.mean())});
+  }
+  std::printf(
+      "\nExpected shape: edges drop sharply with k while max stretch stays "
+      "under 2k-1; normalized edge count is O(1).\n");
+  return 0;
+}

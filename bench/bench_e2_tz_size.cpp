@@ -1,0 +1,51 @@
+// E2 — Lemmas 3.1 and 3.6: sketch size.
+//
+// Lemma 3.1: E[|L(u)|] = O(k n^{1/k}) words. Lemma 3.6: per-level bunches
+// exceed 3 n^{1/k} ln n with probability <= 1/n^3. We sweep n and k, report
+// mean and max label sizes normalized by k*n^{1/k}, and count nodes whose
+// label exceeds the whp bound (expected: 0).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "sketch/hierarchy.hpp"
+#include "sketch/tz_distributed.hpp"
+
+using namespace dsketch;
+using namespace dsketch::bench;
+
+int main() {
+  std::printf("# E2: sketch size vs n and k (Lemma 3.1: E[size] = O(k n^{1/k}))\n");
+  print_header("label words on erdos-renyi graphs",
+               {"n", "k", "mean words", "max words", "mean/(k n^{1/k})",
+                "whp bound words", "nodes over bound"});
+  for (const NodeId n : {256u, 512u, 1024u, 2048u}) {
+    const Graph g = erdos_renyi(n, 8.0 / n, {1, 12}, 9);
+    for (const std::uint32_t k : {2u, 3u, 4u}) {
+      Hierarchy h = Hierarchy::sample(n, k, 31 + k);
+      for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
+        h = Hierarchy::sample(n, k, 31 + k + b);
+      }
+      const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
+      SampleSet words;
+      const double n1k = std::pow(n, 1.0 / k);
+      // Lemma 3.6 bound per level: 3 n^{1/k} ln n entries; a label has k
+      // levels and 2 words per entry plus 2k pivot words.
+      const double whp_bound =
+          2.0 * k + 2.0 * k * 3.0 * n1k * std::log(static_cast<double>(n));
+      std::size_t over = 0;
+      for (NodeId u = 0; u < n; ++u) {
+        const auto w = static_cast<double>(r.labels[u].size_words());
+        words.add(w);
+        if (w > whp_bound) ++over;
+      }
+      print_row({fmt(n), fmt(k), fmt(words.mean()), fmt(words.max()),
+                 fmt(words.mean() / (k * n1k)), fmt(whp_bound, 0), fmt(over)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: mean/(k n^{1/k}) stays O(1) (roughly flat in n); "
+      "no node exceeds the whp bound.\n");
+  return 0;
+}

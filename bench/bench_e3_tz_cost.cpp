@@ -1,0 +1,107 @@
+// E3 — Theorem 1.1 cost: O(k n^{1/k} S log n) rounds and
+// O(k n^{1/k} S |E| log n) messages; §3.3's claim that distributed
+// termination detection (echo + COMPLETE convergecast) costs only a
+// constant factor over knowing S.
+//
+// Also runs the capacity ablation (DESIGN.md ✦): with per-edge capacity
+// disabled, round counts collapse, demonstrating the CONGEST constraint is
+// what the bound is made of.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "sketch/hierarchy.hpp"
+#include "sketch/tz_distributed.hpp"
+
+using namespace dsketch;
+using namespace dsketch::bench;
+
+namespace {
+
+Hierarchy sampled(NodeId n, std::uint32_t k, std::uint64_t seed) {
+  Hierarchy h = Hierarchy::sample(n, k, seed);
+  for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
+    h = Hierarchy::sample(n, k, seed + b);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E3: construction cost (Theorem 1.1) and termination modes\n");
+  const std::uint32_t k = 3;
+
+  print_header("cost vs n (erdos-renyi, k=3) across synchronization modes",
+               {"n", "S", "rounds(oracle)", "rounds(echo)", "rounds(knownS)",
+                "echo/oracle", "msgs(oracle)", "msgs(echo)",
+                "rounds/(k n^{1/k} S ln n)"});
+  for (const NodeId n : {256u, 512u, 1024u}) {
+    const Graph g = erdos_renyi(n, 8.0 / n, {1, 12}, 5);
+    const std::uint32_t S = shortest_path_diameter_estimate(g, 8, 3);
+    const Hierarchy h = sampled(n, k, 11);
+    const auto oracle = build_tz_distributed(g, h, TerminationMode::kOracle);
+    const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
+    const auto knowns = build_tz_distributed(g, h, TerminationMode::kKnownS,
+                                             {}, false, S);
+    const double denom = k * std::pow(n, 1.0 / k) * S *
+                         std::log(static_cast<double>(n));
+    print_row({fmt(n), fmt(S), fmt(oracle.stats.rounds),
+               fmt(echo.total_rounds()), fmt(knowns.stats.rounds),
+               fmt(static_cast<double>(echo.total_rounds()) /
+                   static_cast<double>(oracle.stats.rounds)),
+               fmt(oracle.stats.messages), fmt(echo.total_messages()),
+               fmt(static_cast<double>(oracle.stats.rounds) / denom, 4)});
+  }
+
+  print_header("cost vs S at fixed n=512 (k=3)",
+               {"topology", "S", "rounds(oracle)", "rounds/S"});
+  struct Topo {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Topo> topos;
+  topos.push_back({"erdos_renyi", erdos_renyi(512, 0.015, {1, 12}, 5)});
+  topos.push_back({"grid 16x32", grid2d(16, 32, {1, 12}, 5)});
+  topos.push_back({"ring", ring(512, {1, 12}, 5)});
+  for (auto& t : topos) {
+    const std::uint32_t S = shortest_path_diameter_estimate(t.g, 8, 3);
+    const Hierarchy h = sampled(t.g.num_nodes(), k, 13);
+    const auto r = build_tz_distributed(t.g, h, TerminationMode::kOracle);
+    print_row({t.name, fmt(S), fmt(r.stats.rounds),
+               fmt(static_cast<double>(r.stats.rounds) / S)});
+  }
+
+  print_header("bandwidth ablation (n=512 erdos-renyi, k=3)",
+               {"send discipline", "edge capacity", "rounds", "messages",
+                "peak edge queue"});
+  {
+    const Graph g = erdos_renyi(512, 0.015, {1, 12}, 5);
+    const Hierarchy h = sampled(512, k, 17);
+    SimConfig on;
+    const auto rr = build_tz_distributed(g, h, TerminationMode::kOracle, on);
+    const auto eager_cap = build_tz_distributed(
+        g, h, TerminationMode::kOracle, on, /*eager_send=*/true);
+    SimConfig off;
+    off.enforce_capacity = false;
+    const auto eager_free = build_tz_distributed(
+        g, h, TerminationMode::kOracle, off, /*eager_send=*/true);
+    print_row({"round-robin (Algorithm 2)", "1 msg/round", fmt(rr.stats.rounds),
+               fmt(rr.stats.messages), fmt(rr.stats.max_outbox)});
+    print_row({"eager (all pending)", "1 msg/round",
+               fmt(eager_cap.stats.rounds), fmt(eager_cap.stats.messages),
+               fmt(eager_cap.stats.max_outbox)});
+    print_row({"eager (all pending)", "unbounded",
+               fmt(eager_free.stats.rounds), fmt(eager_free.stats.messages),
+               fmt(eager_free.stats.max_outbox)});
+  }
+  std::printf(
+      "\nExpected shape: echo/oracle stays a small constant (~2-3x); "
+      "rounds scale linearly in S; normalized rounds column roughly flat. "
+      "Ablation: under CONGEST capacity, eager sending just moves the "
+      "congestion from node queues to edge queues (similar rounds, large "
+      "peak queue); only removing the bandwidth constraint collapses "
+      "rounds — the Theorem 1.1 round bound is made of bandwidth.\n");
+  return 0;
+}

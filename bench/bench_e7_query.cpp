@@ -1,0 +1,66 @@
+// E7 — Lemma 3.2: the query procedure runs in O(k) time given two labels.
+//
+// google-benchmark micro-benchmarks of the query path for each scheme;
+// the TZ query should grow (sub-)linearly in k and stay in the tens of
+// nanoseconds — the "quickly in an online fashion" claim of §1.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "sketch/graceful_sketch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dsketch;
+
+const Graph& bench_graph() {
+  static const Graph g = erdos_renyi(1024, 0.008, {1, 16}, 99);
+  return g;
+}
+
+void BM_TzQuery(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  BuildConfig cfg;
+  cfg.scheme = Scheme::kThorupZwick;
+  cfg.k = k;
+  const SketchEngine engine(bench_graph(), cfg);
+  Rng rng(5);
+  const NodeId n = bench_graph().num_nodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    benchmark::DoNotOptimize(engine.query(u, v));
+  }
+}
+BENCHMARK(BM_TzQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SlackQuery(benchmark::State& state) {
+  BuildConfig cfg;
+  cfg.scheme = Scheme::kSlack;
+  cfg.epsilon = 1.0 / static_cast<double>(state.range(0));
+  const SketchEngine engine(bench_graph(), cfg);
+  Rng rng(6);
+  const NodeId n = bench_graph().num_nodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    benchmark::DoNotOptimize(engine.query(u, v));
+  }
+}
+BENCHMARK(BM_SlackQuery)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_GracefulQuery(benchmark::State& state) {
+  static const GracefulBuildResult build =
+      build_graceful_sketches(bench_graph(), {});
+  Rng rng(7);
+  const NodeId n = bench_graph().num_nodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    benchmark::DoNotOptimize(build.sketches.query(u, v));
+  }
+}
+BENCHMARK(BM_GracefulQuery);
+
+}  // namespace

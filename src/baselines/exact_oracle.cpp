@@ -1,0 +1,14 @@
+#include "baselines/exact_oracle.hpp"
+
+#include "graph/shortest_paths.hpp"
+
+namespace dsketch {
+
+ExactOracle::ExactOracle(const Graph& g) {
+  dist_.reserve(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    dist_.push_back(dijkstra(g, u));
+  }
+}
+
+}  // namespace dsketch

@@ -1,0 +1,26 @@
+// Exact all-pairs oracle — the brute-force strawman of §1 (quadratic space,
+// zero stretch) and the ground truth source for small-graph tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+class ExactOracle {
+ public:
+  explicit ExactOracle(const Graph& g);
+
+  Dist query(NodeId u, NodeId v) const { return dist_[u][v]; }
+  const std::vector<Dist>& row(NodeId u) const { return dist_[u]; }
+
+  /// Per-node storage in words: one distance per other node — the quadratic
+  /// cost the sketches exist to avoid.
+  std::size_t size_words(NodeId u) const { return dist_[u].size(); }
+
+ private:
+  std::vector<std::vector<Dist>> dist_;
+};
+
+}  // namespace dsketch

@@ -1,0 +1,38 @@
+#include "baselines/landmark.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsketch {
+
+LandmarkSketchSet::LandmarkSketchSet(const Graph& g, std::size_t num_landmarks,
+                                     std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  DS_CHECK(n >= 1 && num_landmarks >= 1);
+  num_landmarks = std::min<std::size_t>(num_landmarks, n);
+  Rng rng(seed);
+  std::vector<NodeId> perm(n);
+  for (NodeId i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = 0; i < num_landmarks; ++i) {
+    const std::size_t j = i + rng.below(n - i);
+    std::swap(perm[i], perm[j]);
+    landmarks_.push_back(perm[i]);
+  }
+  dist_.reserve(num_landmarks);
+  for (const NodeId l : landmarks_) dist_.push_back(dijkstra(g, l));
+}
+
+Dist LandmarkSketchSet::query(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  Dist best = kInfDist;
+  for (const auto& row : dist_) {
+    if (row[u] == kInfDist || row[v] == kInfDist) continue;
+    best = std::min(best, row[u] + row[v]);
+  }
+  return best;
+}
+
+}  // namespace dsketch

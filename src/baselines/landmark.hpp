@@ -1,0 +1,34 @@
+// Folklore landmark (beacon) sketches — the scheme Thorup–Zwick refines.
+//
+// Pick L uniform random landmarks; every node stores its distance to each.
+// The estimate min_l d(u,l) + d(l,v) never underestimates but has no
+// worst-case stretch bound (a pair can be adjacent yet far from every
+// landmark). Contrast with the ε-density-net slack sketch, which picks the
+// same kind of table but sized to guarantee stretch 3 on ε-far pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+class LandmarkSketchSet {
+ public:
+  LandmarkSketchSet(const Graph& g, std::size_t num_landmarks,
+                    std::uint64_t seed);
+
+  Dist query(NodeId u, NodeId v) const;
+  std::size_t size_words(NodeId u) const {
+    (void)u;
+    return 2 * landmarks_.size();
+  }
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+ private:
+  std::vector<NodeId> landmarks_;
+  std::vector<std::vector<Dist>> dist_;  ///< [landmark index][node]
+};
+
+}  // namespace dsketch

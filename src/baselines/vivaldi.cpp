@@ -1,0 +1,89 @@
+#include "baselines/vivaldi.hpp"
+
+#include <cmath>
+
+#include "graph/shortest_paths.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsketch {
+namespace {
+
+double norm(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+VivaldiCoordinates::VivaldiCoordinates(const Graph& g,
+                                       const VivaldiConfig& config)
+    : dim_(config.dim) {
+  const NodeId n = g.num_nodes();
+  DS_CHECK(n >= 2 && dim_ >= 1);
+  Rng rng(config.seed);
+  coords_.assign(n, std::vector<double>(dim_, 0.0));
+  for (auto& c : coords_) {
+    for (double& x : c) x = rng.uniform() - 0.5;
+  }
+  std::vector<double> error(n, 1.0);
+
+  // RTT oracle: cache Dijkstra rows for the nodes we probe from.
+  std::vector<std::vector<Dist>> row_cache(n);
+  auto rtt = [&](NodeId u, NodeId v) -> double {
+    if (row_cache[u].empty() && row_cache[v].empty()) {
+      row_cache[u] = dijkstra(g, u);
+    }
+    const auto& row = row_cache[u].empty() ? row_cache[v] : row_cache[u];
+    const NodeId other = row_cache[u].empty() ? u : v;
+    return static_cast<double>(row[other]);
+  };
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (std::size_t s = 0; s < config.samples_per_round; ++s) {
+        NodeId v = static_cast<NodeId>(rng.below(n));
+        if (v == u) v = (v + 1) % n;
+        const double measured = rtt(u, v);
+        const double predicted = norm(coords_[u], coords_[v]);
+        // Adaptive timestep weighted by relative confidence [DCKM04 §3.3].
+        const double w = error[u] / (error[u] + error[v] + 1e-12);
+        const double rel_err =
+            std::abs(predicted - measured) / std::max(measured, 1e-9);
+        const double ce = 0.25;
+        error[u] = rel_err * ce * w + error[u] * (1.0 - ce * w);
+        const double delta = config.cc * w;
+        // Unit vector from v to u (random direction when coincident).
+        std::vector<double> dir(dim_);
+        double len = 0.0;
+        for (unsigned i = 0; i < dim_; ++i) {
+          dir[i] = coords_[u][i] - coords_[v][i];
+          len += dir[i] * dir[i];
+        }
+        len = std::sqrt(len);
+        if (len < 1e-12) {
+          for (double& x : dir) x = rng.uniform() - 0.5;
+          len = 0.0;
+          for (const double x : dir) len += x * x;
+          len = std::sqrt(std::max(len, 1e-12));
+        }
+        const double force = measured - predicted;
+        for (unsigned i = 0; i < dim_; ++i) {
+          coords_[u][i] += delta * force * (dir[i] / len);
+        }
+      }
+    }
+  }
+}
+
+Dist VivaldiCoordinates::query(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  const double d = norm(coords_[u], coords_[v]);
+  return static_cast<Dist>(std::llround(std::max(d, 0.0)));
+}
+
+}  // namespace dsketch

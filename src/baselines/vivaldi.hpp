@@ -1,0 +1,50 @@
+// Vivaldi network coordinates [DCKM04] — the paper's §1 foil.
+//
+// Each node holds a point in R^dim; repeated spring-relaxation steps against
+// measured RTTs pull the embedding toward the true distance matrix. We give
+// the baseline ideal conditions: exact RTTs (true weighted distances,
+// computed on demand) and as many sampled measurements as requested. Even
+// so, graphs that do not embed into low-dimensional Euclidean space (ring
+// with random chords, expanders) force large distortion — the "poor behavior
+// in pathological instances" the paper attributes to coordinate systems,
+// benchmarked in E9 against the sketch schemes whose guarantees hold on all
+// graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+struct VivaldiConfig {
+  unsigned dim = 3;
+  std::size_t rounds = 64;              ///< relaxation sweeps over all nodes
+  std::size_t samples_per_round = 16;   ///< RTT probes per node per sweep
+  double cc = 0.25;                     ///< adaptive timestep gain
+  std::uint64_t seed = 11;
+};
+
+class VivaldiCoordinates {
+ public:
+  /// Runs the spring embedding against exact distances from `g`.
+  VivaldiCoordinates(const Graph& g, const VivaldiConfig& config);
+
+  /// Euclidean estimate; can under- or over-estimate (no guarantee).
+  Dist query(NodeId u, NodeId v) const;
+
+  /// Words stored per node: one coordinate per dimension.
+  std::size_t size_words(NodeId u) const {
+    (void)u;
+    return dim_;
+  }
+
+  const std::vector<double>& coordinate(NodeId u) const { return coords_[u]; }
+
+ private:
+  unsigned dim_;
+  std::vector<std::vector<double>> coords_;
+};
+
+}  // namespace dsketch

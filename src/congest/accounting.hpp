@@ -1,0 +1,27 @@
+// Round/message/word accounting for simulator runs.
+#pragma once
+
+#include <cstdint>
+
+namespace dsketch {
+
+struct SimStats {
+  std::uint64_t rounds = 0;        ///< synchronous rounds elapsed
+  std::uint64_t messages = 0;      ///< messages transmitted over edges
+  std::uint64_t words = 0;         ///< total words across those messages
+  std::uint64_t node_steps = 0;    ///< on_round invocations (work measure)
+  std::uint64_t max_outbox = 0;    ///< peak per-edge queue depth observed
+  bool hit_round_limit = false;    ///< run stopped by max_rounds, not quiescence
+
+  SimStats& operator+=(const SimStats& o) {
+    rounds += o.rounds;
+    messages += o.messages;
+    words += o.words;
+    node_steps += o.node_steps;
+    if (o.max_outbox > max_outbox) max_outbox = o.max_outbox;
+    hit_round_limit = hit_round_limit || o.hit_round_limit;
+    return *this;
+  }
+};
+
+}  // namespace dsketch

@@ -1,0 +1,132 @@
+#include "congest/aggregation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "congest/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+namespace {
+
+// Messages: UP <kUp, partial>, DOWN <kDown, result>.
+constexpr Word kUp = 1;
+constexpr Word kDown = 2;
+
+Word combine(AggregateOp op, Word a, Word b) {
+  switch (op) {
+    case AggregateOp::kSum:
+    case AggregateOp::kCount:
+      return a + b;
+    case AggregateOp::kMin:
+      return std::min(a, b);
+    case AggregateOp::kMax:
+      return std::max(a, b);
+  }
+  return 0;
+}
+
+class AggregateProtocol : public Protocol {
+ public:
+  AggregateProtocol(const BfsTree& tree, const std::vector<Word>& values,
+                    AggregateOp op)
+      : tree_(tree), op_(op) {
+    const auto n = tree.parent.size();
+    partial_.resize(n);
+    pending_children_.resize(n);
+    result_.assign(n, 0);
+    done_.assign(n, 0);
+    sent_up_.assign(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      partial_[u] = op == AggregateOp::kCount ? 1 : values[u];
+      pending_children_[u] =
+          static_cast<std::uint32_t>(tree.child_edges[u].size());
+    }
+  }
+
+  void on_start(NodeCtx& ctx) override {
+    maybe_send_up(ctx);
+  }
+
+  void on_round(NodeCtx& ctx) override {
+    const NodeId u = ctx.node();
+    for (const Inbound& in : ctx.inbox()) {
+      if (in.msg.at(0) == kUp) {
+        partial_[u] = combine(op_, partial_[u], in.msg.at(1));
+        DS_CHECK(pending_children_[u] > 0);
+        --pending_children_[u];
+      } else {
+        DS_CHECK(in.msg.at(0) == kDown);
+        deliver_result(ctx, in.msg.at(1));
+      }
+    }
+    maybe_send_up(ctx);
+  }
+
+  Word result_at(NodeId u) const { return result_[u]; }
+  bool all_done() const {
+    return std::all_of(done_.begin(), done_.end(),
+                       [](char d) { return d != 0; });
+  }
+
+ private:
+  void maybe_send_up(NodeCtx& ctx) {
+    const NodeId u = ctx.node();
+    if (sent_up_[u] || pending_children_[u] != 0) return;
+    sent_up_[u] = 1;
+    if (u == tree_.root) {
+      deliver_result(ctx, partial_[u]);
+    } else {
+      ctx.send(tree_.parent_edge[u], Message{kUp, partial_[u]});
+    }
+  }
+
+  void deliver_result(NodeCtx& ctx, Word value) {
+    const NodeId u = ctx.node();
+    result_[u] = value;
+    done_[u] = 1;
+    for (const std::uint32_t e : tree_.child_edges[u]) {
+      ctx.send(e, Message{kDown, value});
+    }
+  }
+
+  const BfsTree& tree_;
+  AggregateOp op_;
+  std::vector<Word> partial_;
+  std::vector<std::uint32_t> pending_children_;
+  std::vector<Word> result_;
+  std::vector<char> done_;
+  std::vector<char> sent_up_;
+};
+
+}  // namespace
+
+AggregateResult tree_aggregate(const Graph& g, const BfsTree& tree,
+                               const std::vector<Word>& values,
+                               AggregateOp op, SimConfig cfg) {
+  DS_CHECK(op == AggregateOp::kCount || values.size() == g.num_nodes());
+  std::vector<Word> padded = values;
+  if (op == AggregateOp::kCount) padded.assign(g.num_nodes(), 1);
+  AggregateProtocol protocol(tree, padded, op);
+  Simulator sim(g, protocol, cfg);
+  AggregateResult result;
+  result.stats = sim.run();
+  DS_CHECK(!result.stats.hit_round_limit);
+  DS_CHECK_MSG(protocol.all_done(), "aggregate did not reach every node");
+  result.value = protocol.result_at(tree.root);
+  // Every node agrees (checked here once, centrally, as a sanity net).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    DS_CHECK(protocol.result_at(u) == result.value);
+  }
+  return result;
+}
+
+AggregateResult aggregate(const Graph& g, const std::vector<Word>& values,
+                          AggregateOp op, SimConfig cfg) {
+  BfsTreeRun run = build_bfs_tree(g, cfg);
+  AggregateResult result = tree_aggregate(g, run.tree, values, op, cfg);
+  result.stats += run.stats;
+  return result;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,38 @@
+// Tree aggregation primitives: convergecast + broadcast over a BFS tree.
+//
+// The model (§2.2) assumes every node knows n; [KKM+08]-style tree
+// aggregation is how a real deployment obtains such global scalars in O(D)
+// rounds and O(n) messages. Provided operations: SUM, MIN, MAX, COUNT.
+// After the run every node holds the global value (convergecast up to the
+// root, result broadcast back down).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/accounting.hpp"
+#include "congest/bfs_tree.hpp"
+#include "congest/sim.hpp"
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+enum class AggregateOp { kSum, kMin, kMax, kCount };
+
+struct AggregateResult {
+  Word value = 0;   ///< the global aggregate (known to every node)
+  SimStats stats;
+};
+
+/// Aggregates `values[u]` over all nodes using the given tree.
+/// For kCount the values are ignored (every node contributes 1).
+AggregateResult tree_aggregate(const Graph& g, const BfsTree& tree,
+                               const std::vector<Word>& values,
+                               AggregateOp op, SimConfig cfg = {});
+
+/// Convenience: elect a leader, build the tree, aggregate. Returns the
+/// combined cost of both runs.
+AggregateResult aggregate(const Graph& g, const std::vector<Word>& values,
+                          AggregateOp op, SimConfig cfg = {});
+
+}  // namespace dsketch

@@ -1,0 +1,67 @@
+// Distributed Bellman–Ford protocols (paper §3.2, Algorithm 1).
+//
+// Three variants used as substrates by the sketch constructions:
+//
+//  - MultiSourceBellmanFord ("k-Source Shortest Paths", [PK09]): every node
+//    learns its exact distance to every source. Messages are <source, dist>
+//    pairs; per-node pending queues are drained round-robin, exactly like
+//    Algorithm 2 but with no bunch gate. Used by the ε-slack sketches
+//    (Theorem 4.3: distances to all density-net nodes) and by tests.
+//
+//  - SuperSourceBellmanFord: all sources start at distance 0 as one virtual
+//    "super node" (§4, Lemma 4.5); every node learns (d(u,N), owner, parent
+//    edge) where owner is the nearest source under (dist, id) keys. The
+//    parent edges form the Voronoi forest used to disseminate net-node
+//    labels for the CDG sketches.
+//
+//  - online_distance_rounds: measures the rounds a no-preprocessing online
+//    distance query costs (single-source BF until global convergence),
+//    the Ω(S) baseline of §2.1 benchmarked in E8.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/accounting.hpp"
+#include "congest/sim.hpp"
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+struct MultiSourceBfResult {
+  /// dist[u] maps each discovered source to the exact distance from u.
+  std::vector<std::unordered_map<NodeId, Dist>> dist;
+  SimStats stats;
+};
+
+/// Every node learns its distance to every node in `sources`.
+MultiSourceBfResult run_multi_source_bf(const Graph& g,
+                                        const std::vector<NodeId>& sources,
+                                        SimConfig cfg = {});
+
+struct SuperSourceBfResult {
+  std::vector<Dist> dist;        ///< d(u, sources)
+  std::vector<NodeId> owner;     ///< nearest source under (dist, id) keys
+  std::vector<std::uint32_t> parent_edge;  ///< local edge toward owner;
+                                           ///< kNoParent at sources
+  std::vector<std::vector<std::uint32_t>> child_edges;  ///< Voronoi children
+  SimStats stats;
+
+  static constexpr std::uint32_t kNoParent = static_cast<std::uint32_t>(-1);
+};
+
+/// Single virtual source spanning `sources`; also performs the child-claim
+/// round so every node knows its Voronoi-tree children.
+SuperSourceBfResult run_super_source_bf(const Graph& g,
+                                        const std::vector<NodeId>& sources,
+                                        SimConfig cfg = {});
+
+/// Rounds for one online distance computation from `source` with no
+/// preprocessing (distributed Bellman-Ford run to completion). This is the
+/// cost any ping/Bellman-Ford/Dijkstra style query pays: at least S rounds
+/// in the worst case.
+SimStats online_distance_rounds(const Graph& g, NodeId source,
+                                SimConfig cfg = {});
+
+}  // namespace dsketch

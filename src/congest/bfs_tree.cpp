@@ -1,0 +1,109 @@
+#include "congest/bfs_tree.hpp"
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+namespace {
+
+// Message layouts.
+//   FLOOD: <kFlood, leader, hops>
+//   CLAIM: <kClaim>            (sent only on the chosen parent edge)
+constexpr Word kFlood = 1;
+constexpr Word kClaim = 2;
+
+}  // namespace
+
+BfsTreeProtocol::BfsTreeProtocol(NodeId n) : nodes_(n) {}
+
+bool BfsTreeProtocol::better(NodeId leader, std::uint32_t hops, NodeId parent,
+                             const NodeState& s) {
+  // Order: larger leader id wins; then fewer hops; then smaller parent id.
+  // kInvalidNode (= max u32) as "no leader yet" would compare as largest, so
+  // treat unset state explicitly.
+  if (s.best_leader == kInvalidNode) return true;
+  if (leader != s.best_leader) return leader > s.best_leader;
+  if (hops != s.best_hops) return hops < s.best_hops;
+  return parent < s.parent_id;
+}
+
+void BfsTreeProtocol::on_start(NodeCtx& ctx) {
+  if (phase_ == Phase::kFlood) {
+    NodeState& s = nodes_[ctx.node()];
+    s.best_leader = ctx.node();
+    s.best_hops = 0;
+    s.parent_edge = kNoEdge;
+    s.parent_id = kInvalidNode;
+    ctx.broadcast(Message{kFlood, ctx.node(), 0});
+  } else if (phase_ == Phase::kClaim) {
+    NodeState& s = nodes_[ctx.node()];
+    if (s.parent_edge != kNoEdge) ctx.send(s.parent_edge, Message{kClaim});
+  }
+}
+
+void BfsTreeProtocol::on_round(NodeCtx& ctx) {
+  NodeState& s = nodes_[ctx.node()];
+  bool improved = false;
+  for (const Inbound& in : ctx.inbox()) {
+    if (in.msg.at(0) == kFlood) {
+      const NodeId leader = static_cast<NodeId>(in.msg.at(1));
+      const std::uint32_t hops = static_cast<std::uint32_t>(in.msg.at(2)) + 1;
+      const NodeId from = ctx.neighbor(in.local_edge);
+      if (better(leader, hops, from, s) && leader != ctx.node()) {
+        s.best_leader = leader;
+        s.best_hops = hops;
+        s.parent_edge = in.local_edge;
+        s.parent_id = from;
+        improved = true;
+      }
+    } else if (in.msg.at(0) == kClaim) {
+      s.child_edges.push_back(in.local_edge);
+    }
+  }
+  if (improved) {
+    ctx.broadcast(Message{kFlood, s.best_leader, s.best_hops});
+  }
+}
+
+bool BfsTreeProtocol::on_quiescent(Simulator& sim) {
+  if (phase_ == Phase::kFlood) {
+    phase_ = Phase::kClaim;
+    sim.activate_all();
+    return true;
+  }
+  phase_ = Phase::kDone;
+  return false;
+}
+
+BfsTree BfsTreeProtocol::take_result() {
+  BfsTree t;
+  const NodeId n = static_cast<NodeId>(nodes_.size());
+  t.parent.assign(n, kInvalidNode);
+  t.parent_edge.assign(n, static_cast<std::uint32_t>(-1));
+  t.child_edges.resize(n);
+  t.hops.assign(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeState& s = nodes_[u];
+    DS_CHECK(s.best_leader != kInvalidNode);
+    if (s.best_leader == u) {
+      DS_CHECK(t.root == kInvalidNode);  // unique leader on connected input
+      t.root = u;
+    }
+    t.parent[u] = s.parent_id;
+    t.parent_edge[u] = s.parent_edge;
+    t.child_edges[u] = s.child_edges;
+    t.hops[u] = s.best_hops;
+  }
+  DS_CHECK(t.root != kInvalidNode);
+  return t;
+}
+
+BfsTreeRun build_bfs_tree(const Graph& g, SimConfig cfg) {
+  BfsTreeProtocol protocol(g.num_nodes());
+  Simulator sim(g, protocol, cfg);
+  BfsTreeRun run;
+  run.stats = sim.run();
+  run.tree = protocol.take_result();
+  return run;
+}
+
+}  // namespace dsketch

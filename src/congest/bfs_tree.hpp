@@ -1,0 +1,75 @@
+// Distributed leader election + BFS spanning tree (paper §3.3 preamble).
+//
+// The termination-detection machinery needs an arbitrary leader r and a BFS
+// tree T rooted at r in which every node knows its parent and children. We
+// implement flood-max election fused with BFS layering:
+//   - every node floods <candidate_id, hops>;
+//   - a node adopts the lexicographically best (max candidate, min hops,
+//     min parent id) offer and re-floods;
+//   - once the flood stabilizes (detected by quiescence), each node claims
+//     its parent with a PARENT message so parents learn their children.
+// Cost: O(D) rounds and O(D * |E|) messages for the flood — within the
+// "negligible compared to Theorem 3.8" budget the paper allots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/protocol.hpp"
+#include "congest/sim.hpp"
+
+namespace dsketch {
+
+/// Result of tree construction, indexed by node.
+struct BfsTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;                ///< kInvalidNode at the root
+  std::vector<std::uint32_t> parent_edge;    ///< local edge to parent
+  std::vector<std::vector<std::uint32_t>> child_edges;  ///< local edges
+  std::vector<std::uint32_t> hops;           ///< BFS depth
+
+  std::uint32_t depth() const {
+    std::uint32_t d = 0;
+    for (std::uint32_t h : hops) d = std::max(d, h);
+    return d;
+  }
+};
+
+class BfsTreeProtocol : public Protocol {
+ public:
+  explicit BfsTreeProtocol(NodeId n);
+
+  void on_start(NodeCtx& ctx) override;
+  void on_round(NodeCtx& ctx) override;
+  bool on_quiescent(Simulator& sim) override;
+
+  /// Valid after the simulator run completes.
+  BfsTree take_result();
+
+ private:
+  struct NodeState {
+    NodeId best_leader = kInvalidNode;
+    std::uint32_t best_hops = 0;
+    std::uint32_t parent_edge = kNoEdge;
+    NodeId parent_id = kInvalidNode;
+    std::vector<std::uint32_t> child_edges;
+  };
+  static constexpr std::uint32_t kNoEdge = static_cast<std::uint32_t>(-1);
+
+  /// Returns true if the (leader, hops, parent) offer improves on state.
+  static bool better(NodeId leader, std::uint32_t hops, NodeId parent,
+                     const NodeState& s);
+
+  enum class Phase { kFlood, kClaim, kDone };
+  Phase phase_ = Phase::kFlood;
+  std::vector<NodeState> nodes_;
+};
+
+/// Convenience wrapper: runs the protocol on `g`, returns tree + stats.
+struct BfsTreeRun {
+  BfsTree tree;
+  SimStats stats;
+};
+BfsTreeRun build_bfs_tree(const Graph& g, SimConfig cfg = {});
+
+}  // namespace dsketch

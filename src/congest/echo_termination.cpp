@@ -1,0 +1,66 @@
+#include "congest/echo_termination.hpp"
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+std::optional<EchoObligation> EchoTracker::accept_trigger(NodeId source,
+                                                          std::uint32_t edge,
+                                                          Dist value) {
+  std::optional<EchoObligation> superseded;
+  const auto it = trigger_.find(source);
+  if (it != trigger_.end()) {
+    superseded = it->second;
+    it->second = EchoObligation{edge, value};
+  } else {
+    trigger_.emplace(source, EchoObligation{edge, value});
+  }
+  return superseded;
+}
+
+void EchoTracker::commit_send(NodeId source, Dist sent_value,
+                              std::uint32_t fanout, bool self_announce) {
+  Record rec;
+  rec.value = sent_value;
+  rec.remaining = fanout;
+  rec.self_announce = self_announce;
+  rec.has_trigger = false;
+  if (!self_announce) {
+    const auto it = trigger_.find(source);
+    DS_CHECK_MSG(it != trigger_.end(), "send without a live trigger");
+    rec.has_trigger = true;
+    rec.trigger = it->second;
+    trigger_.erase(it);
+  }
+  if (fanout == 0) {
+    // Degenerate isolated node: the record completes instantly.
+    if (rec.self_announce) self_done_ = true;
+    return;
+  }
+  records_[source].push_back(rec);
+  ++record_count_;
+}
+
+std::optional<EchoObligation> EchoTracker::on_echo(NodeId source, Dist value) {
+  const auto it = records_.find(source);
+  DS_CHECK_MSG(it != records_.end(), "echo without matching record");
+  auto& list = it->second;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].value != value) continue;
+    DS_CHECK(list[i].remaining > 0);
+    if (--list[i].remaining > 0) return std::nullopt;
+    const Record done = list[i];
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+    if (list.empty()) records_.erase(it);
+    --record_count_;
+    if (done.self_announce) {
+      self_done_ = true;
+      return std::nullopt;
+    }
+    return done.trigger;
+  }
+  DS_CHECK_MSG(false, "echo value does not match any outstanding record");
+  return std::nullopt;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,45 @@
+// CONGEST messages: word-counted payloads.
+//
+// The model (§2.2) allows one message of O(log n) bits per edge per direction
+// per round. A *word* is a block of O(log n) bits holding one node ID or one
+// distance. Protocols in this library use messages of at most a small
+// constant number of words (data = <source, dist> = 2 words, ECHO = 3,
+// control = <=2); the simulator enforces a configurable cap so no protocol
+// can smuggle super-constant payloads through an edge in one round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+using Word = std::uint64_t;
+
+struct Message {
+  std::vector<Word> words;
+
+  Message() = default;
+  explicit Message(std::initializer_list<Word> ws) : words(ws) {}
+
+  std::size_t size_words() const { return words.size(); }
+
+  Message& push(Word w) {
+    words.push_back(w);
+    return *this;
+  }
+  Word at(std::size_t i) const {
+    DS_CHECK(i < words.size());
+    return words[i];
+  }
+};
+
+/// A message delivered to a node this round, tagged with the local index of
+/// the edge it arrived on.
+struct Inbound {
+  std::uint32_t local_edge;
+  Message msg;
+};
+
+}  // namespace dsketch

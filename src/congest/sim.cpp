@@ -1,0 +1,266 @@
+#include "congest/sim.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsketch {
+
+std::uint64_t NodeCtx::round() const { return sim_.round(); }
+std::uint32_t NodeCtx::degree() const { return sim_.degree_of(node_); }
+NodeId NodeCtx::neighbor(std::uint32_t local_edge) const {
+  return sim_.neighbor_of(node_, local_edge);
+}
+Weight NodeCtx::edge_weight(std::uint32_t local_edge) const {
+  return sim_.weight_of(node_, local_edge);
+}
+std::span<const Inbound> NodeCtx::inbox() const {
+  return sim_.inbox_of(node_);
+}
+void NodeCtx::send(std::uint32_t local_edge, Message m) {
+  sim_.enqueue(node_, local_edge, std::move(m));
+}
+void NodeCtx::broadcast(const Message& m) {
+  const std::uint32_t deg = degree();
+  for (std::uint32_t e = 0; e < deg; ++e) send(e, m);
+}
+void NodeCtx::wake() { sim_.wake(node_); }
+void NodeCtx::wake_at(std::uint64_t round) { sim_.schedule_wake(node_, round); }
+std::size_t NodeCtx::outbox_depth(std::uint32_t local_edge) const {
+  return sim_.outbox_depth(node_, local_edge);
+}
+
+Simulator::Simulator(const Graph& graph, Protocol& protocol, SimConfig cfg)
+    : graph_(graph), protocol_(protocol), cfg_(cfg),
+      delay_rng_(cfg.async_seed) {
+  const NodeId n = graph_.num_nodes();
+  const std::size_t half_edges = 2 * graph_.num_edges();
+  outbox_.resize(half_edges);
+  head_.resize(half_edges);
+  head_local_.resize(half_edges);
+  inbox_.resize(n);
+  wake_flag_.assign(n, 0);
+  start_pending_.assign(n, 0);
+  in_active_list_.assign(n, 0);
+  edge_busy_flag_.assign(half_edges, 0);
+
+  // Twin resolution: half-edge (u, s) with neighbor v maps to the matching
+  // slot of u in v's adjacency. Adjacencies are sorted by (to, weight), so
+  // the i-th parallel (u,v) slot on u's side pairs with the i-th (v,u) slot
+  // on v's side.
+  std::unordered_map<std::uint64_t, std::uint32_t> occurrence;
+  occurrence.reserve(half_edges);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto adj = graph_.neighbors(u);
+    for (std::uint32_t s = 0; s < adj.size(); ++s) {
+      const NodeId v = adj[s].to;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | v;
+      const std::uint32_t occ = occurrence[key]++;
+      // Find occ-th slot of v's adjacency pointing back at u.
+      const auto vadj = graph_.neighbors(v);
+      const auto it = std::lower_bound(
+          vadj.begin(), vadj.end(), u,
+          [](const HalfEdge& he, NodeId target) { return he.to < target; });
+      const std::uint32_t base =
+          static_cast<std::uint32_t>(it - vadj.begin());
+      const std::uint32_t slot = base + occ;
+      DS_CHECK(slot < vadj.size() && vadj[slot].to == u);
+      const std::size_t h = graph_.half_edge_index(u, s);
+      head_[h] = v;
+      head_local_[h] = slot;
+    }
+  }
+  activate_all();
+}
+
+void Simulator::activate_all() {
+  const NodeId n = graph_.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    start_pending_[u] = 1;
+    if (!in_active_list_[u]) {
+      in_active_list_[u] = 1;
+      active_.push_back(u);
+    }
+  }
+  std::sort(active_.begin(), active_.end());
+}
+
+void Simulator::activate(const std::vector<NodeId>& nodes) {
+  for (NodeId u : nodes) {
+    DS_CHECK(u < graph_.num_nodes());
+    start_pending_[u] = 1;
+    if (!in_active_list_[u]) {
+      in_active_list_[u] = 1;
+      active_.push_back(u);
+    }
+  }
+  std::sort(active_.begin(), active_.end());
+}
+
+void Simulator::enqueue(NodeId u, std::uint32_t local, Message m) {
+  DS_CHECK(m.size_words() <= cfg_.max_message_words);
+  auto& box = outbox_[graph_.half_edge_index(u, local)];
+  box.push_back(std::move(m));
+  if (box.size() > stats_.max_outbox) stats_.max_outbox = box.size();
+}
+
+SimStats Simulator::run() {
+  for (;;) {
+    flush_future();
+    if (active_.empty() && busy_edges_.empty()) {
+      if (!future_.empty() || !wake_schedule_.empty()) {
+        // Nothing happens until the next scheduled arrival or timer;
+        // fast-forward the round counter to it.
+        std::uint64_t next = static_cast<std::uint64_t>(-1);
+        if (!future_.empty()) next = future_.begin()->first;
+        if (!wake_schedule_.empty()) {
+          next = std::min(next, wake_schedule_.begin()->first);
+        }
+        round_ = next;
+        stats_.rounds = round_;
+        continue;
+      }
+      if (!protocol_.on_quiescent(*this)) break;
+      if (active_.empty() && busy_edges_.empty() && future_.empty() &&
+          wake_schedule_.empty()) {
+        break;
+      }
+      continue;  // the oracle check itself consumes no rounds
+    }
+    if (round_ >= cfg_.max_rounds) {
+      stats_.hit_round_limit = true;
+      break;
+    }
+    step_active_nodes();
+    deliver();
+    ++round_;
+    stats_.rounds = round_;
+  }
+  return stats_;
+}
+
+void Simulator::flush_future() {
+  bool touched = false;
+  const auto wit = wake_schedule_.find(round_);
+  if (wit != wake_schedule_.end()) {
+    for (const NodeId u : wit->second) {
+      if (!in_active_list_[u]) {
+        in_active_list_[u] = 1;
+        active_.push_back(u);
+        touched = true;
+      }
+    }
+    wake_schedule_.erase(wit);
+  }
+  const auto it = future_.find(round_);
+  if (it != future_.end()) {
+    for (PendingDelivery& d : it->second) {
+      if (!in_active_list_[d.to]) {
+        in_active_list_[d.to] = 1;
+        active_.push_back(d.to);
+      }
+      inbox_[d.to].push_back(Inbound{d.to_local, std::move(d.msg)});
+      touched = true;
+    }
+    future_.erase(it);
+  }
+  if (touched) std::sort(active_.begin(), active_.end());
+  // Canonical per-round inbox order: by arrival edge (stable so queued
+  // order on an edge is preserved in the synchronous case).
+  for (const NodeId u : active_) {
+    std::stable_sort(inbox_[u].begin(), inbox_[u].end(),
+                     [](const Inbound& a, const Inbound& b) {
+                       return a.local_edge < b.local_edge;
+                     });
+  }
+}
+
+void Simulator::step_active_nodes() {
+  stats_.node_steps += active_.size();
+  auto step_one = [this](std::size_t idx) {
+    const NodeId u = active_[idx];
+    NodeCtx ctx(*this, u);
+    if (start_pending_[u]) {
+      start_pending_[u] = 0;
+      protocol_.on_start(ctx);
+    } else {
+      protocol_.on_round(ctx);
+    }
+    inbox_[u].clear();
+  };
+  if (cfg_.threads == 1 || active_.size() < 64) {
+    for (std::size_t i = 0; i < active_.size(); ++i) step_one(i);
+  } else {
+    global_pool().parallel_for(active_.size(), step_one);
+  }
+  // Collect newly busy half-edges in deterministic (node, local) order.
+  for (const NodeId u : active_) {
+    const std::uint32_t deg = degree_of(u);
+    for (std::uint32_t s = 0; s < deg; ++s) {
+      const std::size_t h = graph_.half_edge_index(u, s);
+      if (!outbox_[h].empty() && !edge_busy_flag_[h]) {
+        edge_busy_flag_[h] = 1;
+        busy_edges_.push_back(h);
+      }
+    }
+  }
+}
+
+void Simulator::deliver() {
+  std::vector<NodeId> next_active;
+  // Wakes requested by nodes stepped this round.
+  for (const NodeId u : active_) {
+    if (wake_flag_[u]) {
+      wake_flag_[u] = 0;
+      next_active.push_back(u);
+    }
+  }
+  // Transmit one message per busy half-edge (or the whole queue when the
+  // capacity ablation is on). In async mode the arrival round is drawn
+  // uniformly from [round+1, round+async_max_delay].
+  std::vector<std::size_t> still_busy;
+  still_busy.reserve(busy_edges_.size());
+  for (const std::size_t h : busy_edges_) {
+    auto& box = outbox_[h];
+    DS_CHECK(!box.empty());
+    const NodeId to = head_[h];
+    const std::uint32_t to_local = head_local_[h];
+    std::size_t ship = cfg_.enforce_capacity ? 1 : box.size();
+    while (ship-- > 0) {
+      Message m = std::move(box.front());
+      box.pop_front();
+      stats_.messages += 1;
+      stats_.words += m.size_words();
+      const std::uint64_t arrival =
+          round_ + 1 +
+          (cfg_.async_max_delay > 1 ? delay_rng_.below(cfg_.async_max_delay)
+                                    : 0);
+      if (arrival == round_ + 1) {
+        if (inbox_[to].empty()) next_active.push_back(to);
+        inbox_[to].push_back(Inbound{to_local, std::move(m)});
+      } else {
+        future_[arrival].push_back(PendingDelivery{to, to_local, std::move(m)});
+      }
+    }
+    if (!box.empty()) {
+      still_busy.push_back(h);
+    } else {
+      edge_busy_flag_[h] = 0;
+    }
+  }
+  busy_edges_.swap(still_busy);
+
+  // De-duplicate and order the next active set; inbox ordering is
+  // canonicalized in flush_future at the top of the next round.
+  std::sort(next_active.begin(), next_active.end());
+  next_active.erase(std::unique(next_active.begin(), next_active.end()),
+                    next_active.end());
+  for (const NodeId u : active_) in_active_list_[u] = 0;
+  for (const NodeId u : next_active) in_active_list_[u] = 1;
+  active_.swap(next_active);
+}
+
+}  // namespace dsketch

@@ -1,0 +1,132 @@
+// Synchronous CONGEST-model simulator.
+//
+// Faithful to §2.2 of the paper:
+//   - rounds are synchronous; messages sent in round r arrive in round r+1;
+//   - each edge carries at most one message per direction per round
+//     (enforced by per-half-edge FIFO outboxes drained at rate 1/round);
+//   - messages are word-counted and capped at `max_message_words`.
+//
+// Efficiency: the simulator is event-driven over an *active set*. A node is
+// stepped only in rounds where it received a message, was just activated, or
+// requested a wake; edges are touched only while their outbox is nonempty.
+// Cost per round is therefore proportional to actual traffic, while the
+// round counter still advances exactly once per simulated round.
+//
+// Determinism: node steps may run on a thread pool (cfg.threads != 1) —
+// hooks only mutate node-owned state and node-owned outboxes. Delivery is
+// performed serially and inboxes are sorted by receiving edge index, so the
+// execution is bit-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+#include "congest/accounting.hpp"
+#include "congest/message.hpp"
+#include "congest/protocol.hpp"
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+struct SimConfig {
+  std::size_t max_message_words = 4;  ///< CONGEST O(log n)-bit budget
+  unsigned threads = 1;               ///< 0 = hardware concurrency
+  std::uint64_t max_rounds = 200'000'000;
+  bool enforce_capacity = true;       ///< ablation switch (E3): when false,
+                                      ///< all queued messages ship each round
+
+  /// Asynchrony extension (the paper's §5 future work): each transmitted
+  /// message takes a uniform delay in [1, async_max_delay] rounds instead
+  /// of exactly 1. Links may reorder (non-FIFO). 1 = synchronous CONGEST.
+  /// Deterministic for a fixed seed and protocol.
+  std::uint32_t async_max_delay = 1;
+  std::uint64_t async_seed = 0x5eedULL;
+};
+
+class Simulator {
+ public:
+  Simulator(const Graph& graph, Protocol& protocol, SimConfig cfg = {});
+
+  /// Runs until quiescence (and until on_quiescent returns false) or until
+  /// max_rounds. Returns cumulative stats.
+  SimStats run();
+
+  /// Re-activates every node; typically called from on_quiescent to start a
+  /// new phase. on_start is invoked again for each node.
+  void activate_all();
+
+  /// Activates a subset of nodes (on_start is invoked for them).
+  void activate(const std::vector<NodeId>& nodes);
+
+  const Graph& graph() const { return graph_; }
+  std::uint64_t round() const { return round_; }
+  const SimStats& stats() const { return stats_; }
+
+  // -- NodeCtx backing API (treat as private to NodeCtx) --
+  std::uint32_t degree_of(NodeId u) const {
+    return static_cast<std::uint32_t>(graph_.degree(u));
+  }
+  NodeId neighbor_of(NodeId u, std::uint32_t local) const {
+    return graph_.neighbors(u)[local].to;
+  }
+  Weight weight_of(NodeId u, std::uint32_t local) const {
+    return graph_.neighbors(u)[local].weight;
+  }
+  std::span<const Inbound> inbox_of(NodeId u) const {
+    return {inbox_[u].data(), inbox_[u].size()};
+  }
+  void enqueue(NodeId u, std::uint32_t local, Message m);
+  void wake(NodeId u) { wake_flag_[u] = 1; }
+  void schedule_wake(NodeId u, std::uint64_t at_round) {
+    if (at_round <= round_) {
+      wake_flag_[u] = 1;
+    } else {
+      wake_schedule_[at_round].push_back(u);
+    }
+  }
+  std::size_t outbox_depth(NodeId u, std::uint32_t local) const {
+    return outbox_[graph_.half_edge_index(u, local)].size();
+  }
+
+ private:
+  void step_active_nodes();
+  void deliver();
+  void flush_future();
+
+  const Graph& graph_;
+  Protocol& protocol_;
+  SimConfig cfg_;
+
+  std::uint64_t round_ = 0;
+  SimStats stats_;
+
+  // Per half-edge h = (u, local): FIFO of queued messages, plus the twin
+  // half-edge's (receiver, receiver-local) coordinates.
+  std::vector<std::deque<Message>> outbox_;
+  std::vector<NodeId> head_;                  // receiver node of half-edge
+  std::vector<std::uint32_t> head_local_;     // receiver's local edge index
+
+  std::vector<std::vector<Inbound>> inbox_;   // per node, current round
+  // Deliveries scheduled for future rounds (async_max_delay > 1).
+  struct PendingDelivery {
+    NodeId to;
+    std::uint32_t to_local;
+    Message msg;
+  };
+  std::map<std::uint64_t, std::vector<PendingDelivery>> future_;
+  std::map<std::uint64_t, std::vector<NodeId>> wake_schedule_;
+  Rng delay_rng_{0};
+  std::vector<char> wake_flag_;               // set via NodeCtx::wake
+  std::vector<char> start_pending_;           // on_start owed to node
+  std::vector<char> in_active_list_;
+  std::vector<NodeId> active_;                // nodes to step this round
+  std::vector<std::size_t> busy_edges_;       // half-edges with queued msgs
+  std::vector<char> edge_busy_flag_;
+};
+
+}  // namespace dsketch

@@ -1,0 +1,66 @@
+// Public entry point: build distance sketches for a network, then answer
+// pairwise distance queries from sketches alone.
+//
+//   Graph g = erdos_renyi(1024, 0.01, {1, 16}, /*seed=*/42);
+//   SketchEngine engine(g, BuildConfig{.scheme = Scheme::kThorupZwick,
+//                                      .k = 3});
+//   Dist estimate = engine.query(3, 997);
+//   engine.cost().rounds;     // simulated CONGEST rounds spent building
+//   engine.size_words(3);     // sketch words stored at node 3
+//
+// The engine hides which concrete sketch family backs it; all families
+// share the guarantee estimate >= true distance. See core/config.hpp for
+// the per-scheme stretch guarantees.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "congest/accounting.hpp"
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+class SketchEngine {
+ public:
+  SketchEngine(const Graph& g, const BuildConfig& config);
+  ~SketchEngine();
+  SketchEngine(SketchEngine&&) noexcept;
+  SketchEngine& operator=(SketchEngine&&) noexcept;
+
+  /// Distance estimate from the two nodes' sketches only.
+  Dist query(NodeId u, NodeId v) const;
+
+  /// Sketch size stored at node u, in words.
+  std::size_t size_words(NodeId u) const;
+
+  /// Mean sketch size across nodes, in words.
+  double mean_size_words() const;
+
+  /// Total CONGEST cost of construction (rounds/messages/words), including
+  /// all phases: tree building, Bellman-Ford passes, dissemination.
+  const SimStats& cost() const;
+
+  /// Worst-case stretch guarantee of the built sketch ("2k-1", "3 (ε-slack)",
+  /// …) for reporting.
+  std::string guarantee() const;
+
+  /// Persists the built sketches (scheme-tagged text format). A loaded
+  /// engine answers queries identically; construction cost is not
+  /// persisted (it was paid by whoever built).
+  void save(std::ostream& out) const;
+  static SketchEngine load(std::istream& in);
+
+  const BuildConfig& config() const { return config_; }
+
+ private:
+  struct Impl;
+  SketchEngine() = default;  // used by load()
+  BuildConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dsketch

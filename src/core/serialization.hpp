@@ -1,0 +1,33 @@
+// Sketch persistence: text serialization of every sketch family.
+//
+// §1's motivation is that preprocessing is paid once and queried many
+// times; a deployment therefore wants to persist sketches between runs
+// (and ship them to query frontends). The format is line-oriented text,
+// versioned, with one record per node.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sketch/cdg_sketch.hpp"
+#include "sketch/graceful_sketch.hpp"
+#include "sketch/slack_sketch.hpp"
+#include "sketch/tz_label.hpp"
+
+namespace dsketch {
+
+void write_tz_labels(std::ostream& out, const std::vector<TzLabel>& labels);
+std::vector<TzLabel> read_tz_labels(std::istream& in);
+
+void write_slack_sketches(std::ostream& out, const SlackSketchSet& set,
+                          NodeId n);
+SlackSketchSet read_slack_sketches(std::istream& in);
+
+void write_cdg_sketches(std::ostream& out, const CdgSketchSet& set, NodeId n);
+CdgSketchSet read_cdg_sketches(std::istream& in);
+
+void write_graceful_sketches(std::ostream& out, const GracefulSketchSet& set,
+                             NodeId n);
+GracefulSketchSet read_graceful_sketches(std::istream& in);
+
+}  // namespace dsketch

@@ -1,0 +1,108 @@
+#include "dynamics/failure_model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsketch {
+namespace {
+
+/// Connectivity of the graph with `alive` edge mask.
+bool connected_with(const Graph& g, const std::vector<char>& alive) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return true;
+  // Adjacency via edge list to respect the mask.
+  std::vector<std::vector<NodeId>> adj(n);
+  const auto& edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!alive[i]) continue;
+    adj[edges[i].u].push_back(edges[i].v);
+    adj[edges[i].v].push_back(edges[i].u);
+  }
+  std::vector<char> seen(n, 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  NodeId reached = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const NodeId v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++reached;
+        q.push(v);
+      }
+    }
+  }
+  return reached == n;
+}
+
+}  // namespace
+
+FailurePlan sample_edge_failures(const Graph& g, double fraction,
+                                 std::uint64_t seed) {
+  DS_CHECK(fraction >= 0.0 && fraction < 1.0);
+  Rng rng(seed);
+  const std::size_t m = g.num_edges();
+  const auto target = static_cast<std::size_t>(fraction * static_cast<double>(m));
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  for (std::size_t i = m; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  std::vector<char> alive(m, 1);
+  FailurePlan plan;
+  for (const std::size_t e : order) {
+    if (plan.failed_edges.size() >= target) break;
+    alive[e] = 0;
+    if (connected_with(g, alive)) {
+      plan.failed_edges.push_back(e);
+    } else {
+      alive[e] = 1;  // bridge: keep it
+    }
+  }
+  std::sort(plan.failed_edges.begin(), plan.failed_edges.end());
+  return plan;
+}
+
+Graph apply_failures(const Graph& g, const FailurePlan& plan) {
+  std::vector<char> failed(g.num_edges(), 0);
+  for (const std::size_t e : plan.failed_edges) {
+    DS_CHECK(e < g.num_edges());
+    failed[e] = 1;
+  }
+  std::vector<Edge> kept;
+  kept.reserve(g.num_edges() - plan.failed_edges.size());
+  const auto& edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!failed[i]) kept.push_back(edges[i]);
+  }
+  Graph degraded = Graph::from_edges(g.num_nodes(), kept);
+  DS_CHECK(degraded.connected());
+  return degraded;
+}
+
+StalenessReport evaluate_staleness(const Graph& degraded, const Estimator& est,
+                                   std::size_t sources, std::uint64_t seed) {
+  StalenessReport report;
+  const SampledGroundTruth gt(degraded, sources, seed);
+  for (std::size_t row = 0; row < gt.num_rows(); ++row) {
+    const NodeId s = gt.sources()[row];
+    for (NodeId v = 0; v < degraded.num_nodes(); ++v) {
+      if (v == s) continue;
+      const Dist d = gt.dist(row, v);
+      DS_CHECK(d != kInfDist);
+      const Dist e = est(s, v);
+      if (e == kInfDist) continue;
+      ++report.pairs;
+      if (e < d) ++report.underestimates;
+      report.stretch.add(static_cast<double>(e) / static_cast<double>(d));
+    }
+  }
+  return report;
+}
+
+}  // namespace dsketch

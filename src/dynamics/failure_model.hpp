@@ -1,0 +1,45 @@
+// Edge-failure dynamics (paper §5: "failure-prone ... settings").
+//
+// The paper's sketches are computed for a fixed topology; §1 notes the
+// preprocessing must be redone "as the distance information or network
+// itself changes". This module quantifies that: sample a connectivity-
+// preserving set of edge failures, derive the degraded graph, and evaluate
+// how *stale* sketches behave against the new metric — in particular, the
+// one-sided guarantee (estimate >= distance) breaks once estimates route
+// through dead edges, so staleness shows up as underestimates, which is
+// what a monitoring deployment would alert on (experiment E11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+#include "sketch/stretch_eval.hpp"
+
+namespace dsketch {
+
+struct FailurePlan {
+  std::vector<std::size_t> failed_edges;  ///< indices into g.edges()
+};
+
+/// Samples ~`fraction` of edges to fail, uniformly, skipping any whose
+/// removal would disconnect the remaining graph (bridges survive).
+FailurePlan sample_edge_failures(const Graph& g, double fraction,
+                                 std::uint64_t seed);
+
+/// The graph with the planned edges removed. Always connected.
+Graph apply_failures(const Graph& g, const FailurePlan& plan);
+
+struct StalenessReport {
+  SampleSet stretch;             ///< stale estimate / new true distance
+  std::size_t underestimates = 0;  ///< guarantee violations caused by churn
+  std::size_t pairs = 0;
+};
+
+/// Evaluates a (stale) estimator against ground truth on the *degraded*
+/// graph, over `sources` sampled rows.
+StalenessReport evaluate_staleness(const Graph& degraded, const Estimator& est,
+                                   std::size_t sources, std::uint64_t seed);
+
+}  // namespace dsketch

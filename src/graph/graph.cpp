@@ -1,0 +1,83 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges) {
+  Graph g;
+  g.n_ = n;
+  g.edges_ = edges;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    DS_CHECK(e.u < n && e.v < n && e.u != e.v);
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adj_.resize(g.offsets_[n]);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adj_[cursor[e.u]++] = HalfEdge{e.v, e.weight};
+    g.adj_[cursor[e.v]++] = HalfEdge{e.u, e.weight};
+  }
+  // Sort each adjacency by (neighbor, weight) so iteration order — and thus
+  // simulator message delivery order — is canonical for a given edge set.
+  for (NodeId u = 0; u < n; ++u) {
+    std::sort(g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]),
+              g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]),
+              [](const HalfEdge& a, const HalfEdge& b) {
+                return a.to != b.to ? a.to < b.to : a.weight < b.weight;
+              });
+  }
+  return g;
+}
+
+Dist Graph::total_weight() const {
+  Dist total = 0;
+  for (const Edge& e : edges_) total += e.weight;
+  return total;
+}
+
+bool Graph::connected() const {
+  if (n_ == 0) return true;
+  std::vector<char> seen(n_, 0);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  NodeId reached = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const HalfEdge& he : neighbors(u)) {
+      if (!seen[he.to]) {
+        seen[he.to] = 1;
+        ++reached;
+        frontier.push(he.to);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+  if (u == v) return;
+  DS_CHECK(u < n_ && v < n_);
+  const std::uint64_t k = key(u, v);
+  auto [it, inserted] = index_.try_emplace(k, edges_.size());
+  if (inserted) {
+    if (u > v) std::swap(u, v);
+    edges_.push_back(Edge{u, v, w});
+  } else if (w < edges_[it->second].weight) {
+    edges_[it->second].weight = w;
+  }
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  return index_.count(key(u, v)) != 0;
+}
+
+}  // namespace dsketch

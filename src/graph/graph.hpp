@@ -1,0 +1,103 @@
+// Weighted undirected graph in CSR (compressed sparse row) form.
+//
+// This is the network topology substrate: every node of the CONGEST simulator
+// corresponds to one vertex, every simulator link to one undirected edge.
+// Edge weights are nonnegative integers bounded by poly(n) per the paper's
+// model (§2.2), so a distance always fits one machine word.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dsketch {
+
+using NodeId = std::uint32_t;
+using Weight = std::uint32_t;
+using Dist = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr Dist kInfDist = static_cast<Dist>(-1);
+
+/// Half-edge stored in the adjacency of one endpoint.
+struct HalfEdge {
+  NodeId to;
+  Weight weight;
+};
+
+/// One undirected edge (u < v canonical order) with weight.
+struct Edge {
+  NodeId u;
+  NodeId v;
+  Weight weight;
+};
+
+/// Immutable CSR graph. Build with GraphBuilder or from an edge list.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list; parallel edges are kept (the
+  /// simulator treats each as a distinct link), self-loops are rejected.
+  static Graph from_edges(NodeId n, const std::vector<Edge>& edges);
+
+  NodeId num_nodes() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  std::span<const HalfEdge> neighbors(NodeId u) const {
+    return {adj_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+  std::size_t degree(NodeId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Global index of the d-th half-edge of u; used by the simulator to map a
+  /// (node, local edge index) pair onto a link endpoint.
+  std::size_t half_edge_index(NodeId u, std::size_t local) const {
+    return offsets_[u] + local;
+  }
+
+  /// Sum of all edge weights (useful for upper bounds on distances).
+  Dist total_weight() const;
+
+  /// True when every node can reach every other (BFS check).
+  bool connected() const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::size_t> offsets_;  // n_+1 entries
+  std::vector<HalfEdge> adj_;
+  std::vector<Edge> edges_;
+};
+
+/// Incremental builder used by generators.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId n) : n_(n) {}
+
+  /// Adds edge {u, v} with weight w; ignores self loops; deduplicates exact
+  /// duplicates of the same unordered pair, keeping the smaller weight.
+  void add_edge(NodeId u, NodeId v, Weight w);
+
+  NodeId num_nodes() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  bool has_edge(NodeId u, NodeId v) const;
+
+  Graph build() const { return Graph::from_edges(n_, edges_); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  static std::uint64_t key(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+  NodeId n_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // pair key -> slot
+};
+
+}  // namespace dsketch

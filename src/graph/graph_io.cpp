@@ -1,0 +1,60 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsketch {
+
+void write_graph(std::ostream& out, const Graph& g) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+}
+
+Graph read_graph(std::istream& in) {
+  std::string line;
+  NodeId n = 0;
+  std::size_t m = 0;
+  bool have_header = false;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      if (!(ls >> n >> m)) throw std::runtime_error("bad graph header");
+      have_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    Edge e{};
+    if (!(ls >> e.u >> e.v >> e.weight)) {
+      throw std::runtime_error("bad edge line: " + line);
+    }
+    if (e.u >= n || e.v >= n || e.u == e.v) {
+      throw std::runtime_error("edge endpoints out of range: " + line);
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+    edges.push_back(e);
+  }
+  if (!have_header) throw std::runtime_error("empty graph file");
+  if (edges.size() != m) throw std::runtime_error("edge count mismatch");
+  return Graph::from_edges(n, edges);
+}
+
+void write_graph_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_graph(out, g);
+}
+
+Graph read_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_graph(in);
+}
+
+}  // namespace dsketch

@@ -1,0 +1,23 @@
+// Plain-text edge list serialization.
+//
+// Format:
+//   line 1: "n m"
+//   next m lines: "u v w"
+// Comments start with '#'. This covers interchange with external tools and
+// lets the examples ship reproducible topologies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+void write_graph(std::ostream& out, const Graph& g);
+Graph read_graph(std::istream& in);
+
+void write_graph_file(const std::string& path, const Graph& g);
+Graph read_graph_file(const std::string& path);
+
+}  // namespace dsketch

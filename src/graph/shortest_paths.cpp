@@ -1,0 +1,189 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+namespace {
+
+struct QItem {
+  Dist dist;
+  NodeId node;
+  bool operator>(const QItem& o) const {
+    return dist != o.dist ? dist > o.dist : node > o.node;
+  }
+};
+
+}  // namespace
+
+std::vector<Dist> dijkstra(const Graph& g, NodeId source) {
+  std::vector<Dist> dist(g.num_nodes(), kInfDist);
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const HalfEdge& he : g.neighbors(u)) {
+      const Dist nd = d + he.weight;
+      if (nd < dist[he.to]) {
+        dist[he.to] = nd;
+        pq.push({nd, he.to});
+      }
+    }
+  }
+  return dist;
+}
+
+MultiSourceResult multi_source_dijkstra(const Graph& g,
+                                        const std::vector<NodeId>& sources) {
+  MultiSourceResult r;
+  r.dist.assign(g.num_nodes(), kInfDist);
+  r.owner.assign(g.num_nodes(), kInvalidNode);
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  for (NodeId s : sources) {
+    // Ties between sources at equal distance resolve to the smaller id,
+    // matching the library-wide (dist, id) key order.
+    if (r.dist[s] == 0 && r.owner[s] <= s) continue;
+    r.dist[s] = 0;
+    r.owner[s] = std::min(r.owner[s], s);
+    pq.push({0, s});
+  }
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != r.dist[u]) continue;
+    for (const HalfEdge& he : g.neighbors(u)) {
+      const Dist nd = d + he.weight;
+      if (nd < r.dist[he.to] ||
+          (nd == r.dist[he.to] && r.owner[u] < r.owner[he.to])) {
+        r.dist[he.to] = nd;
+        r.owner[he.to] = r.owner[u];
+        pq.push({nd, he.to});
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::uint32_t> hop_bfs(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> hops(g.num_nodes(),
+                                  static_cast<std::uint32_t>(-1));
+  std::queue<NodeId> q;
+  hops[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const HalfEdge& he : g.neighbors(u)) {
+      if (hops[he.to] == static_cast<std::uint32_t>(-1)) {
+        hops[he.to] = hops[u] + 1;
+        q.push(he.to);
+      }
+    }
+  }
+  return hops;
+}
+
+DistHops dijkstra_min_hops(const Graph& g, NodeId source) {
+  DistHops r;
+  r.dist.assign(g.num_nodes(), kInfDist);
+  r.hops.assign(g.num_nodes(), static_cast<std::uint32_t>(-1));
+  struct Item {
+    Dist dist;
+    std::uint32_t hops;
+    NodeId node;
+    bool operator>(const Item& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      if (hops != o.hops) return hops > o.hops;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[source] = 0;
+  r.hops[source] = 0;
+  pq.push({0, 0, source});
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (d != r.dist[u] || h != r.hops[u]) continue;
+    for (const HalfEdge& he : g.neighbors(u)) {
+      const Dist nd = d + he.weight;
+      const std::uint32_t nh = h + 1;
+      if (nd < r.dist[he.to] ||
+          (nd == r.dist[he.to] && nh < r.hops[he.to])) {
+        r.dist[he.to] = nd;
+        r.hops[he.to] = nh;
+        pq.push({nd, nh, he.to});
+      }
+    }
+  }
+  return r;
+}
+
+std::uint32_t hop_diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (std::uint32_t h : hop_bfs(g, u)) {
+      DS_CHECK(h != static_cast<std::uint32_t>(-1));  // connected input
+      best = std::max(best, h);
+    }
+  }
+  return best;
+}
+
+std::uint32_t shortest_path_diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const DistHops dh = dijkstra_min_hops(g, u);
+    for (std::uint32_t h : dh.hops) {
+      DS_CHECK(h != static_cast<std::uint32_t>(-1));
+      best = std::max(best, h);
+    }
+  }
+  return best;
+}
+
+std::uint32_t hop_diameter_estimate(const Graph& g, int samples,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint32_t best = 0;
+  for (int i = 0; i < samples; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    for (std::uint32_t h : hop_bfs(g, s)) best = std::max(best, h);
+  }
+  return best;
+}
+
+std::uint32_t shortest_path_diameter_estimate(const Graph& g, int samples,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint32_t best = 0;
+  for (int i = 0; i < samples; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const DistHops dh = dijkstra_min_hops(g, s);
+    for (std::uint32_t h : dh.hops) best = std::max(best, h);
+  }
+  return best;
+}
+
+SampledGroundTruth::SampledGroundTruth(const Graph& g, std::size_t rows,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  rows = std::min<std::size_t>(rows, g.num_nodes());
+  // Sample distinct sources via partial Fisher-Yates.
+  std::vector<NodeId> perm(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) perm[i] = i;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t j = i + rng.below(perm.size() - i);
+    std::swap(perm[i], perm[j]);
+    sources_.push_back(perm[i]);
+  }
+  table_.reserve(rows);
+  for (NodeId s : sources_) table_.push_back(dijkstra(g, s));
+}
+
+}  // namespace dsketch

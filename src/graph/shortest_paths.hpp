@@ -1,0 +1,73 @@
+// Centralized shortest-path machinery: ground truth for every experiment.
+//
+// Provides exact weighted SSSP (Dijkstra), multi-source variants, hop-count
+// BFS, and the two diameters the paper distinguishes (§2.2):
+//   D — hop diameter: max over pairs of the unweighted distance;
+//   S — shortest-path diameter: max over pairs of the minimum hop count
+//       among *weighted* shortest paths. D <= S, and every distributed
+//       distance computation needs Omega(S) rounds.
+// S is computed with a lexicographic Dijkstra on keys (dist, hops).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dsketch {
+
+/// Exact weighted distances from `source` to every node.
+std::vector<Dist> dijkstra(const Graph& g, NodeId source);
+
+/// Weighted distances from the nearest of `sources` (super-source Dijkstra);
+/// `owner[u]` reports which source is nearest under (dist, source id) keys.
+struct MultiSourceResult {
+  std::vector<Dist> dist;
+  std::vector<NodeId> owner;
+};
+MultiSourceResult multi_source_dijkstra(const Graph& g,
+                                        const std::vector<NodeId>& sources);
+
+/// Hop counts (unweighted BFS) from `source`.
+std::vector<std::uint32_t> hop_bfs(const Graph& g, NodeId source);
+
+/// For each node: (weighted distance, min hops among weighted shortest paths).
+struct DistHops {
+  std::vector<Dist> dist;
+  std::vector<std::uint32_t> hops;
+};
+DistHops dijkstra_min_hops(const Graph& g, NodeId source);
+
+/// Hop diameter D (exact; runs BFS from every node — use on small graphs,
+/// or `hop_diameter_estimate` for large ones).
+std::uint32_t hop_diameter(const Graph& g);
+
+/// Shortest-path diameter S (exact; n Dijkstras).
+std::uint32_t shortest_path_diameter(const Graph& g);
+
+/// Lower-bound estimates via `samples` random sources (cheap, used to size
+/// simulator budgets on large graphs).
+std::uint32_t hop_diameter_estimate(const Graph& g, int samples,
+                                    std::uint64_t seed);
+std::uint32_t shortest_path_diameter_estimate(const Graph& g, int samples,
+                                              std::uint64_t seed);
+
+/// Ground-truth oracle over a sampled set of source rows. Evaluation on large
+/// graphs samples `rows` sources and compares sketch estimates against exact
+/// distances from those rows.
+class SampledGroundTruth {
+ public:
+  SampledGroundTruth(const Graph& g, std::size_t rows, std::uint64_t seed);
+
+  const std::vector<NodeId>& sources() const { return sources_; }
+  /// Exact d(sources()[row], v).
+  Dist dist(std::size_t row, NodeId v) const { return table_[row][v]; }
+  std::size_t num_rows() const { return sources_.size(); }
+
+ private:
+  std::vector<NodeId> sources_;
+  std::vector<std::vector<Dist>> table_;
+};
+
+}  // namespace dsketch

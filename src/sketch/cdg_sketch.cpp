@@ -1,0 +1,230 @@
+#include "sketch/cdg_sketch.hpp"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "congest/bellman_ford.hpp"
+#include "congest/protocol.hpp"
+#include "sketch/density_net.hpp"
+#include "sketch/hierarchy.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+std::vector<Word> serialize_label(const TzLabel& label) {
+  std::vector<Word> out;
+  out.reserve(2 + 2 * label.levels() + 3 * label.bunch().size());
+  out.push_back(label.levels());
+  out.push_back(label.bunch().size());
+  for (std::uint32_t i = 0; i < label.levels(); ++i) {
+    out.push_back(label.pivot(i).id);
+    out.push_back(label.pivot(i).dist);
+  }
+  for (const BunchEntry& e : label.bunch()) {
+    out.push_back(e.node);
+    out.push_back(e.level);
+    out.push_back(e.dist);
+  }
+  return out;
+}
+
+TzLabel deserialize_label(NodeId owner, const std::vector<Word>& words) {
+  DS_CHECK(words.size() >= 2);
+  const auto levels = static_cast<std::uint32_t>(words[0]);
+  const auto entries = static_cast<std::size_t>(words[1]);
+  DS_CHECK(words.size() == 2 + 2 * levels + 3 * entries);
+  TzLabel label(owner, levels);
+  std::size_t pos = 2;
+  for (std::uint32_t i = 0; i < levels; ++i) {
+    label.set_pivot(i, DistKey{words[pos + 1], static_cast<NodeId>(words[pos])});
+    pos += 2;
+  }
+  for (std::size_t e = 0; e < entries; ++e) {
+    label.add_bunch_entry(BunchEntry{static_cast<NodeId>(words[pos]),
+                                     static_cast<std::uint32_t>(words[pos + 1]),
+                                     words[pos + 2]});
+    pos += 3;
+  }
+  return label;
+}
+
+namespace {
+
+// Dissemination messages, reorder-tolerant (links may be asynchronous and
+// non-FIFO): <kChunk, seq, w0, w1> carries words [2*seq, 2*seq+2) of the
+// stream, zero-padded; <kEnd, total_words> announces the stream length.
+constexpr Word kChunk = 1;
+constexpr Word kEnd = 2;
+constexpr std::size_t kPayloadWords = 2;  // fits max_message_words = 4
+
+/// Streams each net node's serialized label down its Voronoi tree.
+class LabelDisseminationProtocol : public Protocol {
+ public:
+  LabelDisseminationProtocol(const SuperSourceBfResult& voronoi,
+                             const std::vector<std::vector<Word>>& payloads)
+      : voronoi_(voronoi), payloads_(payloads) {
+    nodes_.resize(voronoi.dist.size());
+  }
+
+  void on_start(NodeCtx& ctx) override {
+    const NodeId u = ctx.node();
+    if (voronoi_.owner[u] != u) return;  // only net nodes originate
+    nodes_[u].done = true;               // own label, no stream needed
+    const std::vector<Word>& words = payloads_[u];
+    for (const std::uint32_t e : voronoi_.child_edges[u]) {
+      push_stream(ctx, e, words);
+    }
+  }
+
+  void on_round(NodeCtx& ctx) override {
+    const NodeId u = ctx.node();
+    NodeState& s = nodes_[u];
+    for (const Inbound& in : ctx.inbox()) {
+      // Everything arrives on the Voronoi parent edge; relay downstream.
+      for (const std::uint32_t e : voronoi_.child_edges[u]) {
+        ctx.send(e, in.msg);
+      }
+      if (in.msg.at(0) == kChunk) {
+        const auto seq = static_cast<std::size_t>(in.msg.at(1));
+        if (s.chunks.emplace(seq, std::pair<Word, Word>{in.msg.at(2),
+                                                        in.msg.at(3)})
+                .second) {
+          // counted once even if a duplicate relay ever appeared
+        }
+      } else {
+        DS_CHECK(in.msg.at(0) == kEnd);
+        s.total_words = static_cast<std::size_t>(in.msg.at(1));
+        s.have_total = true;
+      }
+      if (s.have_total &&
+          s.chunks.size() == (s.total_words + kPayloadWords - 1) /
+                                 kPayloadWords) {
+        s.done = true;
+      }
+    }
+  }
+
+  /// Reassembled label words received by node u (empty for net nodes).
+  std::vector<Word> received(NodeId u) const {
+    const NodeState& s = nodes_[u];
+    std::vector<Word> words(s.total_words, 0);
+    for (const auto& [seq, pair] : s.chunks) {
+      const std::size_t base = seq * kPayloadWords;
+      DS_CHECK(base < s.total_words);
+      words[base] = pair.first;
+      if (base + 1 < s.total_words) words[base + 1] = pair.second;
+    }
+    return words;
+  }
+  bool complete() const {
+    for (const auto& s : nodes_) {
+      if (!s.done) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct NodeState {
+    std::unordered_map<std::size_t, std::pair<Word, Word>> chunks;
+    std::size_t total_words = 0;
+    bool have_total = false;
+    bool done = false;
+  };
+
+  static void push_stream(NodeCtx& ctx, std::uint32_t edge,
+                          const std::vector<Word>& words) {
+    for (std::size_t i = 0; i < words.size(); i += kPayloadWords) {
+      Message m{kChunk, static_cast<Word>(i / kPayloadWords)};
+      m.push(words[i]);
+      m.push(i + 1 < words.size() ? words[i + 1] : 0);
+      ctx.send(edge, std::move(m));
+    }
+    ctx.send(edge, Message{kEnd, words.size()});
+  }
+
+  const SuperSourceBfResult& voronoi_;
+  const std::vector<std::vector<Word>>& payloads_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace
+
+Dist CdgSketchSet::query(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  const NodeSketch& su = sketches_[u];
+  const NodeSketch& sv = sketches_[v];
+  const Dist mid = tz_query(su.label, sv.label);
+  if (mid == kInfDist) return kInfDist;
+  return su.net_dist + mid + sv.net_dist;
+}
+
+CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
+                                  SimConfig sim_cfg) {
+  const NodeId n = g.num_nodes();
+  CdgBuildResult result;
+  result.net = sample_density_net(n, config.epsilon, config.seed);
+
+  // Step 2: Voronoi decomposition around the net.
+  SuperSourceBfResult voronoi = run_super_source_bf(g, result.net, sim_cfg);
+  result.voronoi_stats = voronoi.stats;
+
+  // Step 3: Thorup-Zwick on the net. The level-sampling probability is
+  // (10/eps * ln n)^{-1/k}; if the top level comes out empty (tiny nets,
+  // large k), retry with fresh coins, then shrink k as a last resort.
+  const double net_bound =
+      10.0 / config.epsilon * std::log(static_cast<double>(n));
+  std::uint32_t k = std::max<std::uint32_t>(1, config.k);
+  Hierarchy hierarchy(1, std::vector<std::uint32_t>(n, 0));
+  bool sampled = false;
+  while (!sampled) {
+    const double p = k == 1 ? 0.0 : std::pow(net_bound, -1.0 / k);
+    for (std::uint64_t attempt = 0; attempt < 16; ++attempt) {
+      Hierarchy h = Hierarchy::sample_on_subset(
+          n, k, result.net, p, config.seed + 0x1000 + attempt);
+      if (h.top_level_nonempty()) {
+        hierarchy = std::move(h);
+        sampled = true;
+        break;
+      }
+    }
+    if (!sampled) {
+      DS_CHECK(k > 1);
+      --k;
+    }
+  }
+  result.k_used = k;
+  TzDistributedResult tz =
+      build_tz_distributed(g, hierarchy, config.termination, sim_cfg);
+  result.tz_stats = tz.stats;
+  result.tz_stats += tz.tree_stats;
+
+  // Step 4: stream each net node's label down its Voronoi tree.
+  std::vector<std::vector<Word>> payloads(n);
+  for (const NodeId w : result.net) {
+    payloads[w] = serialize_label(tz.labels[w]);
+  }
+  LabelDisseminationProtocol dissemination(voronoi, payloads);
+  Simulator sim(g, dissemination, sim_cfg);
+  result.dissemination_stats = sim.run();
+  DS_CHECK(!result.dissemination_stats.hit_round_limit);
+  DS_CHECK_MSG(dissemination.complete(),
+               "every node must receive its owner's full label");
+
+  std::vector<CdgSketchSet::NodeSketch> sketches(n);
+  for (NodeId u = 0; u < n; ++u) {
+    CdgSketchSet::NodeSketch& s = sketches[u];
+    s.net_node = voronoi.owner[u];
+    s.net_dist = voronoi.dist[u];
+    if (voronoi.owner[u] == u) {
+      s.label = tz.labels[u];
+    } else {
+      s.label = deserialize_label(voronoi.owner[u], dissemination.received(u));
+    }
+  }
+  result.sketches = CdgSketchSet(std::move(sketches));
+  return result;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,87 @@
+// (ε,k)-CDG sketches (§4, Lemma 4.4/4.5, Theorem 4.6).
+//
+// Construction pipeline, all distributed:
+//   1. sample an ε-density net N (zero rounds, Lemma 4.2);
+//   2. super-source Bellman–Ford from N: every node u learns its nearest net
+//      node u' (the Voronoi owner), d(u,u'), and the Voronoi-forest parent
+//      edge (O(S) rounds);
+//   3. Thorup–Zwick on the net through G: hierarchy A_0 = N ⊇ … ⊇ A_{k-1}
+//      sampled with probability (10/ε · ln n)^{-1/k}; Algorithm 2 runs with
+//      those level sets, giving every net node its TZ label over the net
+//      metric (Lemma 4.5);
+//   4. label dissemination: each net node streams its serialized label down
+//      its Voronoi tree, 3 payload words per message, pipelined — the step
+//      the paper leaves implicit; we build and charge it (E5 reports its
+//      share of the cost).
+//
+// The sketch of u is (u', d(u,u'), L(u')); the estimate for (u,v) is
+//   d(u,u') + tz_query(L(u'), L(v')) + d(v',v)
+// with stretch ≤ 8k-1 for ε-far pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/accounting.hpp"
+#include "congest/sim.hpp"
+#include "graph/graph.hpp"
+#include "sketch/tz_distributed.hpp"
+#include "sketch/tz_label.hpp"
+
+namespace dsketch {
+
+struct CdgConfig {
+  double epsilon = 0.1;
+  std::uint32_t k = 2;
+  std::uint64_t seed = 1;
+  TerminationMode termination = TerminationMode::kOracle;
+};
+
+class CdgSketchSet {
+ public:
+  struct NodeSketch {
+    NodeId net_node = kInvalidNode;  ///< u' — nearest net node
+    Dist net_dist = kInfDist;        ///< d(u, u')
+    TzLabel label;                   ///< L(u'), as disseminated
+  };
+
+  CdgSketchSet() = default;
+  explicit CdgSketchSet(std::vector<NodeSketch> sketches)
+      : sketches_(std::move(sketches)) {}
+
+  Dist query(NodeId u, NodeId v) const;
+  std::size_t size_words(NodeId u) const {
+    return 2 + sketches_[u].label.size_words();
+  }
+  const NodeSketch& sketch(NodeId u) const { return sketches_[u]; }
+
+ private:
+  std::vector<NodeSketch> sketches_;
+};
+
+struct CdgBuildResult {
+  CdgSketchSet sketches;
+  std::vector<NodeId> net;
+  SimStats voronoi_stats;        ///< super-source BF (+ child claims)
+  SimStats tz_stats;             ///< Algorithm 2 on the net (+ tree, if echo)
+  SimStats dissemination_stats;  ///< label streaming down Voronoi trees
+  std::uint32_t k_used = 0;      ///< k after empty-top-level fallback
+
+  SimStats total() const {
+    SimStats s = voronoi_stats;
+    s += tz_stats;
+    s += dissemination_stats;
+    return s;
+  }
+};
+
+CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
+                                  SimConfig sim_cfg = {});
+
+/// Label wire format used by the dissemination step (exposed for tests):
+/// [levels, bunch_count, (pivot id, pivot dist) x levels,
+///  (node, level, dist) x bunch_count].
+std::vector<Word> serialize_label(const TzLabel& label);
+TzLabel deserialize_label(NodeId owner, const std::vector<Word>& words);
+
+}  // namespace dsketch

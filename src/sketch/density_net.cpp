@@ -1,0 +1,66 @@
+#include "sketch/density_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_paths.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsketch {
+
+double density_net_probability(NodeId n, double epsilon) {
+  DS_CHECK(n >= 2 && epsilon > 0.0);
+  const double p =
+      5.0 * std::log(static_cast<double>(n)) / (epsilon * static_cast<double>(n));
+  return std::min(1.0, p);
+}
+
+std::vector<NodeId> sample_density_net(NodeId n, double epsilon,
+                                       std::uint64_t seed) {
+  const double p = density_net_probability(n, epsilon);
+  Rng rng(seed);
+  std::vector<NodeId> net;
+  for (NodeId u = 0; u < n; ++u) {
+    if (rng.bernoulli(p)) net.push_back(u);
+  }
+  // An empty net breaks every downstream construction and happens with
+  // probability < 1/n^5; resample deterministically if it does.
+  std::uint64_t bump = 1;
+  while (net.empty()) {
+    Rng retry(seed + bump++);
+    for (NodeId u = 0; u < n; ++u) {
+      if (retry.bernoulli(p)) net.push_back(u);
+    }
+  }
+  return net;
+}
+
+std::vector<Dist> density_radii(const Graph& g, double epsilon) {
+  const NodeId n = g.num_nodes();
+  const std::size_t need = static_cast<std::size_t>(
+      std::max<double>(1.0, std::ceil(epsilon * static_cast<double>(n))));
+  std::vector<Dist> radii(n);
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<Dist> d = dijkstra(g, u);
+    std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(need, d.size()) - 1),
+                     d.end());
+    radii[u] = d[std::min(need, d.size()) - 1];
+  }
+  return radii;
+}
+
+NodeId count_density_net_violations(const Graph& g,
+                                    const std::vector<NodeId>& net,
+                                    double epsilon) {
+  const std::vector<Dist> radii = density_radii(g, epsilon);
+  const MultiSourceResult ms = multi_source_dijkstra(g, net);
+  NodeId violations = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (ms.dist[u] > radii[u]) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,36 @@
+// ε-density nets (Definition 4.1, Lemma 4.2).
+//
+// N ⊆ V is an ε-density net if (1) every node u has a net node within
+// R(u, ε) — the radius of the smallest ball around u holding ≥ εn nodes —
+// and (2) |N| ≤ 10·ln(n)/ε. Lemma 4.2 shows independent sampling with
+// probability 5·ln(n)/(εn) gives both properties whp, in zero communication
+// rounds (each node flips its own coin). We implement exactly that, plus
+// centralized verifiers used by the property tests and experiment E10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+/// Per-node coin flips with probability min(1, 5 ln n / (ε n)).
+std::vector<NodeId> sample_density_net(NodeId n, double epsilon,
+                                       std::uint64_t seed);
+
+/// The sampling probability used above (exposed for tests).
+double density_net_probability(NodeId n, double epsilon);
+
+/// Centralized check of property (1): for every u, min_{v in N} d(u,v) <=
+/// R(u, ε). Runs n Dijkstras — small graphs only. Returns the number of
+/// violating nodes (0 = the net is valid).
+NodeId count_density_net_violations(const Graph& g,
+                                    const std::vector<NodeId>& net,
+                                    double epsilon);
+
+/// R(u, ε) for every node: distance to the ceil(εn)-th nearest node
+/// (inclusive of u itself, matching |B(u,r)| >= εn).
+std::vector<Dist> density_radii(const Graph& g, double epsilon);
+
+}  // namespace dsketch

@@ -1,0 +1,52 @@
+#include "sketch/graceful_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+Dist GracefulSketchSet::query(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  Dist best = kInfDist;
+  for (const CdgSketchSet& level : levels_) {
+    best = std::min(best, level.query(u, v));
+  }
+  return best;
+}
+
+std::size_t GracefulSketchSet::size_words(NodeId u) const {
+  std::size_t total = 0;
+  for (const CdgSketchSet& level : levels_) total += level.size_words(u);
+  return total;
+}
+
+GracefulBuildResult build_graceful_sketches(const Graph& g,
+                                            const GracefulConfig& config,
+                                            SimConfig sim_cfg) {
+  const NodeId n = g.num_nodes();
+  DS_CHECK(n >= 2);
+  auto num_levels = static_cast<std::uint32_t>(
+      std::ceil(std::log2(static_cast<double>(n))));
+  if (config.max_levels != 0) {
+    num_levels = std::min(num_levels, config.max_levels);
+  }
+  GracefulBuildResult result;
+  std::vector<CdgSketchSet> levels;
+  for (std::uint32_t i = 1; i <= num_levels; ++i) {
+    CdgConfig cdg;
+    cdg.epsilon = std::pow(0.5, static_cast<double>(i));
+    cdg.k = i;  // k = Theta(log 1/eps_i)
+    cdg.seed = config.seed + 0x9e37 * i;
+    cdg.termination = config.termination;
+    CdgBuildResult build = build_cdg_sketches(g, cdg, sim_cfg);
+    result.total += build.total();
+    levels.push_back(build.sketches);
+    result.level_builds.push_back(std::move(build));
+  }
+  result.sketches = GracefulSketchSet(std::move(levels));
+  return result;
+}
+
+}  // namespace dsketch

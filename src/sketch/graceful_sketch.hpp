@@ -1,0 +1,58 @@
+// Gracefully degrading sketches (§4.1, Theorem 4.8; Corollary 4.9 = Thm 1.3).
+//
+// One (ε_i, k_i)-CDG sketch per level i = 1..log2(n), with ε_i = 2^{-i} and
+// k_i = Θ(log 1/ε_i) = i; a node's sketch is the union and a query takes the
+// minimum of the per-level estimates. Every estimate is a sum of true
+// distances bridged by a TZ estimate, so the minimum never underestimates;
+// for a pair where v is ε-far from u the level with ε_i ≤ ε < 2ε_i certifies
+// stretch O(log 1/ε). Lemma 4.7 then gives O(log n) worst-case and O(1)
+// average stretch, at size O(log^4 n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/accounting.hpp"
+#include "congest/sim.hpp"
+#include "graph/graph.hpp"
+#include "sketch/cdg_sketch.hpp"
+
+namespace dsketch {
+
+struct GracefulConfig {
+  std::uint64_t seed = 1;
+  TerminationMode termination = TerminationMode::kOracle;
+  /// Cap on the number of ε-levels (0 = the full log2(n) ladder). The E6
+  /// ablation sweeps this to show how average stretch degrades with fewer
+  /// levels.
+  std::uint32_t max_levels = 0;
+};
+
+class GracefulSketchSet {
+ public:
+  GracefulSketchSet() = default;
+  explicit GracefulSketchSet(std::vector<CdgSketchSet> levels)
+      : levels_(std::move(levels)) {}
+
+  /// Minimum estimate across all ε-levels; never below d(u,v).
+  Dist query(NodeId u, NodeId v) const;
+
+  std::size_t size_words(NodeId u) const;
+  std::size_t num_levels() const { return levels_.size(); }
+  const CdgSketchSet& level(std::size_t i) const { return levels_[i]; }
+
+ private:
+  std::vector<CdgSketchSet> levels_;
+};
+
+struct GracefulBuildResult {
+  GracefulSketchSet sketches;
+  std::vector<CdgBuildResult> level_builds;  ///< per-level cost breakdown
+  SimStats total;
+};
+
+GracefulBuildResult build_graceful_sketches(const Graph& g,
+                                            const GracefulConfig& config,
+                                            SimConfig sim_cfg = {});
+
+}  // namespace dsketch

@@ -1,0 +1,69 @@
+#include "sketch/path_extraction.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+std::vector<NodeId> route_to_target(const Graph& g, const RoutingTable& table,
+                                    NodeId from, NodeId target) {
+  std::vector<NodeId> path{from};
+  NodeId x = from;
+  std::size_t guard = 0;
+  while (x != target) {
+    const auto& hops = table.next_hop[x];
+    const auto it = hops.find(target);
+    DS_CHECK_MSG(it != hops.end(),
+                 "forwarding hole: target not in this node's bunch");
+    x = g.neighbors(x)[it->second].to;
+    path.push_back(x);
+    DS_CHECK_MSG(++guard <= g.num_nodes(), "forwarding loop");
+  }
+  return path;
+}
+
+Dist path_weight(const Graph& g, const std::vector<NodeId>& nodes) {
+  Dist total = 0;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    bool found = false;
+    for (const HalfEdge& he : g.neighbors(nodes[i])) {
+      if (he.to == nodes[i + 1]) {
+        // parallel edges deduplicated at build; first match is the edge
+        total += he.weight;
+        found = true;
+        break;
+      }
+    }
+    DS_CHECK_MSG(found, "path uses a non-edge");
+  }
+  return total;
+}
+
+ApproxPath extract_approximate_path(const Graph& g,
+                                    const std::vector<TzLabel>& labels,
+                                    const RoutingTable& table, NodeId u,
+                                    NodeId v) {
+  ApproxPath out;
+  if (u == v) {
+    out.nodes = {u};
+    out.witness = u;
+    return out;
+  }
+  const TzQueryTrace trace = tz_query_trace(labels[u], labels[v]);
+  DS_CHECK_MSG(trace.estimate != kInfDist, "query failed: malformed labels");
+  // The witness pivot lies in both bunches; route each endpoint to it.
+  const NodeId w = trace.used_u_pivot ? labels[u].pivot(trace.level).id
+                                      : labels[v].pivot(trace.level).id;
+  std::vector<NodeId> from_u = route_to_target(g, table, u, w);
+  std::vector<NodeId> from_v = route_to_target(g, table, v, w);
+  out.nodes = std::move(from_u);
+  for (auto it = from_v.rbegin() + 1; it != from_v.rend(); ++it) {
+    out.nodes.push_back(*it);
+  }
+  out.weight = path_weight(g, out.nodes);
+  out.witness = w;
+  return out;
+}
+
+}  // namespace dsketch

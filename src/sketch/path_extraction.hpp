@@ -1,0 +1,44 @@
+// Approximate shortest-path extraction from sketches + local forwarding
+// state — the routing application that motivates the paper's §1 ("finding
+// shortest paths between pairs of nodes, or at least finding the lengths").
+//
+// The distance query (Lemma 3.2) identifies a *witness* w = p_{i*} with
+// w in B(u) and w in B(v) (or symmetrically). During Algorithm 2 every
+// node records, per bunch member, the incident edge of its exact shortest
+// path toward it; by cluster shortest-path closure (§3.2), every node on
+// that path also has w in its bunch, so greedy next-hop forwarding from u
+// reaches w along an exact shortest path — likewise from v. Concatenating
+// the two halves yields a real path of weight d(u,w) + d(w,v), i.e.
+// exactly the query estimate: stretch <= 2k-1 end to end.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sketch/tz_distributed.hpp"
+#include "sketch/tz_label.hpp"
+
+namespace dsketch {
+
+/// Follows next-hop state from `from` to `target`; requires target to be in
+/// from's bunch (and, transitively, in each intermediate bunch — guaranteed
+/// by cluster closure). Returns the node sequence from `from` to `target`.
+std::vector<NodeId> route_to_target(const Graph& g, const RoutingTable& table,
+                                    NodeId from, NodeId target);
+
+struct ApproxPath {
+  std::vector<NodeId> nodes;  ///< u ... w ... v
+  Dist weight = 0;            ///< == tz_query(L(u), L(v))
+  NodeId witness = kInvalidNode;
+};
+
+/// End-to-end approximate path between u and v through the query witness.
+ApproxPath extract_approximate_path(const Graph& g,
+                                    const std::vector<TzLabel>& labels,
+                                    const RoutingTable& table, NodeId u,
+                                    NodeId v);
+
+/// Total weight of a node path (checks every consecutive pair is an edge).
+Dist path_weight(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace dsketch

@@ -1,0 +1,42 @@
+#include "sketch/slack_sketch.hpp"
+
+#include "congest/bellman_ford.hpp"
+#include "sketch/density_net.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+Dist SlackSketchSet::query(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  Dist best = kInfDist;
+  const auto& du = dist_[u];
+  const auto& dv = dist_[v];
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    if (du[i] == kInfDist || dv[i] == kInfDist) continue;
+    best = std::min(best, du[i] + dv[i]);
+  }
+  return best;
+}
+
+SlackSketchResult build_slack_sketches(const Graph& g, double epsilon,
+                                       std::uint64_t seed, SimConfig cfg) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> net = sample_density_net(n, epsilon, seed);
+  MultiSourceBfResult bf = run_multi_source_bf(g, net, cfg);
+
+  std::vector<std::vector<Dist>> dist(n, std::vector<Dist>(net.size(), kInfDist));
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      const auto it = bf.dist[u].find(net[i]);
+      DS_CHECK_MSG(it != bf.dist[u].end(),
+                   "connected graph: every net distance must be learned");
+      dist[u][i] = it->second;
+    }
+  }
+  SlackSketchResult result;
+  result.sketches = SlackSketchSet(std::move(net), std::move(dist));
+  result.stats = bf.stats;
+  return result;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,80 @@
+#include "sketch/spanner.hpp"
+
+#include <queue>
+#include <unordered_set>
+
+#include "sketch/tz_centralized.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+std::vector<Edge> extract_spanner(const Graph& g, const Hierarchy& hierarchy) {
+  const std::uint32_t k = hierarchy.k();
+  const NodeId n = g.num_nodes();
+  DS_CHECK(hierarchy.n() == n);
+  const LevelGates gates = compute_level_gates(g, hierarchy);
+
+  std::unordered_set<std::uint64_t> picked;
+  std::vector<Edge> spanner;
+  auto add_edge = [&](NodeId a, NodeId b, Weight w) {
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    if (picked.insert(key).second) spanner.push_back(Edge{a, b, w});
+  };
+
+  // Same pruned cluster growth as the label construction, but recording the
+  // tree edge through which each cluster member was reached.
+  struct QItem {
+    Dist dist;
+    NodeId node;
+    bool operator>(const QItem& o) const {
+      return dist != o.dist ? dist > o.dist : node > o.node;
+    }
+  };
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<Weight> parent_weight(n, 0);
+  std::vector<NodeId> touched;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const bool top = i + 1 >= k;
+    for (const NodeId w : hierarchy.phase_sources(i)) {
+      std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+      dist[w] = 0;
+      parent[w] = kInvalidNode;
+      touched.push_back(w);
+      pq.push({0, w});
+      while (!pq.empty()) {
+        const auto [d, x] = pq.top();
+        pq.pop();
+        if (d != dist[x]) continue;
+        const DistKey key{d, w};
+        if (!top && !(key < gates.gate[i + 1][x])) continue;
+        if (parent[x] != kInvalidNode) {
+          add_edge(x, parent[x], parent_weight[x]);
+        }
+        for (const HalfEdge& he : g.neighbors(x)) {
+          const Dist nd = d + he.weight;
+          if (nd < dist[he.to]) {
+            if (dist[he.to] == kInfDist) touched.push_back(he.to);
+            dist[he.to] = nd;
+            parent[he.to] = x;
+            parent_weight[he.to] = he.weight;
+            pq.push({nd, he.to});
+          }
+        }
+      }
+      for (const NodeId t : touched) {
+        dist[t] = kInfDist;
+        parent[t] = kInvalidNode;
+      }
+      touched.clear();
+    }
+  }
+  return spanner;
+}
+
+Graph spanner_graph(const Graph& g, const Hierarchy& hierarchy) {
+  return Graph::from_edges(g.num_nodes(), extract_spanner(g, hierarchy));
+}
+
+}  // namespace dsketch

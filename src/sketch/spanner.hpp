@@ -1,0 +1,24 @@
+// (2k-1)-spanner extraction from the Thorup-Zwick construction [TZ05 §4].
+//
+// The union over all sources w of the shortest-path trees spanning the
+// clusters C(w) is a spanner: a subgraph H with O(k n^{1+1/k}) edges in
+// expectation in which d_H(u,v) <= (2k-1) d_G(u,v) for every pair. This is
+// the structural counterpart of the sketches — the paper's related-work
+// section places spanners next to distance labelings — and it falls out of
+// the same cluster growth we already run, with parent edges recorded.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sketch/hierarchy.hpp"
+
+namespace dsketch {
+
+/// Edges of the spanner subgraph (subset of g's edges, canonical u < v).
+std::vector<Edge> extract_spanner(const Graph& g, const Hierarchy& hierarchy);
+
+/// Convenience: the spanner as a Graph over the same node set.
+Graph spanner_graph(const Graph& g, const Hierarchy& hierarchy);
+
+}  // namespace dsketch

@@ -1,0 +1,87 @@
+#include "sketch/stretch_eval.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dsketch {
+
+std::vector<bool> far_flags(const std::vector<Dist>& row, NodeId source,
+                            double epsilon) {
+  const std::size_t n = row.size();
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (row[a] != row[b]) return row[a] < row[b];
+    return a < b;
+  });
+  // rank[v] = number of nodes strictly closer to the source than v
+  // (ties broken by id are counted as closer only if their distance is
+  // strictly smaller — matching the paper's |{w : d(u,w) < d(u,v)}|).
+  std::vector<std::size_t> strictly_closer(n, 0);
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && row[order[i]] != row[order[i - 1]]) below = i;
+    strictly_closer[order[i]] = below;
+  }
+  const double threshold = epsilon * static_cast<double>(n);
+  std::vector<bool> far(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) continue;
+    far[v] = static_cast<double>(strictly_closer[v]) >= threshold;
+  }
+  return far;
+}
+
+StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
+                               const Estimator& est, const EvalOptions& opts) {
+  StretchReport report;
+  const NodeId n = g.num_nodes();
+  Rng rng(opts.seed);
+  for (std::size_t row = 0; row < gt.num_rows(); ++row) {
+    const NodeId s = gt.sources()[row];
+    std::vector<Dist> dist_row(n);
+    for (NodeId v = 0; v < n; ++v) dist_row[v] = gt.dist(row, v);
+    std::vector<bool> far;
+    if (opts.epsilon > 0.0) far = far_flags(dist_row, s, opts.epsilon);
+
+    std::vector<NodeId> targets;
+    if (opts.max_pairs_per_source == 0 || opts.max_pairs_per_source >= n - 1) {
+      targets.reserve(n - 1);
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != s) targets.push_back(v);
+      }
+    } else {
+      for (std::size_t i = 0; i < opts.max_pairs_per_source; ++i) {
+        NodeId v = static_cast<NodeId>(rng.below(n));
+        if (v == s) v = (v + 1) % n;
+        targets.push_back(v);
+      }
+    }
+
+    for (const NodeId v : targets) {
+      const Dist d = dist_row[v];
+      DS_CHECK(d != kInfDist && d > 0);
+      const Dist e = est(s, v);
+      if (e == kInfDist) {
+        ++report.unreachable;
+        continue;
+      }
+      const double stretch =
+          static_cast<double>(e) / static_cast<double>(d);
+      if (e < d) ++report.underestimates;
+      report.all.add(stretch);
+      if (opts.epsilon > 0.0) {
+        if (far[v]) {
+          report.far_only.add(stretch);
+        } else {
+          report.near_only.add(stretch);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,53 @@
+// Stretch evaluation against exact ground truth.
+//
+// Stretch of an estimator on pair (u,v) is est(u,v)/d(u,v); all paper
+// schemes guarantee est >= d (checked here and surfaced as a violation
+// count, which must be zero for the sketch schemes — baselines like Vivaldi
+// may violate it, which is part of what E9 demonstrates).
+//
+// ε-far classification (§4): v is ε-far from u iff at least εn nodes are
+// strictly closer to u than v is. Computed exactly from the ground-truth
+// row of u.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+#include "util/stats.hpp"
+
+namespace dsketch {
+
+using Estimator = std::function<Dist(NodeId, NodeId)>;
+
+struct StretchReport {
+  SampleSet all;        ///< stretch over every sampled pair
+  SampleSet far_only;   ///< pairs where v is ε-far from u (ε > 0 runs only)
+  SampleSet near_only;  ///< the complement (no guarantee applies)
+  std::size_t underestimates = 0;  ///< pairs with est < d (must be 0 for
+                                   ///< the paper's schemes)
+  std::size_t unreachable = 0;     ///< estimator returned kInfDist
+
+  double average_stretch() const { return all.mean(); }
+  double max_stretch() const { return all.max(); }
+};
+
+struct EvalOptions {
+  double epsilon = 0.0;       ///< ε-far threshold; 0 disables the split
+  std::size_t max_pairs_per_source = 0;  ///< 0 = all targets per source
+  std::uint64_t seed = 7;     ///< target sampling seed
+};
+
+/// Evaluates `est` on pairs (s, v) for every ground-truth source s and a
+/// (possibly sampled) set of targets v != s.
+StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
+                               const Estimator& est, const EvalOptions& opts);
+
+/// Ranks targets by (dist, id) from the row source and returns, for each
+/// target, whether it is ε-far from the source.
+std::vector<bool> far_flags(const std::vector<Dist>& row, NodeId source,
+                            double epsilon);
+
+}  // namespace dsketch

@@ -1,0 +1,89 @@
+#include "sketch/tz_centralized.hpp"
+
+#include <queue>
+
+#include "graph/shortest_paths.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy) {
+  const std::uint32_t k = hierarchy.k();
+  LevelGates out;
+  out.gate.resize(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::vector<NodeId> members = hierarchy.level_members(i);
+    out.gate[i].assign(g.num_nodes(), DistKey{});
+    if (members.empty()) continue;
+    const MultiSourceResult r = multi_source_dijkstra(g, members);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      out.gate[i][u] = DistKey{r.dist[u], r.owner[u]};
+    }
+  }
+  return out;
+}
+
+std::vector<TzLabel> build_tz_centralized(const Graph& g,
+                                          const Hierarchy& hierarchy) {
+  const std::uint32_t k = hierarchy.k();
+  const NodeId n = g.num_nodes();
+  DS_CHECK(hierarchy.n() == n);
+
+  const LevelGates gates = compute_level_gates(g, hierarchy);
+
+  std::vector<TzLabel> labels;
+  labels.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    labels.emplace_back(u, k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      labels[u].set_pivot(i, gates.gate[i][u]);
+    }
+  }
+
+  // Cluster growth: pruned Dijkstra from every source w in A_i \ A_{i+1}.
+  // Node x joins C(w) iff key(d(x,w), w) < gate_{i+1}(x); expansion stops at
+  // nodes that fail the gate (cluster is closed under shortest paths — the
+  // same consistency argument that makes the distributed gate sound).
+  struct QItem {
+    Dist dist;
+    NodeId node;
+    bool operator>(const QItem& o) const {
+      return dist != o.dist ? dist > o.dist : node > o.node;
+    }
+  };
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<NodeId> touched;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const bool top = i + 1 >= k;
+    for (const NodeId w : hierarchy.phase_sources(i)) {
+      std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+      dist[w] = 0;
+      touched.push_back(w);
+      pq.push({0, w});
+      while (!pq.empty()) {
+        const auto [d, x] = pq.top();
+        pq.pop();
+        if (d != dist[x]) continue;
+        const DistKey key{d, w};
+        const bool in_cluster =
+            top || key < gates.gate[i + 1][x];
+        if (!in_cluster) continue;
+        labels[x].add_bunch_entry(BunchEntry{w, i, d});
+        for (const HalfEdge& he : g.neighbors(x)) {
+          const Dist nd = d + he.weight;
+          if (nd < dist[he.to]) {
+            if (dist[he.to] == kInfDist) touched.push_back(he.to);
+            dist[he.to] = nd;
+            pq.push({nd, he.to});
+          }
+        }
+      }
+      for (const NodeId t : touched) dist[t] = kInfDist;
+      touched.clear();
+    }
+  }
+  for (auto& l : labels) l.sort_bunch();
+  return labels;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,34 @@
+// Centralized Thorup–Zwick construction (§3.1) — the paper's baseline and
+// our correctness oracle for the distributed algorithm.
+//
+// Given a Hierarchy, computes for every node the exact label:
+//   - pivots p_i(u) with d(u, A_i), via one multi-source Dijkstra per level;
+//   - bunches via cluster growth: for each w in A_i \ A_{i+1}, a pruned
+//     Dijkstra from w that expands x only while key(d(x,w), w) beats x's
+//     level-(i+1) gate. This is the inverse view C(w) = {u : w in B(u)}
+//     the paper's §3.2 works from.
+// Complexity is the centralized O(k m n^{1/k}) expectation of [TZ05]; we use
+// it both to validate the distributed output (labels must match exactly for
+// the same hierarchy) and as the "offline computation" baseline in benches.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sketch/hierarchy.hpp"
+#include "sketch/tz_label.hpp"
+
+namespace dsketch {
+
+/// All labels for one hierarchy. labels[u] is the sketch stored at node u.
+std::vector<TzLabel> build_tz_centralized(const Graph& g,
+                                          const Hierarchy& hierarchy);
+
+/// Gates (d(u, A_i), p_i(u)) for every node and level; exposed for tests.
+struct LevelGates {
+  /// gate[i][u] = key of the nearest A_i node to u (kInfDist key if empty).
+  std::vector<std::vector<DistKey>> gate;
+};
+LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy);
+
+}  // namespace dsketch

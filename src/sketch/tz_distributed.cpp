@@ -1,0 +1,437 @@
+#include "sketch/tz_distributed.hpp"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "graph/shortest_paths.hpp"
+
+#include "congest/bfs_tree.hpp"
+#include "congest/echo_termination.hpp"
+#include "congest/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+namespace {
+
+// Message layouts (word 0 is the tag):
+//   DATA:     <kData, phase, source, dist>
+//   ECHO:     <kEcho, phase, source, value-as-received>
+//   START:    <kStart, phase>            (tree edges, parent -> children)
+//   COMPLETE: <kComplete, phase>         (tree edges, child -> parent)
+constexpr Word kData = 1;
+constexpr Word kEchoTag = 2;
+constexpr Word kStart = 3;
+constexpr Word kComplete = 4;
+
+constexpr int kPreStart = -2;  // sentinel: node not yet in any phase
+
+class TzProtocol : public Protocol {
+ public:
+  TzProtocol(const Graph& g, const Hierarchy& h, TerminationMode mode,
+             const BfsTree* tree, bool eager_send, std::uint64_t phase_len)
+      : graph_(g), hier_(h), mode_(mode), tree_(tree),
+        eager_send_(eager_send), phase_len_(phase_len) {
+    const NodeId n = g.num_nodes();
+    const std::uint32_t k = h.k();
+    nodes_.resize(n);
+    for (NodeId u = 0; u < n; ++u) {
+      nodes_[u].pivot.assign(k + 1, DistKey{});
+      nodes_[u].phase = static_cast<int>(k);  // "above" the top phase
+    }
+    global_phase_ = static_cast<int>(k) - 1;
+  }
+
+  void on_start(NodeCtx& ctx) override {
+    const NodeId u = ctx.node();
+    if (mode_ == TerminationMode::kOracle) {
+      // Oracle mode re-activates everyone per phase; advance to the current
+      // global phase and (re)announce if this node sources it.
+      advance_to(ctx, global_phase_);
+      pump(ctx);
+      return;
+    }
+    if (mode_ == TerminationMode::kKnownS) {
+      // Every node starts phase k-1 together at round 0 and will advance at
+      // the shared analytic deadlines (scheduled by init_phase).
+      advance_to(ctx, static_cast<int>(hier_.k()) - 1);
+      pump(ctx);
+      return;
+    }
+    // Echo mode: only the root acts spontaneously; everyone else waits for
+    // START or early data.
+    if (tree_->root == u) {
+      advance_to(ctx, static_cast<int>(hier_.k()) - 1);
+      forward_start(ctx, static_cast<int>(hier_.k()) - 1);
+      pump(ctx);
+    }
+  }
+
+  void on_round(NodeCtx& ctx) override {
+    if (mode_ == TerminationMode::kKnownS) {
+      // Advance past any phase whose deadline has arrived, before looking
+      // at new messages (which then belong to the fresh phase).
+      NodeState& s = nodes_[ctx.node()];
+      while (s.phase != kPreStart && s.phase >= 0 &&
+             s.phase < static_cast<int>(hier_.k()) &&
+             ctx.round() >= deadline(s.phase)) {
+        advance_to(ctx, s.phase - 1);
+      }
+    }
+    for (const Inbound& in : ctx.inbox()) {
+      dispatch(ctx, in);
+    }
+    pump(ctx);
+  }
+
+  /// Round by which phase p must have converged (kKnownS). Phases run
+  /// k-1, k-2, ..., 0 back to back, phase_len_ rounds each.
+  std::uint64_t deadline(int p) const {
+    return (static_cast<std::uint64_t>(hier_.k()) -
+            static_cast<std::uint64_t>(p)) *
+           phase_len_;
+  }
+
+  bool on_quiescent(Simulator& sim) override {
+    // Echo: the root drives phases; KnownS: deadlines drive them.
+    if (mode_ != TerminationMode::kOracle) return false;
+    // Oracle: the silent network means the current phase converged.
+    phase_end_rounds_.push_back(sim.round());
+    if (global_phase_ == 0) {
+      finalize_all();
+      return false;
+    }
+    --global_phase_;
+    sim.activate_all();
+    return true;
+  }
+
+  RoutingTable take_routing() {
+    RoutingTable table;
+    table.next_hop.reserve(nodes_.size());
+    for (auto& s : nodes_) table.next_hop.push_back(std::move(s.next_hop));
+    return table;
+  }
+
+  std::vector<TzLabel> take_labels() {
+    const std::uint32_t k = hier_.k();
+    std::vector<TzLabel> labels;
+    labels.reserve(nodes_.size());
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      NodeState& s = nodes_[u];
+      DS_CHECK_MSG(s.phase == kPreStart, "node did not finish all phases");
+      TzLabel label(u, k);
+      for (std::uint32_t i = 0; i < k; ++i) label.set_pivot(i, s.pivot[i]);
+      for (const BunchEntry& e : s.bunch) label.add_bunch_entry(e);
+      label.sort_bunch();
+      labels.push_back(std::move(label));
+    }
+    return labels;
+  }
+
+  const std::vector<std::uint64_t>& phase_end_rounds() const {
+    return phase_end_rounds_;
+  }
+
+ private:
+  struct NodeState {
+    int phase;  // current phase index; k = above top; kPreStart = finished
+    std::vector<DistKey> pivot;  // pivot[i] valid once phase i finalized;
+                                 // pivot[k] = infinite key
+    std::vector<BunchEntry> bunch;
+
+    // Phase-local Bellman-Ford state.
+    std::unordered_map<NodeId, Dist> dist;
+    std::unordered_map<NodeId, std::uint32_t> hop;  // edge of last accept
+    std::unordered_map<NodeId, char> queued;
+    std::deque<NodeId> pending;
+    std::unordered_map<NodeId, std::uint32_t> next_hop;  // final, all phases
+
+    // Echo-mode machinery.
+    EchoTracker echo;
+    CompletionTracker completion;
+    std::uint32_t early_child_completes = 0;  // banked for the next phase
+    int last_forwarded_start = 1 << 30;
+  };
+
+  bool is_source(NodeId u, int phase) const {
+    return hier_.level_of(u) == static_cast<std::uint32_t>(phase) + 1;
+  }
+
+  void dispatch(NodeCtx& ctx, const Inbound& in) {
+    const Word tag = in.msg.at(0);
+    switch (tag) {
+      case kData:
+        handle_data(ctx, in);
+        break;
+      case kEchoTag:
+        handle_echo(ctx, in);
+        break;
+      case kStart: {
+        const int p = static_cast<int>(static_cast<std::int64_t>(in.msg.at(1)));
+        forward_start(ctx, p);
+        advance_to(ctx, p);
+        break;
+      }
+      case kComplete:
+        handle_complete(ctx, in);
+        break;
+      default:
+        DS_CHECK_MSG(false, "unknown message tag");
+    }
+  }
+
+  void handle_data(NodeCtx& ctx, const Inbound& in) {
+    const NodeId u = ctx.node();
+    const int p = static_cast<int>(in.msg.at(1));
+    const NodeId src = static_cast<NodeId>(in.msg.at(2));
+    const Dist a = in.msg.at(3);
+    NodeState& s = nodes_[u];
+    if (s.phase > p) {
+      // Data can race at most one phase ahead of our START (see header).
+      DS_CHECK_MSG(s.phase - p <= 1, "data skipped a phase");
+      advance_to(ctx, p);
+    }
+    DS_CHECK_MSG(s.phase == p, "stale data message");
+    const Dist cand = a + ctx.edge_weight(in.local_edge);
+    const DistKey key{cand, src};
+    const DistKey& gate = s.pivot[static_cast<std::size_t>(p) + 1];
+    const auto it = s.dist.find(src);
+    const bool improves = it == s.dist.end() || cand < it->second;
+    if (key < gate && improves) {
+      s.dist[src] = cand;
+      s.hop[src] = in.local_edge;
+      if (mode_ == TerminationMode::kEcho) {
+        if (auto old = s.echo.accept_trigger(src, in.local_edge, a)) {
+          send_echo(ctx, p, src, *old);
+        }
+      }
+      char& q = s.queued[src];
+      if (!q) {
+        q = 1;
+        s.pending.push_back(src);
+      }
+    } else if (mode_ == TerminationMode::kEcho) {
+      send_echo(ctx, p, src, EchoObligation{in.local_edge, a});
+    }
+  }
+
+  void handle_echo(NodeCtx& ctx, const Inbound& in) {
+    const NodeId u = ctx.node();
+    const int p = static_cast<int>(in.msg.at(1));
+    const NodeId src = static_cast<NodeId>(in.msg.at(2));
+    const Dist value = in.msg.at(3);
+    NodeState& s = nodes_[u];
+    DS_CHECK_MSG(s.phase == p, "echo for a non-current phase");
+    if (auto upstream = s.echo.on_echo(src, value)) {
+      send_echo(ctx, p, src, *upstream);
+    } else if (s.echo.self_announce_complete() && is_source(u, p)) {
+      if (s.completion.on_self_complete()) fire_complete(ctx, p);
+    }
+  }
+
+  void handle_complete(NodeCtx& ctx, const Inbound& in) {
+    const int p = static_cast<int>(in.msg.at(1));
+    NodeState& s = nodes_[ctx.node()];
+    if (s.phase != p) {
+      // A child that advanced lazily through an early data message can
+      // COMPLETE phase p before our own START(p) arrives. The gap is at
+      // most one phase (data for p only exists once phase p+1 finished
+      // globally, which required our COMPLETE(p+1)); bank it for init.
+      DS_CHECK_MSG(s.phase - p == 1, "COMPLETE skipped a phase");
+      ++s.early_child_completes;
+      return;
+    }
+    if (s.completion.on_child_complete()) fire_complete(ctx, p);
+  }
+
+  void send_echo(NodeCtx& ctx, int phase, NodeId src,
+                 const EchoObligation& ob) {
+    ctx.send(ob.edge, Message{kEchoTag, static_cast<Word>(phase), src,
+                              static_cast<Word>(ob.value)});
+  }
+
+  void forward_start(NodeCtx& ctx, int p) {
+    NodeState& s = nodes_[ctx.node()];
+    if (s.last_forwarded_start <= p) return;
+    s.last_forwarded_start = p;
+    for (const std::uint32_t e : tree_->child_edges[ctx.node()]) {
+      ctx.send(e, Message{kStart, static_cast<Word>(p)});
+    }
+  }
+
+  /// The node (and, at the root, the whole network) finished phase p.
+  void fire_complete(NodeCtx& ctx, int p) {
+    const NodeId u = ctx.node();
+    NodeState& s = nodes_[u];
+    s.completion.mark_fired();
+    if (tree_->root != u) {
+      ctx.send(tree_->parent_edge[u], Message{kComplete, static_cast<Word>(p)});
+      return;
+    }
+    phase_end_rounds_.push_back(ctx.round());
+    const int next = p - 1;
+    advance_to(ctx, next);  // next == -1 finalizes the root entirely
+    forward_start(ctx, next);
+  }
+
+  /// Finalizes phases above `target` and initializes phase `target`.
+  /// target == -1 finalizes everything (protocol finished at this node).
+  void advance_to(NodeCtx& ctx, int target) {
+    NodeState& s = nodes_[ctx.node()];
+    if (s.phase == kPreStart) return;
+    while (s.phase > target) {
+      if (s.phase < static_cast<int>(hier_.k())) finalize_phase(ctx.node());
+      --s.phase;
+      if (s.phase >= 0 && s.phase == target) init_phase(ctx, s.phase);
+    }
+    if (target < 0) s.phase = kPreStart;
+  }
+
+  void finalize_phase(NodeId u) {
+    NodeState& s = nodes_[u];
+    const std::uint32_t p = static_cast<std::uint32_t>(s.phase);
+    DistKey best = s.pivot[p + 1];
+    for (const auto& [v, d] : s.dist) {
+      s.bunch.push_back(BunchEntry{v, p, d});
+      const DistKey key{d, v};
+      if (key < best) best = key;
+    }
+    if (hier_.level_of(u) > p) {
+      const DistKey own{0, u};
+      if (own < best) best = own;
+    }
+    s.pivot[p] = best;
+    for (const auto& [v, e] : s.hop) s.next_hop.emplace(v, e);
+    s.dist.clear();
+    s.hop.clear();
+    s.queued.clear();
+    s.pending.clear();
+    DS_CHECK(!s.echo.has_outstanding());
+    s.echo = EchoTracker{};
+  }
+
+  void init_phase(NodeCtx& ctx, int p) {
+    const NodeId u = ctx.node();
+    NodeState& s = nodes_[u];
+    const bool source = is_source(u, p);
+    if (source) {
+      // The source's own announcement passes through the same gate.
+      const DistKey own{0, u};
+      if (own < s.pivot[static_cast<std::size_t>(p) + 1]) {
+        s.dist[u] = 0;
+        s.queued[u] = 1;
+        s.pending.push_back(u);
+      }
+    }
+    if (mode_ == TerminationMode::kEcho) {
+      const auto children =
+          static_cast<std::uint32_t>(tree_->child_edges[u].size());
+      // A source with a live announcement is incomplete until it echoes out;
+      // a source whose announcement failed its own gate never broadcasts and
+      // is complete immediately, like any non-source.
+      const bool self_complete = !source || s.pending.empty();
+      s.completion.reset(children, self_complete);
+      // Apply COMPLETEs that raced ahead of our START for this phase.
+      bool ready = self_complete && children == 0;
+      const std::uint32_t banked = s.early_child_completes;
+      s.early_child_completes = 0;
+      for (std::uint32_t i = 0; i < banked; ++i) {
+        ready = s.completion.on_child_complete() || ready;
+      }
+      if (ready) fire_complete(ctx, p);
+    }
+    if (mode_ == TerminationMode::kKnownS) ctx.wake_at(deadline(p));
+    ctx.wake();
+  }
+
+  /// Round-robin send: broadcast the head of the pending queue (Algorithm
+  /// 2's one-message-per-round multiplexing), or the whole queue when the
+  /// eager-send ablation is on.
+  void pump(NodeCtx& ctx) {
+    const NodeId u = ctx.node();
+    NodeState& s = nodes_[u];
+    if (s.phase < 0 || s.phase >= static_cast<int>(hier_.k())) return;
+    while (!s.pending.empty()) {
+      const NodeId src = s.pending.front();
+      s.pending.pop_front();
+      s.queued[src] = 0;
+      const Dist d = s.dist.at(src);
+      ctx.broadcast(Message{kData, static_cast<Word>(s.phase), src,
+                            static_cast<Word>(d)});
+      if (mode_ == TerminationMode::kEcho) {
+        s.echo.commit_send(src, d, ctx.degree(), /*self_announce=*/src == u);
+      }
+      if (!eager_send_) break;
+    }
+    if (!s.pending.empty()) ctx.wake();
+  }
+
+  void finalize_all() {
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      NodeState& s = nodes_[u];
+      while (s.phase >= 0) {
+        if (s.phase < static_cast<int>(hier_.k())) finalize_phase(u);
+        --s.phase;
+      }
+      s.phase = kPreStart;
+    }
+  }
+
+  const Graph& graph_;
+  const Hierarchy& hier_;
+  TerminationMode mode_;
+  const BfsTree* tree_;
+  bool eager_send_;
+  std::uint64_t phase_len_;  // kKnownS deadline spacing
+  std::vector<NodeState> nodes_;
+  int global_phase_;  // oracle mode
+  std::vector<std::uint64_t> phase_end_rounds_;
+};
+
+}  // namespace
+
+TzDistributedResult build_tz_distributed(const Graph& g,
+                                         const Hierarchy& hierarchy,
+                                         TerminationMode mode, SimConfig cfg,
+                                         bool eager_send,
+                                         std::uint32_t known_S) {
+  TzDistributedResult result;
+  BfsTree tree;
+  if (mode == TerminationMode::kEcho) {
+    BfsTreeRun run = build_bfs_tree(g, cfg);
+    tree = std::move(run.tree);
+    result.tree_stats = run.stats;
+  }
+  std::uint64_t phase_len = 0;
+  if (mode == TerminationMode::kKnownS) {
+    const std::uint64_t S =
+        known_S != 0 ? known_S : shortest_path_diameter(g);
+    // Lemma 3.7 budget: whp at most 3 n^{1/k} ln n sources multiplex each
+    // node's queue, over <= S hops; pad with a safety margin.
+    const double n = static_cast<double>(g.num_nodes());
+    const double per_hop =
+        3.0 * std::pow(n, 1.0 / hierarchy.k()) * std::log(n);
+    phase_len = static_cast<std::uint64_t>(per_hop * static_cast<double>(S)) +
+                2 * S + 16;
+  }
+  TzProtocol protocol(g, hierarchy, mode,
+                      mode == TerminationMode::kEcho ? &tree : nullptr,
+                      eager_send, phase_len);
+  Simulator sim(g, protocol, cfg);
+  result.stats = sim.run();
+  DS_CHECK_MSG(!result.stats.hit_round_limit,
+               "TZ construction exceeded the round budget");
+  result.labels = protocol.take_labels();
+  result.routing = protocol.take_routing();
+  result.phase_end_rounds = protocol.phase_end_rounds();
+  if (mode == TerminationMode::kKnownS) {
+    result.phase_end_rounds.clear();
+    for (std::uint32_t p = 0; p < hierarchy.k(); ++p) {
+      result.phase_end_rounds.push_back((p + 1) * phase_len);
+    }
+  }
+  return result;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,83 @@
+#include "sketch/tz_label.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+void TzLabel::sort_bunch() {
+  std::sort(bunch_.begin(), bunch_.end(),
+            [](const BunchEntry& a, const BunchEntry& b) {
+              if (a.level != b.level) return a.level < b.level;
+              return a.node < b.node;
+            });
+  index_.clear();
+  for (std::size_t i = 0; i < bunch_.size(); ++i) {
+    index_.emplace(bunch_[i].node, i);
+  }
+}
+
+bool operator==(const TzLabel& a, const TzLabel& b) {
+  if (a.owner_ != b.owner_ || a.pivots_.size() != b.pivots_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.pivots_.size(); ++i) {
+    if (!(a.pivots_[i] == b.pivots_[i])) return false;
+  }
+  return a.bunch_ == b.bunch_;
+}
+
+Dist tz_query(const TzLabel& lu, const TzLabel& lv) {
+  return tz_query_trace(lu, lv).estimate;
+}
+
+Dist tz_query_exhaustive(const TzLabel& lu, const TzLabel& lv) {
+  if (lu.owner() == lv.owner()) return 0;
+  const TzLabel& small = lu.bunch().size() <= lv.bunch().size() ? lu : lv;
+  const TzLabel& large = lu.bunch().size() <= lv.bunch().size() ? lv : lu;
+  Dist best = kInfDist;
+  for (const BunchEntry& e : small.bunch()) {
+    const Dist other = large.bunch_dist(e.node);
+    if (other == kInfDist) continue;
+    best = std::min(best, e.dist + other);
+  }
+  return best;
+}
+
+TzQueryTrace tz_query_trace(const TzLabel& lu, const TzLabel& lv) {
+  TzQueryTrace t;
+  if (lu.owner() == lv.owner()) {
+    t.estimate = 0;
+    return t;
+  }
+  const std::uint32_t k = std::min(lu.levels(), lv.levels());
+  for (std::uint32_t i = 0; i < k; ++i) {
+    // p_i(u) in B(v)?
+    const DistKey& pu = lu.pivot(i);
+    if (pu.id != kInvalidNode) {
+      const Dist dv = lv.bunch_dist(pu.id);
+      if (dv != kInfDist) {
+        t.estimate = pu.dist + dv;
+        t.level = i;
+        t.used_u_pivot = true;
+        return t;
+      }
+    }
+    // p_i(v) in B(u)?
+    const DistKey& pv = lv.pivot(i);
+    if (pv.id != kInvalidNode) {
+      const Dist du = lu.bunch_dist(pv.id);
+      if (du != kInfDist) {
+        t.estimate = pv.dist + du;
+        t.level = i;
+        t.used_u_pivot = false;
+        return t;
+      }
+    }
+  }
+  return t;  // malformed / disconnected: kInfDist
+}
+
+}  // namespace dsketch

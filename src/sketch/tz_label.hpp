@@ -1,0 +1,119 @@
+// Thorup–Zwick label (sketch) representation and the O(k) query procedure.
+//
+// A label L(u) stores, for each level i in [0, k):
+//   - the pivot p_i(u): the node of A_i nearest to u, with its distance;
+//   - the bunch slice B_i(u) = { w in A_i : key(u,w) < key(u, A_{i+1}) },
+//     with exact distances.
+// "Nearest" everywhere means minimal *key* (distance, node id) — the paper's
+// "breaking ties consistently through processor IDs" made concrete. Using
+// keys makes the label set a deterministic function of the hierarchy, so the
+// distributed and centralized constructions must agree exactly (tested).
+//
+// The query (Lemma 3.2) walks levels i = 0, 1, ... and returns
+//   d(u, p_i(u)) + d(v, p_i(u))   for the first i with p_i(u) in B(v)
+// (checking both orientations each level), guaranteeing stretch 2k-1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+/// (distance, id) lexicographic key; the library-wide tie-break rule.
+struct DistKey {
+  Dist dist = kInfDist;
+  NodeId id = kInvalidNode;
+
+  friend bool operator<(const DistKey& a, const DistKey& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  friend bool operator==(const DistKey& a, const DistKey& b) {
+    return a.dist == b.dist && a.id == b.id;
+  }
+};
+
+/// One bunch entry: node w (member of A_level) at exact distance dist.
+struct BunchEntry {
+  NodeId node;
+  std::uint32_t level;
+  Dist dist;
+
+  friend bool operator==(const BunchEntry& a, const BunchEntry& b) {
+    return a.node == b.node && a.level == b.level && a.dist == b.dist;
+  }
+};
+
+class TzLabel {
+ public:
+  TzLabel() = default;
+  TzLabel(NodeId owner, std::uint32_t k) : owner_(owner), pivots_(k) {}
+
+  NodeId owner() const { return owner_; }
+  std::uint32_t levels() const {
+    return static_cast<std::uint32_t>(pivots_.size());
+  }
+
+  void set_pivot(std::uint32_t level, DistKey pivot) {
+    pivots_[level] = pivot;
+  }
+  const DistKey& pivot(std::uint32_t level) const { return pivots_[level]; }
+
+  void add_bunch_entry(BunchEntry e) {
+    bunch_.push_back(e);
+    index_.emplace(e.node, bunch_.size() - 1);
+  }
+  const std::vector<BunchEntry>& bunch() const { return bunch_; }
+
+  /// Distance to w if w is in the bunch, kInfDist otherwise.
+  Dist bunch_dist(NodeId w) const {
+    const auto it = index_.find(w);
+    return it == index_.end() ? kInfDist : bunch_[it->second].dist;
+  }
+  bool bunch_contains(NodeId w) const { return index_.count(w) != 0; }
+
+  /// Size in words as stored at a node: per level one (pivot id, distance)
+  /// pair, per bunch entry one (id, distance) pair. Level indices are
+  /// derivable and not charged, matching the paper's accounting.
+  std::size_t size_words() const {
+    return 2 * pivots_.size() + 2 * bunch_.size();
+  }
+
+  /// Canonicalize entry order for equality comparisons across constructions.
+  void sort_bunch();
+
+  friend bool operator==(const TzLabel& a, const TzLabel& b);
+
+ private:
+  NodeId owner_ = kInvalidNode;
+  std::vector<DistKey> pivots_;
+  std::vector<BunchEntry> bunch_;
+  std::unordered_map<NodeId, std::size_t> index_;
+};
+
+/// Lemma 3.2: estimate d(u, v) from the two labels alone. Never
+/// underestimates; overestimates by at most (2k-1) when both labels come
+/// from the same hierarchy over the full vertex set. Returns kInfDist only
+/// if the labels are malformed (disconnected input).
+Dist tz_query(const TzLabel& lu, const TzLabel& lv);
+
+/// Exhaustive query variant: minimum of d(u,w) + d(w,v) over every node w
+/// present in both bunches. Same one-sided guarantee (each term is a real
+/// distance), never worse than tz_query — the witness pivot of the standard
+/// query is itself a common bunch member — at cost O(min(|B(u)|, |B(v)|))
+/// instead of O(k). The E1 bench reports the practical stretch gain.
+Dist tz_query_exhaustive(const TzLabel& lu, const TzLabel& lv);
+
+/// Level at which tz_query settles (for diagnostics / E1 analysis).
+struct TzQueryTrace {
+  Dist estimate = kInfDist;
+  std::uint32_t level = 0;
+  bool used_u_pivot = false;  ///< true if p_i(u) in B(v) fired, false if
+                              ///< the symmetric check fired
+};
+TzQueryTrace tz_query_trace(const TzLabel& lu, const TzLabel& lv);
+
+}  // namespace dsketch

@@ -1,0 +1,29 @@
+// Lightweight always-on assertion macro for invariant checks.
+//
+// Unlike <cassert>, DS_CHECK stays active in release builds: the simulator and
+// the sketch constructions rely on model invariants (edge capacity, bunch
+// monotonicity) whose violation must never pass silently in benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsketch {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "DS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dsketch
+
+#define DS_CHECK(expr)                                     \
+  do {                                                     \
+    if (!(expr)) ::dsketch::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define DS_CHECK_MSG(expr, msg)                                 \
+  do {                                                          \
+    if (!(expr)) ::dsketch::check_failed(msg, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,63 @@
+#include "util/flags.hpp"
+
+namespace dsketch {
+namespace {
+
+bool is_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+FlagSet::FlagSet(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!is_flag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string key = arg.substr(2);
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is another flag (then boolean).
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "true";
+    }
+  }
+}
+
+std::string FlagSet::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t FlagSet::get(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stoll(it->second);
+}
+
+double FlagSet::get(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+bool FlagSet::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string FlagSet::require(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw std::runtime_error("missing required flag --" + key);
+  }
+  return it->second;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the CLI tool and harness binaries.
+//
+//   FlagSet flags(argc, argv);             // "--key value" / "--switch"
+//   flags.get("n", 1024);                  // typed lookup with default
+//   flags.require("graph");                // throws if missing
+//   flags.positional();                    // non-flag arguments in order
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dsketch {
+
+class FlagSet {
+ public:
+  FlagSet(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get(const std::string& key, std::int64_t def) const;
+  double get(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+
+  std::string require(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dsketch

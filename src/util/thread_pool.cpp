@@ -1,0 +1,82 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dsketch {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn threads-1.
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  tasks_.resize(workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  const std::size_t lanes = workers_.size() + 1;
+  if (count == 0) return;
+  if (lanes == 1 || count < 2 * lanes) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  const std::size_t chunk = (count + lanes - 1) / lanes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++generation_;
+    pending_ = 0;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const std::size_t begin = std::min(count, (w + 1) * chunk);
+      const std::size_t end = std::min(count, (w + 2) * chunk);
+      tasks_[w] = Task{begin, end, &body};
+      if (begin < end) ++pending_;
+    }
+  }
+  cv_start_.notify_all();
+  // Caller handles the first chunk.
+  for (std::size_t i = 0; i < std::min(count, chunk); ++i) body(i);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+    }
+    if (task.begin < task.end) {
+      for (std::size_t i = task.begin; i < task.end; ++i) (*task.body)(i);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dsketch

@@ -1,0 +1,57 @@
+// Minimal work-sharing thread pool for deterministic data-parallel loops.
+//
+// The CONGEST simulator steps all active nodes each round; node steps are
+// independent (they read their own inbox and write their own outboxes), so a
+// parallel_for over the active set is safe. Determinism is preserved because
+// message *delivery* order is fixed by edge indices, independent of which
+// thread executed which node.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsketch {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count), blocking until all complete.
+  /// Work is divided into contiguous chunks, one per worker plus caller.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;      // one slot per worker
+  std::size_t generation_ = 0;   // bumped per parallel_for call
+  std::size_t pending_ = 0;      // workers still running this generation
+  bool stop_ = false;
+};
+
+/// Global pool used by the simulator when parallel stepping is requested.
+ThreadPool& global_pool();
+
+}  // namespace dsketch

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "congest/aggregation.hpp"
+#include "graph/generators.hpp"
+
+namespace dsketch {
+namespace {
+
+std::vector<Word> iota_values(NodeId n) {
+  std::vector<Word> v(n);
+  std::iota(v.begin(), v.end(), Word{1});
+  return v;
+}
+
+TEST(Aggregation, SumOverRandomGraph) {
+  const Graph g = erdos_renyi(120, 0.05, {1, 5}, 3);
+  const auto values = iota_values(g.num_nodes());
+  const auto r = aggregate(g, values, AggregateOp::kSum);
+  EXPECT_EQ(r.value, Word{120} * 121 / 2);
+}
+
+TEST(Aggregation, MinAndMax) {
+  const Graph g = grid2d(8, 8, {1, 1}, 0);
+  std::vector<Word> values(g.num_nodes(), 50);
+  values[17] = 3;
+  values[40] = 99;
+  EXPECT_EQ(aggregate(g, values, AggregateOp::kMin).value, 3u);
+  EXPECT_EQ(aggregate(g, values, AggregateOp::kMax).value, 99u);
+}
+
+TEST(Aggregation, CountComputesN) {
+  // How a real deployment learns "n is common knowledge" (§2.2).
+  const Graph g = random_tree(77, {1, 3}, 5);
+  const auto r = aggregate(g, {}, AggregateOp::kCount);
+  EXPECT_EQ(r.value, 77u);
+}
+
+TEST(Aggregation, RoundsScaleWithDepthNotN) {
+  const Graph g = star(400, {1, 1}, 0);  // depth 2 from any leaf root
+  const auto r = aggregate(g, iota_values(400), AggregateOp::kSum);
+  EXPECT_LT(r.stats.rounds, 40u);
+}
+
+TEST(Aggregation, PathWorstCase) {
+  const Graph g = path(100, {1, 1}, 0);
+  const auto r = aggregate(g, iota_values(100), AggregateOp::kSum);
+  EXPECT_EQ(r.value, Word{100} * 101 / 2);
+  // ~2 flood sweeps (election) + up + down over depth ~n.
+  EXPECT_LE(r.stats.rounds, 6u * 100);
+}
+
+TEST(Aggregation, WorksUnderAsynchrony) {
+  const Graph g = erdos_renyi(80, 0.07, {1, 5}, 9);
+  SimConfig cfg;
+  cfg.async_max_delay = 4;
+  const auto r = aggregate(g, iota_values(80), AggregateOp::kSum, cfg);
+  EXPECT_EQ(r.value, Word{80} * 81 / 2);
+}
+
+TEST(Aggregation, SingleEdgeGraph) {
+  const Graph g = path(2, {1, 1}, 0);
+  const auto r = aggregate(g, {5, 9}, AggregateOp::kSum);
+  EXPECT_EQ(r.value, 14u);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "baselines/exact_oracle.hpp"
+#include "baselines/landmark.hpp"
+#include "baselines/vivaldi.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "sketch/stretch_eval.hpp"
+
+namespace dsketch {
+namespace {
+
+TEST(ExactOracle, MatchesDijkstra) {
+  const Graph g = erdos_renyi(50, 0.1, {1, 9}, 3);
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 5) {
+    const auto d = dijkstra(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(oracle.query(u, v), d[v]);
+    }
+  }
+}
+
+TEST(ExactOracle, QuadraticSize) {
+  const Graph g = ring(32, {1, 1}, 0);
+  const ExactOracle oracle(g);
+  EXPECT_EQ(oracle.size_words(0), 32u);
+}
+
+TEST(Landmark, NeverUnderestimates) {
+  const Graph g = erdos_renyi(80, 0.07, {1, 9}, 5);
+  const LandmarkSketchSet lm(g, 8, 7);
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
+      EXPECT_GE(lm.query(u, v), oracle.query(u, v));
+    }
+  }
+}
+
+TEST(Landmark, LandmarksDistinct) {
+  const Graph g = ring(40, {1, 1}, 0);
+  const LandmarkSketchSet lm(g, 10, 3);
+  std::set<NodeId> uniq(lm.landmarks().begin(), lm.landmarks().end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Landmark, ExactFromALandmark) {
+  const Graph g = grid2d(6, 6, {1, 4}, 2);
+  const LandmarkSketchSet lm(g, 5, 9);
+  const ExactOracle oracle(g);
+  const NodeId l = lm.landmarks()[0];
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == l) continue;
+    EXPECT_EQ(lm.query(l, v), oracle.query(l, v));
+  }
+}
+
+TEST(Landmark, SizeWordsAccounting) {
+  const Graph g = ring(20, {1, 1}, 0);
+  const LandmarkSketchSet lm(g, 6, 1);
+  EXPECT_EQ(lm.size_words(0), 12u);
+}
+
+TEST(Vivaldi, EmbedsGeometricGraphsWell) {
+  // Random geometric graphs are near-Euclidean: Vivaldi should achieve
+  // modest distortion on most pairs.
+  const Graph g = random_geometric(150, 0.15, 3, true);
+  VivaldiConfig cfg;
+  cfg.rounds = 48;
+  const VivaldiCoordinates viv(g, cfg);
+  const ExactOracle oracle(g);
+  SampleSet distortion;
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 5) {
+      const double d = static_cast<double>(oracle.query(u, v));
+      const double e =
+          std::max<double>(1.0, static_cast<double>(viv.query(u, v)));
+      distortion.add(std::max(e / d, d / e));
+    }
+  }
+  EXPECT_LT(distortion.p(50), 2.0);
+}
+
+TEST(Vivaldi, DeterministicForSeed) {
+  const Graph g = random_geometric(60, 0.2, 5, true);
+  VivaldiConfig cfg;
+  cfg.rounds = 8;
+  const VivaldiCoordinates a(g, cfg), b(g, cfg);
+  for (NodeId u = 0; u < g.num_nodes(); u += 9) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 11) {
+      EXPECT_EQ(a.query(u, v), b.query(u, v));
+    }
+  }
+}
+
+TEST(Vivaldi, SizeIsDimension) {
+  const Graph g = ring(16, {1, 1}, 0);
+  VivaldiConfig cfg;
+  cfg.dim = 4;
+  cfg.rounds = 2;
+  const VivaldiCoordinates viv(g, cfg);
+  EXPECT_EQ(viv.size_words(0), 4u);
+}
+
+TEST(Vivaldi, CanUnderestimate) {
+  // Unlike the sketches, coordinates give no one-sided guarantee; on a
+  // ring with chords some pair must be underestimated (or grossly off).
+  const Graph g = ring_with_chords(100, 40, 20, 1, 7);
+  VivaldiConfig cfg;
+  cfg.rounds = 32;
+  const VivaldiCoordinates viv(g, cfg);
+  const ExactOracle oracle(g);
+  std::size_t under = 0;
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
+      if (viv.query(u, v) < oracle.query(u, v)) ++under;
+    }
+  }
+  EXPECT_GT(under, 0u);
+}
+
+}  // namespace
+}  // namespace dsketch

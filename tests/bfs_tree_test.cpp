@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "congest/bfs_tree.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace dsketch {
+namespace {
+
+void check_tree(const Graph& g, const BfsTree& t) {
+  const NodeId n = g.num_nodes();
+  // Leader is the max id (flood-max).
+  EXPECT_EQ(t.root, n - 1);
+  // Hops match BFS depths from the root.
+  const auto hops = hop_bfs(g, t.root);
+  std::size_t child_count = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(t.hops[u], hops[u]);
+    child_count += t.child_edges[u].size();
+    if (u == t.root) {
+      EXPECT_EQ(t.parent[u], kInvalidNode);
+    } else {
+      ASSERT_NE(t.parent[u], kInvalidNode);
+      // Parent is one hop closer to the root.
+      EXPECT_EQ(t.hops[t.parent[u]] + 1, t.hops[u]);
+      // parent_edge actually points at the parent.
+      EXPECT_EQ(g.neighbors(u)[t.parent_edge[u]].to, t.parent[u]);
+    }
+  }
+  // Exactly n-1 tree edges, counted at the parents.
+  EXPECT_EQ(child_count, static_cast<std::size_t>(n) - 1);
+}
+
+TEST(BfsTree, PathGraph) {
+  const Graph g = path(10, {1, 1}, 0);
+  check_tree(g, build_bfs_tree(g).tree);
+}
+
+TEST(BfsTree, RandomGraph) {
+  const Graph g = erdos_renyi(150, 0.04, {1, 9}, 3);
+  check_tree(g, build_bfs_tree(g).tree);
+}
+
+TEST(BfsTree, StarGraphDepthOne) {
+  const Graph g = star(20, {1, 1}, 0);
+  const BfsTree t = build_bfs_tree(g).tree;
+  // root = 19 (a leaf of the star): hub at depth 1, others at 2.
+  EXPECT_EQ(t.root, 19u);
+  EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(BfsTree, CostScalesWithDiameter) {
+  const Graph g = path(64, {1, 1}, 0);
+  const BfsTreeRun run = build_bfs_tree(g);
+  // Flood-max needs ~2 sweeps of the path plus the claim round.
+  EXPECT_LE(run.stats.rounds, 5u * 64);
+  EXPECT_GE(run.stats.rounds, 63u);
+}
+
+TEST(BfsTree, WeightsIgnored) {
+  // BFS layering uses hops, not weights: heavy edges must not matter.
+  const Graph g = ring(12, {100, 1000}, 7);
+  const BfsTree t = build_bfs_tree(g).tree;
+  EXPECT_EQ(t.depth(), 6u);
+}
+
+class BfsTreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsTreeSweep, ValidOnRandomTopologies) {
+  const std::uint64_t seed = GetParam();
+  check_tree(erdos_renyi(80, 0.06, {1, 5}, seed),
+             build_bfs_tree(erdos_renyi(80, 0.06, {1, 5}, seed)).tree);
+  check_tree(random_tree(60, {1, 5}, seed),
+             build_bfs_tree(random_tree(60, {1, 5}, seed)).tree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsTreeSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dsketch

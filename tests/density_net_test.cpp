@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "sketch/density_net.hpp"
+
+namespace dsketch {
+namespace {
+
+TEST(DensityNet, ProbabilityFormula) {
+  // 5 ln n / (eps n), clamped to 1.
+  const double p = density_net_probability(1000, 0.1);
+  EXPECT_NEAR(p, 5.0 * std::log(1000.0) / 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(density_net_probability(100, 1e-9), 1.0);
+}
+
+TEST(DensityNet, TinyEpsilonTakesEveryone) {
+  const auto net = sample_density_net(50, 1e-9, 3);
+  EXPECT_EQ(net.size(), 50u);
+}
+
+TEST(DensityNet, SizeNearExpectation) {
+  const NodeId n = 5000;
+  const double eps = 0.05;
+  const auto net = sample_density_net(n, eps, 7);
+  const double expected = 5.0 * std::log(static_cast<double>(n)) / eps;
+  EXPECT_GT(static_cast<double>(net.size()), 0.5 * expected);
+  // Lemma 4.2's bound: |N| <= 10 ln n / eps whp.
+  EXPECT_LT(static_cast<double>(net.size()), 2.0 * expected);
+}
+
+TEST(DensityNet, DeterministicAndSorted) {
+  const auto a = sample_density_net(500, 0.1, 9);
+  const auto b = sample_density_net(500, 0.1, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(DensityRadii, BallDefinition) {
+  // Path 0-1-2-3-4 unit weights; eps = 0.5 means the ball must hold >= 2.5
+  // => 3 nodes; R(0) = 2 (nodes 0,1,2), R(2) = 1 (nodes 1,2,3).
+  const Graph g = path(5, {1, 1}, 0);
+  const auto r = density_radii(g, 0.5);
+  EXPECT_EQ(r[0], 2u);
+  EXPECT_EQ(r[2], 1u);
+}
+
+TEST(DensityRadii, EpsilonOneIsEccentricity) {
+  const Graph g = path(6, {1, 1}, 0);
+  const auto r = density_radii(g, 1.0);
+  EXPECT_EQ(r[0], 5u);  // ball must include everyone
+  EXPECT_EQ(r[2], 3u);
+}
+
+class DensityNetProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DensityNetProperty, CoversEveryNodeWithinRadius) {
+  const auto [eps, seed] = GetParam();
+  const Graph g = erdos_renyi(150, 0.05, {1, 9}, seed);
+  const auto net = sample_density_net(g.num_nodes(), eps, seed * 3 + 1);
+  // Lemma 4.2 holds whp; across this parameter grid we demand zero
+  // violations (failure probability ~ n^-3 per node).
+  EXPECT_EQ(count_density_net_violations(g, net, eps), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DensityNetProperty,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25, 0.5),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+}  // namespace
+}  // namespace dsketch

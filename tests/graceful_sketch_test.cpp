@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exact_oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "sketch/graceful_sketch.hpp"
+#include "sketch/stretch_eval.hpp"
+
+namespace dsketch {
+namespace {
+
+TEST(GracefulSketch, BuildsLogNLevels) {
+  const Graph g = erdos_renyi(128, 0.05, {1, 9}, 3);
+  const auto r = build_graceful_sketches(g, {});
+  EXPECT_EQ(r.sketches.num_levels(), 7u);  // ceil(log2 128)
+}
+
+TEST(GracefulSketch, MaxLevelsCapRespected) {
+  const Graph g = erdos_renyi(128, 0.05, {1, 9}, 3);
+  GracefulConfig cfg;
+  cfg.max_levels = 3;
+  const auto r = build_graceful_sketches(g, cfg);
+  EXPECT_EQ(r.sketches.num_levels(), 3u);
+}
+
+TEST(GracefulSketch, NeverUnderestimates) {
+  const Graph g = erdos_renyi(100, 0.06, {1, 9}, 7);
+  const auto r = build_graceful_sketches(g, {});
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
+      const Dist est = r.sketches.query(u, v);
+      ASSERT_NE(est, kInfDist);
+      EXPECT_GE(est, oracle.query(u, v));
+    }
+  }
+}
+
+TEST(GracefulSketch, WorstCaseStretchLogarithmic) {
+  const Graph g = erdos_renyi(128, 0.05, {1, 9}, 11);
+  const auto r = build_graceful_sketches(g, {});
+  const ExactOracle oracle(g);
+  // Theorem: O(log n) worst case. With k_i = i at the deepest level
+  // (i = log2 n = 7), the certified bound is 8*log2(n)-1; demand it.
+  const double bound = 8.0 * std::log2(static_cast<double>(g.num_nodes()));
+  double worst = 0;
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 3) {
+      const double d = static_cast<double>(oracle.query(u, v));
+      const double est = static_cast<double>(r.sketches.query(u, v));
+      worst = std::max(worst, est / d);
+    }
+  }
+  EXPECT_LE(worst, bound);
+}
+
+TEST(GracefulSketch, AverageStretchSmall) {
+  const Graph g = erdos_renyi(150, 0.05, {1, 9}, 13);
+  const auto r = build_graceful_sketches(g, {});
+  const SampledGroundTruth gt(g, 20, 5);
+  const auto report = evaluate_stretch(
+      g, gt, [&](NodeId u, NodeId v) { return r.sketches.query(u, v); }, {});
+  EXPECT_EQ(report.underestimates, 0u);
+  // Theorem 1.3: O(1) average stretch; empirically it sits well under 4.
+  EXPECT_LT(report.average_stretch(), 4.0);
+}
+
+TEST(GracefulSketch, SizeIsUnionOfLevels) {
+  const Graph g = erdos_renyi(64, 0.1, {1, 5}, 5);
+  const auto r = build_graceful_sketches(g, {});
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < r.sketches.num_levels(); ++i) {
+    sum += r.sketches.level(i).size_words(3);
+  }
+  EXPECT_EQ(r.sketches.size_words(3), sum);
+}
+
+TEST(GracefulSketch, TotalCostAggregatesLevels) {
+  const Graph g = erdos_renyi(64, 0.1, {1, 5}, 5);
+  const auto r = build_graceful_sketches(g, {});
+  std::uint64_t msgs = 0;
+  for (const auto& lb : r.level_builds) msgs += lb.total().messages;
+  EXPECT_EQ(r.total.messages, msgs);
+}
+
+TEST(GracefulSketch, MoreLevelsNeverWorseEstimates) {
+  const Graph g = erdos_renyi(100, 0.06, {1, 9}, 21);
+  GracefulConfig few;
+  few.max_levels = 2;
+  few.seed = 9;
+  GracefulConfig many;
+  many.seed = 9;
+  const auto rf = build_graceful_sketches(g, few);
+  const auto rm = build_graceful_sketches(g, many);
+  // The first two levels use the same seeds, so the min over more levels
+  // can only improve.
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 5) {
+      EXPECT_LE(rm.sketches.query(u, v), rf.sketches.query(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsketch

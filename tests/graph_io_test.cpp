@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+
+namespace dsketch {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  const Graph g = erdos_renyi(50, 0.1, {1, 12}, 21);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto a = g.neighbors(u);
+    const auto b = h.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# a comment\n\n3 2\n# another\n0 1 5\n1 2 7\n");
+  const Graph g = read_graph(ss);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(GraphIo, RejectsBadHeader) {
+  std::stringstream ss("nonsense\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoint) {
+  std::stringstream ss("2 1\n0 5 1\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  std::stringstream ss("2 1\n1 1 1\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsCountMismatch) {
+  std::stringstream ss("3 2\n0 1 1\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsEmptyInput) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = ring(16, {2, 9}, 5);
+  const std::string path = ::testing::TempDir() + "/dsketch_io_test.graph";
+  write_graph_file(path, g);
+  const Graph h = read_graph_file(path);
+  EXPECT_EQ(h.num_nodes(), 16u);
+  EXPECT_EQ(h.num_edges(), 16u);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_graph_file("/nonexistent/definitely/missing.graph"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 20);
+  b.add_edge(0, 2, 30);
+  return b.build();
+}
+
+TEST(Graph, CountsNodesAndEdges) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, AdjacencySortedAndSymmetric) {
+  const Graph g = triangle();
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0].to, 1u);
+  EXPECT_EQ(n0[0].weight, 10u);
+  EXPECT_EQ(n0[1].to, 2u);
+  EXPECT_EQ(n0[1].weight, 30u);
+  // symmetric view from node 2
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0].to, 0u);
+  EXPECT_EQ(n2[1].to, 1u);
+}
+
+TEST(Graph, DegreeMatchesAdjacency) {
+  const Graph g = triangle();
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(g.degree(u), g.neighbors(u).size());
+  }
+}
+
+TEST(Graph, TotalWeight) { EXPECT_EQ(triangle().total_weight(), 60u); }
+
+TEST(Graph, ConnectedDetection) {
+  EXPECT_TRUE(triangle().connected());
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(2, 3, 1);
+  EXPECT_FALSE(b.build().connected());
+}
+
+TEST(GraphBuilder, IgnoresSelfLoops) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0, 5);
+  b.add_edge(0, 1, 5);
+  EXPECT_EQ(b.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, DeduplicatesKeepingSmallerWeight) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 9);
+  b.add_edge(1, 0, 4);  // same undirected edge, reversed, lighter
+  b.add_edge(0, 1, 7);
+  ASSERT_EQ(b.num_edges(), 1u);
+  const Graph g = b.build();
+  EXPECT_EQ(g.neighbors(0)[0].weight, 4u);
+}
+
+TEST(GraphBuilder, HasEdgeIsOrderInsensitive) {
+  GraphBuilder b(3);
+  b.add_edge(2, 1, 1);
+  EXPECT_TRUE(b.has_edge(1, 2));
+  EXPECT_TRUE(b.has_edge(2, 1));
+  EXPECT_FALSE(b.has_edge(0, 1));
+}
+
+TEST(Graph, HalfEdgeIndexIsGloballyUnique) {
+  const Graph g = triangle();
+  std::vector<bool> seen(2 * g.num_edges(), false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (std::size_t s = 0; s < g.degree(u); ++s) {
+      const std::size_t h = g.half_edge_index(u, s);
+      ASSERT_LT(h, seen.size());
+      EXPECT_FALSE(seen[h]);
+      seen[h] = true;
+    }
+  }
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, SingleNode) {
+  GraphBuilder b(1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "core/serialization.hpp"
+#include "graph/generators.hpp"
+#include "sketch/hierarchy.hpp"
+#include "sketch/slack_sketch.hpp"
+#include "sketch/tz_distributed.hpp"
+
+namespace dsketch {
+namespace {
+
+TEST(Serialization, TzLabelsRoundTrip) {
+  const Graph g = erdos_renyi(60, 0.08, {1, 9}, 3);
+  Hierarchy h = Hierarchy::sample(g.num_nodes(), 3, 5);
+  while (!h.top_level_nonempty()) {
+    h = Hierarchy::sample(g.num_nodes(), 3, 6);
+  }
+  const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
+  std::stringstream ss;
+  write_tz_labels(ss, r.labels);
+  const auto back = read_tz_labels(ss);
+  ASSERT_EQ(back.size(), r.labels.size());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_TRUE(back[u] == r.labels[u]) << "node " << u;
+  }
+}
+
+TEST(Serialization, SlackRoundTrip) {
+  const Graph g = ring(40, {1, 7}, 2);
+  const auto r = build_slack_sketches(g, 0.25, 5);
+  std::stringstream ss;
+  write_slack_sketches(ss, r.sketches, g.num_nodes());
+  const SlackSketchSet back = read_slack_sketches(ss);
+  EXPECT_EQ(back.net(), r.sketches.net());
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 5) {
+      EXPECT_EQ(back.query(u, v), r.sketches.query(u, v));
+    }
+  }
+}
+
+TEST(Serialization, BadMagicRejected) {
+  std::stringstream ss("garbage 5\n");
+  EXPECT_THROW(read_tz_labels(ss), std::runtime_error);
+  std::stringstream ss2("dsketch-tz-v1 2\n0 1\n");  // truncated words
+  EXPECT_THROW(read_tz_labels(ss2), std::runtime_error);
+}
+
+class EngineRoundTrip : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(EngineRoundTrip, SaveLoadAnswersIdentically) {
+  const Graph g = erdos_renyi(70, 0.08, {1, 9}, 9);
+  BuildConfig cfg;
+  cfg.scheme = GetParam();
+  cfg.k = 2;
+  cfg.epsilon = 0.25;
+  const SketchEngine built(g, cfg);
+  std::stringstream ss;
+  built.save(ss);
+  const SketchEngine loaded = SketchEngine::load(ss);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
+      EXPECT_EQ(loaded.query(u, v), built.query(u, v));
+    }
+    EXPECT_EQ(loaded.size_words(u), built.size_words(u));
+  }
+  EXPECT_EQ(loaded.config().scheme, cfg.scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, EngineRoundTrip,
+                         ::testing::Values(Scheme::kThorupZwick,
+                                           Scheme::kSlack, Scheme::kCdg,
+                                           Scheme::kGraceful));
+
+TEST(Serialization, LoadedEngineRejectsGarbage) {
+  std::stringstream ss("not a sketch file");
+  EXPECT_THROW(SketchEngine::load(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsketch

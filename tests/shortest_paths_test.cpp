@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace dsketch {
+namespace {
+
+Graph weighted_square() {
+  // 0-1 (1), 1-3 (1), 0-2 (5), 2-3 (1): d(0,3) = 2 via 0-1-3.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 3, 1);
+  b.add_edge(0, 2, 5);
+  b.add_edge(2, 3, 1);
+  return b.build();
+}
+
+TEST(Dijkstra, SmallWeightedGraph) {
+  const Graph g = weighted_square();
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[3], 2u);
+  EXPECT_EQ(d[2], 3u);  // via 0-1-3-2, cheaper than direct 5
+}
+
+TEST(Dijkstra, SymmetricDistances) {
+  const Graph g = erdos_renyi(100, 0.05, {1, 20}, 3);
+  const auto from0 = dijkstra(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); v += 7) {
+    EXPECT_EQ(dijkstra(g, v)[0], from0[v]);
+  }
+}
+
+TEST(MultiSourceDijkstra, MinimumOverSources) {
+  const Graph g = weighted_square();
+  const auto r = multi_source_dijkstra(g, {2, 1});
+  EXPECT_EQ(r.dist[2], 0u);
+  EXPECT_EQ(r.dist[1], 0u);
+  EXPECT_EQ(r.dist[0], 1u);
+  EXPECT_EQ(r.owner[0], 1u);
+  EXPECT_EQ(r.dist[3], 1u);
+}
+
+TEST(MultiSourceDijkstra, OwnerTieBreakBySmallerId) {
+  // 1 - 0 - 2 with equal weights: node 0 equidistant from 1 and 2.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 4);
+  b.add_edge(0, 2, 4);
+  const Graph g = b.build();
+  const auto r = multi_source_dijkstra(g, {1, 2});
+  EXPECT_EQ(r.dist[0], 4u);
+  EXPECT_EQ(r.owner[0], 1u);
+}
+
+TEST(HopBfs, CountsEdgesNotWeights) {
+  const Graph g = weighted_square();
+  const auto h = hop_bfs(g, 0);
+  EXPECT_EQ(h[2], 1u);  // direct heavy edge is 1 hop
+  EXPECT_EQ(h[3], 2u);
+}
+
+TEST(DijkstraMinHops, PrefersFewHopsAmongShortest) {
+  // Two shortest paths 0->3 of weight 4: 0-1-2-3 (1+1+2, 3 hops) and
+  // 0-3 direct weight 4 (1 hop). S counts the min-hop one.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 2);
+  b.add_edge(0, 3, 4);
+  const Graph g = b.build();
+  const auto r = dijkstra_min_hops(g, 0);
+  EXPECT_EQ(r.dist[3], 4u);
+  EXPECT_EQ(r.hops[3], 1u);
+}
+
+TEST(Diameters, UnweightedPathExtremes) {
+  const Graph g = path(10, {1, 1}, 0);
+  EXPECT_EQ(hop_diameter(g), 9u);
+  EXPECT_EQ(shortest_path_diameter(g), 9u);
+}
+
+TEST(Diameters, HopAtMostShortestPath) {
+  const Graph g = erdos_renyi(80, 0.08, {1, 30}, 5);
+  EXPECT_LE(hop_diameter(g), shortest_path_diameter(g));
+}
+
+TEST(Diameters, CaterpillarHasLargeSvsD) {
+  // Heavy spine forces shortest paths along many hops while the hop
+  // diameter stays the same scale; here S == D but both capture the spine.
+  const Graph g = caterpillar(20, 1, 100, 0);
+  EXPECT_GE(shortest_path_diameter(g), 19u);
+}
+
+TEST(Diameters, WeightedGapBetweenSAndD) {
+  // Ring with one heavy shortcut: hop diameter small via shortcut, but
+  // weighted shortest paths go the long way around.
+  GraphBuilder b(12);
+  for (NodeId i = 0; i + 1 < 12; ++i) b.add_edge(i, i + 1, 1);
+  b.add_edge(0, 11, 100);  // heavy chord
+  const Graph g = b.build();
+  EXPECT_EQ(hop_diameter(g), 6u);            // around the cycle
+  EXPECT_EQ(shortest_path_diameter(g), 11u);  // light path end to end
+}
+
+TEST(DiameterEstimates, LowerBoundExact) {
+  const Graph g = grid2d(8, 8, {1, 1}, 0);
+  EXPECT_LE(hop_diameter_estimate(g, 3, 1), hop_diameter(g));
+  EXPECT_LE(shortest_path_diameter_estimate(g, 3, 1),
+            shortest_path_diameter(g));
+  // Sampling every node gives the exact value.
+  EXPECT_EQ(hop_diameter_estimate(g, 64, 1), hop_diameter(g));
+}
+
+TEST(SampledGroundTruth, MatchesDirectDijkstra) {
+  const Graph g = erdos_renyi(60, 0.1, {1, 9}, 4);
+  const SampledGroundTruth gt(g, 5, 99);
+  ASSERT_EQ(gt.num_rows(), 5u);
+  for (std::size_t r = 0; r < gt.num_rows(); ++r) {
+    const auto d = dijkstra(g, gt.sources()[r]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(gt.dist(r, v), d[v]);
+    }
+  }
+}
+
+TEST(SampledGroundTruth, SourcesDistinct) {
+  const Graph g = ring(30, {1, 1}, 0);
+  const SampledGroundTruth gt(g, 30, 1);
+  std::set<NodeId> uniq(gt.sources().begin(), gt.sources().end());
+  EXPECT_EQ(uniq.size(), 30u);
+}
+
+}  // namespace
+}  // namespace dsketch

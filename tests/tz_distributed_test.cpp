@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/exact_oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "sketch/tz_distributed.hpp"
+
+namespace dsketch {
+namespace {
+
+Hierarchy sampled_hierarchy(NodeId n, std::uint32_t k, std::uint64_t seed) {
+  Hierarchy h = Hierarchy::sample(n, k, seed);
+  std::uint64_t bump = 1;
+  while (!h.top_level_nonempty()) {
+    h = Hierarchy::sample(n, k, seed + bump++);
+  }
+  return h;
+}
+
+TEST(TzDistributed, OracleStretchAndSoundness) {
+  const std::uint32_t k = 3;
+  const Graph g = erdos_renyi(100, 0.06, {1, 9}, 21);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), k, 5);
+  const TzDistributedResult r =
+      build_tz_distributed(g, h, TerminationMode::kOracle);
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 3) {
+      const Dist d = oracle.query(u, v);
+      const Dist est = tz_query(r.labels[u], r.labels[v]);
+      ASSERT_NE(est, kInfDist);
+      EXPECT_GE(est, d);
+      EXPECT_LE(est, (2 * k - 1) * d);
+    }
+  }
+}
+
+TEST(TzDistributed, PhaseEndRoundsMonotone) {
+  const Graph g = grid2d(8, 8, {1, 4}, 2);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), 3, 9);
+  const TzDistributedResult r =
+      build_tz_distributed(g, h, TerminationMode::kOracle);
+  ASSERT_EQ(r.phase_end_rounds.size(), 3u);
+  EXPECT_LT(r.phase_end_rounds[0], r.phase_end_rounds[1]);
+  EXPECT_LT(r.phase_end_rounds[1], r.phase_end_rounds[2]);
+}
+
+TEST(TzDistributed, EchoModeProducesSameLabelsAsOracle) {
+  const Graph g = erdos_renyi(80, 0.07, {1, 7}, 33);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), 3, 11);
+  const auto oracle_run =
+      build_tz_distributed(g, h, TerminationMode::kOracle);
+  const auto echo_run = build_tz_distributed(g, h, TerminationMode::kEcho);
+  ASSERT_EQ(oracle_run.labels.size(), echo_run.labels.size());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_TRUE(oracle_run.labels[u] == echo_run.labels[u])
+        << "echo/oracle label divergence at node " << u;
+  }
+}
+
+TEST(TzDistributed, EchoOverheadIsModest) {
+  // §3.3: echoes double messages; COMPLETE/START add O(n + D) per phase.
+  const Graph g = erdos_renyi(120, 0.05, {1, 5}, 8);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), 2, 3);
+  const auto oracle_run =
+      build_tz_distributed(g, h, TerminationMode::kOracle);
+  const auto echo_run = build_tz_distributed(g, h, TerminationMode::kEcho);
+  EXPECT_LE(echo_run.total_messages(),
+            4 * oracle_run.total_messages() + 200 * g.num_nodes());
+  EXPECT_GE(echo_run.total_messages(), oracle_run.total_messages());
+}
+
+TEST(TzDistributed, RoundsScaleWithShortestPathDiameter) {
+  // On a path (S = n-1) with k=1 the construction floods every source
+  // through every node; rounds must be >= S.
+  const Graph g = path(60, {1, 1}, 0);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), 1, 1);
+  const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
+  EXPECT_GE(r.stats.rounds, 59u);
+}
+
+TEST(TzDistributed, KEqualsOneLearnsExactDistances) {
+  const Graph g = random_tree(50, {1, 9}, 12);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), 1, 1);
+  const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(tz_query(r.labels[u], r.labels[v]), oracle.query(u, v));
+    }
+  }
+}
+
+TEST(TzDistributed, WeightedGraphEchoMode) {
+  const Graph g = grid2d(6, 6, {1, 20}, 15);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), 2, 2);
+  const auto r = build_tz_distributed(g, h, TerminationMode::kEcho);
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) {
+    for (NodeId v = 1; v < g.num_nodes(); v += 3) {
+      if (u == v) continue;
+      const Dist est = tz_query(r.labels[u], r.labels[v]);
+      EXPECT_GE(est, oracle.query(u, v));
+      EXPECT_LE(est, 3 * oracle.query(u, v));
+    }
+  }
+}
+
+TEST(TzDistributed, ExhaustiveQueryNeverWorseAndStillSound) {
+  const Graph g = erdos_renyi(120, 0.05, {1, 9}, 27);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), 3, 15);
+  const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
+      const Dist standard = tz_query(r.labels[u], r.labels[v]);
+      const Dist exhaustive = tz_query_exhaustive(r.labels[u], r.labels[v]);
+      ASSERT_NE(exhaustive, kInfDist);
+      EXPECT_LE(exhaustive, standard);           // pivot is a common member
+      EXPECT_GE(exhaustive, oracle.query(u, v));  // still one-sided
+    }
+  }
+}
+
+class TzDistributedSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint64_t, TerminationMode>> {};
+
+TEST_P(TzDistributedSweep, StretchBoundAcrossTopologiesAndModes) {
+  const auto [k, seed, mode] = GetParam();
+  const Graph g = random_graph_nm(70, 170, {1, 11}, seed);
+  const Hierarchy h = sampled_hierarchy(g.num_nodes(), k, seed + 100);
+  const auto r = build_tz_distributed(g, h, mode);
+  const ExactOracle oracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
+      const Dist d = oracle.query(u, v);
+      const Dist est = tz_query(r.labels[u], r.labels[v]);
+      ASSERT_NE(est, kInfDist);
+      EXPECT_GE(est, d);
+      EXPECT_LE(est, (2 * k - 1) * d) << "pair " << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TzDistributedSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 2u),
+                       ::testing::Values(TerminationMode::kOracle,
+                                         TerminationMode::kEcho)));
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,99 @@
+// The load-bearing test of the reproduction: for a fixed hierarchy, the
+// distributed Algorithm 2 must produce *exactly* the labels of the
+// centralized Thorup-Zwick construction — same pivots, same bunches, same
+// distances — in both termination modes. This is the paper's implicit
+// correctness claim (Lemma 3.5) made executable.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "sketch/tz_centralized.hpp"
+#include "sketch/tz_distributed.hpp"
+
+namespace dsketch {
+namespace {
+
+Hierarchy sampled_hierarchy(NodeId n, std::uint32_t k, std::uint64_t seed) {
+  Hierarchy h = Hierarchy::sample(n, k, seed);
+  std::uint64_t bump = 1;
+  while (!h.top_level_nonempty()) {
+    h = Hierarchy::sample(n, k, seed + bump++);
+  }
+  return h;
+}
+
+void expect_equal_labels(const std::vector<TzLabel>& a,
+                         const std::vector<TzLabel>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    ASSERT_TRUE(a[u] == b[u]) << "label mismatch at node " << u;
+  }
+}
+
+struct Case {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<Case> topologies(std::uint64_t seed) {
+  std::vector<Case> cases;
+  cases.push_back({"erdos_renyi", erdos_renyi(90, 0.06, {1, 9}, seed)});
+  cases.push_back({"grid", grid2d(9, 9, {1, 13}, seed)});
+  cases.push_back({"tree", random_tree(70, {1, 9}, seed)});
+  cases.push_back({"ring_chords", ring_with_chords(80, 25, 7, 1, seed)});
+  cases.push_back({"ba", barabasi_albert(80, 2, {1, 5}, seed)});
+  cases.push_back({"path_weighted", path(50, {1, 30}, seed)});
+  return cases;
+}
+
+class EquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(EquivalenceSweep, DistributedOracleEqualsCentralized) {
+  const auto [k, seed] = GetParam();
+  for (auto& c : topologies(seed)) {
+    const Hierarchy h = sampled_hierarchy(c.graph.num_nodes(), k, seed + 7);
+    const auto central = build_tz_centralized(c.graph, h);
+    const auto distributed =
+        build_tz_distributed(c.graph, h, TerminationMode::kOracle);
+    SCOPED_TRACE(c.name);
+    expect_equal_labels(central, distributed.labels);
+  }
+}
+
+TEST_P(EquivalenceSweep, DistributedEchoEqualsCentralized) {
+  const auto [k, seed] = GetParam();
+  for (auto& c : topologies(seed)) {
+    const Hierarchy h = sampled_hierarchy(c.graph.num_nodes(), k, seed + 7);
+    const auto central = build_tz_centralized(c.graph, h);
+    const auto distributed =
+        build_tz_distributed(c.graph, h, TerminationMode::kEcho);
+    SCOPED_TRACE(c.name);
+    expect_equal_labels(central, distributed.labels);
+  }
+}
+
+TEST_P(EquivalenceSweep, DistributedKnownSEqualsCentralized) {
+  const auto [k, seed] = GetParam();
+  for (auto& c : topologies(seed)) {
+    const Hierarchy h = sampled_hierarchy(c.graph.num_nodes(), k, seed + 7);
+    const auto central = build_tz_centralized(c.graph, h);
+    const auto distributed =
+        build_tz_distributed(c.graph, h, TerminationMode::kKnownS);
+    SCOPED_TRACE(c.name);
+    expect_equal_labels(central, distributed.labels);
+    // The padded deadlines dominate the true convergence time.
+    const auto oracle =
+        build_tz_distributed(c.graph, h, TerminationMode::kOracle);
+    EXPECT_GE(distributed.stats.rounds, oracle.stats.rounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EquivalenceSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "sketch/tz_label.hpp"
+
+namespace dsketch {
+namespace {
+
+TEST(DistKey, LexicographicOrder) {
+  EXPECT_TRUE((DistKey{1, 5} < DistKey{2, 0}));
+  EXPECT_TRUE((DistKey{2, 0} < DistKey{2, 1}));
+  EXPECT_FALSE((DistKey{2, 1} < DistKey{2, 1}));
+  EXPECT_TRUE((DistKey{2, 1} == DistKey{2, 1}));
+}
+
+TEST(DistKey, DefaultIsInfinite) {
+  const DistKey inf;
+  EXPECT_TRUE((DistKey{kInfDist - 1, 0} < inf));
+}
+
+TEST(TzLabel, StoresPivotsAndBunch) {
+  TzLabel l(3, 2);
+  l.set_pivot(0, {0, 3});
+  l.set_pivot(1, {7, 9});
+  l.add_bunch_entry({9, 1, 7});
+  l.add_bunch_entry({4, 0, 2});
+  EXPECT_EQ(l.owner(), 3u);
+  EXPECT_EQ(l.levels(), 2u);
+  EXPECT_EQ(l.bunch_dist(9), 7u);
+  EXPECT_EQ(l.bunch_dist(4), 2u);
+  EXPECT_EQ(l.bunch_dist(5), kInfDist);
+  EXPECT_TRUE(l.bunch_contains(4));
+  EXPECT_FALSE(l.bunch_contains(5));
+}
+
+TEST(TzLabel, SizeWordsAccounting) {
+  TzLabel l(0, 3);
+  EXPECT_EQ(l.size_words(), 6u);  // 3 pivots x 2 words
+  l.add_bunch_entry({1, 0, 5});
+  EXPECT_EQ(l.size_words(), 8u);
+}
+
+TEST(TzLabel, SortBunchCanonicalizes) {
+  TzLabel a(0, 2), b(0, 2);
+  a.add_bunch_entry({5, 0, 9});
+  a.add_bunch_entry({2, 1, 3});
+  b.add_bunch_entry({2, 1, 3});
+  b.add_bunch_entry({5, 0, 9});
+  a.sort_bunch();
+  b.sort_bunch();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.bunch_dist(5), 9u);  // index rebuilt after sort
+}
+
+TEST(TzQuery, SameNodeIsZero) {
+  TzLabel l(4, 2);
+  EXPECT_EQ(tz_query(l, l), 0u);
+}
+
+TEST(TzQuery, Level0PivotHit) {
+  // u=0, v=1 adjacent at distance 5; v holds u in its bunch.
+  TzLabel lu(0, 2), lv(1, 2);
+  lu.set_pivot(0, {0, 0});
+  lv.set_pivot(0, {0, 1});
+  lv.add_bunch_entry({0, 0, 5});
+  lu.add_bunch_entry({0, 0, 0});
+  const Dist est = tz_query(lu, lv);
+  EXPECT_EQ(est, 5u);  // d(u,p0(u)) + d(v,p0(u)) = 0 + 5
+}
+
+TEST(TzQuery, FallsThroughToHigherLevel) {
+  // Level 0 pivots miss both bunches; level 1 pivot w=9 is shared.
+  TzLabel lu(0, 2), lv(1, 2);
+  lu.set_pivot(0, {0, 0});
+  lv.set_pivot(0, {0, 1});
+  lu.set_pivot(1, {4, 9});
+  lv.set_pivot(1, {6, 9});
+  lu.add_bunch_entry({9, 1, 4});
+  lv.add_bunch_entry({9, 1, 6});
+  const TzQueryTrace t = tz_query_trace(lu, lv);
+  EXPECT_EQ(t.estimate, 10u);
+  EXPECT_EQ(t.level, 1u);
+}
+
+TEST(TzQuery, SymmetricCheckUsed) {
+  // p0(v) in B(u) fires even though p0(u) misses B(v).
+  TzLabel lu(0, 1), lv(1, 1);
+  lu.set_pivot(0, {0, 0});
+  lv.set_pivot(0, {0, 1});
+  lu.add_bunch_entry({1, 0, 8});  // v itself in u's bunch
+  lu.add_bunch_entry({0, 0, 0});
+  const TzQueryTrace t = tz_query_trace(lu, lv);
+  EXPECT_EQ(t.estimate, 8u);
+  EXPECT_FALSE(t.used_u_pivot);
+}
+
+TEST(TzQuery, MalformedReturnsInf) {
+  TzLabel lu(0, 1), lv(1, 1);  // empty labels, invalid pivots
+  EXPECT_EQ(tz_query(lu, lv), kInfDist);
+}
+
+TEST(TzQueryExhaustive, PicksBestCommonMember) {
+  TzLabel lu(0, 2), lv(1, 2);
+  lu.set_pivot(0, {0, 0});
+  lv.set_pivot(0, {0, 1});
+  lu.set_pivot(1, {10, 9});
+  lv.set_pivot(1, {10, 9});
+  // Standard query settles on the level-1 pivot 9 (cost 10+10 = 20),
+  // but both bunches also share node 7 at cost 4+5 = 9.
+  lu.add_bunch_entry({9, 1, 10});
+  lv.add_bunch_entry({9, 1, 10});
+  lu.add_bunch_entry({7, 0, 4});
+  lv.add_bunch_entry({7, 0, 5});
+  EXPECT_EQ(tz_query(lu, lv), 20u);
+  EXPECT_EQ(tz_query_exhaustive(lu, lv), 9u);
+}
+
+TEST(TzQueryExhaustive, SameOwnerIsZero) {
+  TzLabel l(4, 2);
+  EXPECT_EQ(tz_query_exhaustive(l, l), 0u);
+}
+
+TEST(TzQueryExhaustive, DisjointBunchesInf) {
+  TzLabel lu(0, 1), lv(1, 1);
+  lu.add_bunch_entry({2, 0, 3});
+  lv.add_bunch_entry({3, 0, 4});
+  EXPECT_EQ(tz_query_exhaustive(lu, lv), kInfDist);
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -1,0 +1,260 @@
+// dsketch — command-line front end to the library.
+//
+//   dsketch gen   --topology er --n 1024 --p 0.01 --wmin 1 --wmax 16
+//                 --seed 42 --out net.graph
+//   dsketch info  --graph net.graph [--exact-diameters]
+//   dsketch build --graph net.graph --scheme tz --k 3 [--echo] [--async 4]
+//   dsketch query --graph net.graph --scheme slack --epsilon 0.1
+//                 --pairs 0:17,3:999 [--exact]
+//   dsketch eval  --graph net.graph --scheme graceful --sources 16
+//
+// Schemes: tz | slack | cdg | graceful. See README for the guarantees.
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/exact_oracle.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/shortest_paths.hpp"
+#include "sketch/stretch_eval.hpp"
+#include "util/flags.hpp"
+
+using namespace dsketch;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dsketch <gen|info|build|query|eval> [--flags]\n"
+               "  gen   --topology er|grid|ring|path|ba|ws|geometric|tree|"
+               "isp|ring_chords --n N [--p P] [--m M] [--wmin W --wmax W] "
+               "[--seed S] --out FILE\n"
+               "  info  --graph FILE [--exact-diameters]\n"
+               "  build --graph FILE --scheme tz|slack|cdg|graceful [--k K] "
+               "[--epsilon E] [--echo|--known-s] [--async DMAX] [--seed S] "
+               "[--save FILE]\n"
+               "  query --graph FILE --scheme ... --pairs u:v,u:v [--exact]\n"
+               "  eval  --graph FILE --scheme ... [--sources N] "
+               "[--epsilon-far E]\n");
+  return 2;
+}
+
+Graph generate(const FlagSet& flags) {
+  const std::string topo = flags.get("topology", std::string("er"));
+  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{1024}));
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{42}));
+  WeightSpec w{static_cast<Weight>(flags.get("wmin", std::int64_t{1})),
+               static_cast<Weight>(flags.get("wmax", std::int64_t{1}))};
+  if (topo == "er") {
+    return erdos_renyi(n, flags.get("p", 8.0 / n), w, seed);
+  }
+  if (topo == "grid") {
+    const auto rows = static_cast<NodeId>(
+        flags.get("rows", static_cast<std::int64_t>(std::max<NodeId>(
+                              2, static_cast<NodeId>(std::sqrt(n))))));
+    return grid2d(rows, (n + rows - 1) / rows, w, seed);
+  }
+  if (topo == "ring") return ring(n, w, seed);
+  if (topo == "path") return path(n, w, seed);
+  if (topo == "ba") {
+    return barabasi_albert(
+        n, static_cast<NodeId>(flags.get("m", std::int64_t{2})), w, seed);
+  }
+  if (topo == "ws") {
+    return watts_strogatz(n,
+                          static_cast<NodeId>(flags.get("m", std::int64_t{3})),
+                          flags.get("beta", 0.1), w, seed);
+  }
+  if (topo == "geometric") {
+    return random_geometric(n, flags.get("radius", 0.08), seed, true);
+  }
+  if (topo == "tree") return random_tree(n, w, seed);
+  if (topo == "isp") {
+    return isp_two_level(
+        n, static_cast<NodeId>(flags.get("pops", std::int64_t{16})), {1, 4},
+        w, seed);
+  }
+  if (topo == "ring_chords") {
+    return ring_with_chords(
+        n, static_cast<std::size_t>(flags.get("chords", std::int64_t{n})),
+        static_cast<Weight>(flags.get("ring-weight", std::int64_t{1})),
+        static_cast<Weight>(flags.get("chord-weight", std::int64_t{1000})),
+        seed);
+  }
+  throw std::runtime_error("unknown topology: " + topo);
+}
+
+BuildConfig parse_build_config(const FlagSet& flags) {
+  BuildConfig cfg;
+  const std::string scheme = flags.get("scheme", std::string("tz"));
+  if (scheme == "tz") {
+    cfg.scheme = Scheme::kThorupZwick;
+  } else if (scheme == "slack") {
+    cfg.scheme = Scheme::kSlack;
+  } else if (scheme == "cdg") {
+    cfg.scheme = Scheme::kCdg;
+  } else if (scheme == "graceful") {
+    cfg.scheme = Scheme::kGraceful;
+  } else {
+    throw std::runtime_error("unknown scheme: " + scheme);
+  }
+  cfg.k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{3}));
+  cfg.epsilon = flags.get("epsilon", 0.1);
+  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{1}));
+  if (flags.get_bool("echo")) cfg.termination = TerminationMode::kEcho;
+  if (flags.get_bool("known-s")) cfg.termination = TerminationMode::kKnownS;
+  cfg.sim.async_max_delay =
+      static_cast<std::uint32_t>(flags.get("async", std::int64_t{1}));
+  return cfg;
+}
+
+int cmd_gen(const FlagSet& flags) {
+  const Graph g = generate(flags);
+  const std::string out = flags.require("out");
+  write_graph_file(out, g);
+  std::printf("wrote %s: %u nodes, %zu edges\n", out.c_str(), g.num_nodes(),
+              g.num_edges());
+  return 0;
+}
+
+int cmd_info(const FlagSet& flags) {
+  const Graph g = read_graph_file(flags.require("graph"));
+  std::printf("nodes:  %u\nedges:  %zu\n", g.num_nodes(), g.num_edges());
+  std::printf("connected: %s\n", g.connected() ? "yes" : "no");
+  double total_deg = 0;
+  std::size_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    total_deg += static_cast<double>(g.degree(u));
+    max_deg = std::max(max_deg, g.degree(u));
+  }
+  std::printf("degree: mean %.2f, max %zu\n", total_deg / g.num_nodes(),
+              max_deg);
+  if (flags.get_bool("exact-diameters")) {
+    std::printf("hop diameter D:           %u\n", hop_diameter(g));
+    std::printf("shortest-path diameter S: %u\n", shortest_path_diameter(g));
+  } else {
+    std::printf("hop diameter D (sampled lower bound):           %u\n",
+                hop_diameter_estimate(g, 8, 1));
+    std::printf("shortest-path diameter S (sampled lower bound): %u\n",
+                shortest_path_diameter_estimate(g, 8, 1));
+  }
+  return 0;
+}
+
+int cmd_build(const FlagSet& flags) {
+  const Graph g = read_graph_file(flags.require("graph"));
+  const BuildConfig cfg = parse_build_config(flags);
+  const SketchEngine engine(g, cfg);
+  if (flags.has("save")) {
+    std::ofstream out(flags.get("save", std::string{}));
+    if (!out) throw std::runtime_error("cannot open --save file");
+    engine.save(out);
+    std::printf("sketches saved to %s\n",
+                flags.get("save", std::string{}).c_str());
+  }
+  std::printf("scheme:     %s\n", engine.guarantee().c_str());
+  std::printf("rounds:     %llu\n",
+              static_cast<unsigned long long>(engine.cost().rounds));
+  std::printf("messages:   %llu\n",
+              static_cast<unsigned long long>(engine.cost().messages));
+  std::printf("words sent: %llu\n",
+              static_cast<unsigned long long>(engine.cost().words));
+  std::printf("mean sketch size: %.1f words/node\n", engine.mean_size_words());
+  return 0;
+}
+
+int cmd_query(const FlagSet& flags) {
+  const Graph g = read_graph_file(flags.require("graph"));
+  const SketchEngine engine = [&] {
+    if (flags.has("load")) {
+      std::ifstream in(flags.get("load", std::string{}));
+      if (!in) throw std::runtime_error("cannot open --load file");
+      return SketchEngine::load(in);
+    }
+    return SketchEngine(g, parse_build_config(flags));
+  }();
+  const std::string pairs = flags.require("pairs");
+  const bool exact = flags.get_bool("exact");
+  std::printf("%-8s %-8s %-12s%s\n", "u", "v", "estimate",
+              exact ? " exact      stretch" : "");
+  std::size_t pos = 0;
+  while (pos < pairs.size()) {
+    const auto comma = pairs.find(',', pos);
+    const std::string pair =
+        pairs.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? pairs.size() : comma + 1;
+    const auto colon = pair.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("bad pair (want u:v): " + pair);
+    }
+    const auto u = static_cast<NodeId>(std::stoul(pair.substr(0, colon)));
+    const auto v = static_cast<NodeId>(std::stoul(pair.substr(colon + 1)));
+    const Dist est = engine.query(u, v);
+    if (exact) {
+      const Dist d = dijkstra(g, u)[v];
+      std::printf("%-8u %-8u %-12llu %-10llu %.3f\n", u, v,
+                  static_cast<unsigned long long>(est),
+                  static_cast<unsigned long long>(d),
+                  d == 0 ? 1.0
+                         : static_cast<double>(est) / static_cast<double>(d));
+    } else {
+      std::printf("%-8u %-8u %-12llu\n", u, v,
+                  static_cast<unsigned long long>(est));
+    }
+  }
+  return 0;
+}
+
+int cmd_eval(const FlagSet& flags) {
+  const Graph g = read_graph_file(flags.require("graph"));
+  const BuildConfig cfg = parse_build_config(flags);
+  const SketchEngine engine(g, cfg);
+  const auto sources =
+      static_cast<std::size_t>(flags.get("sources", std::int64_t{16}));
+  const SampledGroundTruth gt(g, sources, 7);
+  EvalOptions opts;
+  opts.epsilon = flags.get("epsilon-far", 0.0);
+  const auto report = evaluate_stretch(
+      g, gt, [&](NodeId u, NodeId v) { return engine.query(u, v); }, opts);
+  std::printf("pairs evaluated: %zu\n", report.all.count());
+  std::printf("stretch: mean %.3f  p50 %.3f  p95 %.3f  max %.3f\n",
+              report.all.mean(), report.all.p(50), report.all.p(95),
+              report.all.max());
+  if (opts.epsilon > 0) {
+    std::printf("eps-far pairs: mean %.3f max %.3f | near pairs: mean %.3f "
+                "max %.3f\n",
+                report.far_only.mean(), report.far_only.max(),
+                report.near_only.mean(), report.near_only.max());
+  }
+  std::printf("underestimates: %zu (must be 0)\n", report.underestimates);
+  std::printf("build cost: %llu rounds, %llu messages; mean sketch %.1f "
+              "words\n",
+              static_cast<unsigned long long>(engine.cost().rounds),
+              static_cast<unsigned long long>(engine.cost().messages),
+              engine.mean_size_words());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const FlagSet flags(argc - 1, argv + 1);
+  try {
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "build") return cmd_build(flags);
+    if (cmd == "query") return cmd_query(flags);
+    if (cmd == "eval") return cmd_eval(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
