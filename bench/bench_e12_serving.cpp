@@ -1,0 +1,172 @@
+// E12 — serving-tier throughput: the build-once / query-many axis.
+//
+// The paper's motivation (§1) is that once sketches are built, distance
+// queries need no network traffic at all — so query throughput of the
+// serving representation is a first-class metric alongside build cost
+// (E3) and stretch (E1). This harness:
+//
+//   1. builds a TZ k=3 sketch over an n=4096 ER graph (flags override),
+//   2. round-trips it through the binary SketchStore (save + load),
+//   3. verifies the loaded store answers bit-identically to the engine,
+//   4. sweeps workload shape x batch size x thread count through the
+//      sharded QueryService, one JSON line per config,
+//   5. emits a scaling summary line (qps at 1 vs 4 threads, uniform
+//      workload, largest batch).
+//
+// Thread scaling is only observable when the host exposes cores; the
+// hw_threads key records what was available so trajectories from
+// single-core CI boxes are not misread as regressions.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "serve/query_service.hpp"
+#include "serve/sketch_store.hpp"
+#include "serve/workload.hpp"
+#include "util/flags.hpp"
+#include "util/json_lines.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dsketch;
+using dsketch::bench::JsonLine;
+
+struct RunResult {
+  double qps = 0;
+  double hit_rate = 0;
+};
+
+RunResult run_config(const SketchStore& store, const std::string& workload,
+                     std::size_t threads, std::size_t shards,
+                     std::size_t batch, std::size_t cache,
+                     std::size_t queries, std::uint64_t seed) {
+  QueryServiceConfig cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.cache_capacity = cache;
+  QueryService service(store, cfg);
+
+  WorkloadConfig wl;
+  wl.kind = parse_workload_kind(workload);
+  wl.seed = seed;
+  WorkloadGenerator gen(store.num_nodes(), wl);
+
+  std::vector<QueryService::Pair> pairs;
+  std::vector<Dist> answers;
+  std::size_t done = 0;
+  while (done < queries) {
+    const std::size_t count = std::min(batch, queries - done);
+    pairs = gen.batch(count);
+    answers.assign(count, 0);
+    service.query_batch(pairs, answers);
+    done += count;
+  }
+
+  const QueryServiceStats stats = service.stats();
+  JsonLine line;
+  line.add("bench", "e12_serving")
+      .add("workload", workload)
+      .add("n", static_cast<std::uint64_t>(store.num_nodes()))
+      .add("k", store.k())
+      .add("threads", static_cast<std::uint64_t>(service.num_threads()))
+      .add("hw_threads",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .add("shards", static_cast<std::uint64_t>(service.num_shards()))
+      .add("batch", static_cast<std::uint64_t>(batch))
+      .add("cache", static_cast<std::uint64_t>(cache))
+      .add("queries", stats.queries)
+      .add("wall_seconds", stats.wall_seconds)
+      .add("qps", stats.qps)
+      .add("hit_rate", stats.hit_rate)
+      .add("p50_shard_batch_us", stats.p50_shard_batch_us)
+      .add("p99_shard_batch_us", stats.p99_shard_batch_us)
+      .emit();
+  return RunResult{stats.qps, stats.hit_rate};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagSet flags(argc, argv);
+  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{4096}));
+  const auto k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{3}));
+  const auto queries =
+      static_cast<std::size_t>(flags.get("queries", std::int64_t{100000}));
+  const auto shards =
+      static_cast<std::size_t>(flags.get("shards", std::int64_t{0}));  // auto
+  const auto cache =
+      static_cast<std::size_t>(flags.get("cache", std::int64_t{4096}));
+  const std::string store_path =
+      flags.get("out", std::string("e12_serving.store"));
+
+  // 1. Build (the expensive, once-per-deployment step).
+  const Graph g = erdos_renyi(n, 8.0 / n, {1, 16}, 42);
+  BuildConfig cfg;
+  cfg.scheme = Scheme::kThorupZwick;
+  cfg.k = k;
+  Timer build_timer;
+  const SketchEngine engine(g, cfg);
+  const double build_seconds = build_timer.seconds();
+
+  // 2. Binary store round trip.
+  SketchStore::from_engine(engine).save_file(store_path);
+  const SketchStore store = SketchStore::load_file(store_path);
+
+  // 3. The loaded store must answer bit-identically to the engine.
+  Rng rng(11);
+  std::size_t mismatches = 0;
+  const std::size_t verify_pairs = 2000;
+  for (std::size_t i = 0; i < verify_pairs; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (store.query(u, v) != engine.query(u, v)) ++mismatches;
+  }
+  JsonLine verify_line;
+  verify_line.add("bench", "e12_serving_verify")
+      .add("n", static_cast<std::uint64_t>(n))
+      .add("k", k)
+      .add("build_seconds", build_seconds)
+      .add("store_payload_bytes", store.payload_bytes())
+      .add("verify_pairs", static_cast<std::uint64_t>(verify_pairs))
+      .add("mismatches", static_cast<std::uint64_t>(mismatches))
+      .add("bit_identical", mismatches == 0)
+      .emit();
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FATAL: store answers diverged from the engine\n");
+    return 1;
+  }
+
+  // 4. Workload sweep.
+  const std::size_t big_batch = 8192;
+  double qps_t1 = 0, qps_t4 = 0;
+  for (const std::string workload : {"uniform", "zipf"}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t batch : {std::size_t{1024}, big_batch}) {
+        const RunResult r = run_config(
+            store, workload, threads, shards, batch,
+            workload == "zipf" ? cache : 0, queries, /*seed=*/7);
+        if (workload == "uniform" && batch == big_batch) {
+          if (threads == 1) qps_t1 = r.qps;
+          if (threads == 4) qps_t4 = r.qps;
+        }
+      }
+    }
+  }
+
+  // 5. Scaling summary (acceptance: >= 2x on a >= 4-core host).
+  JsonLine scaling;
+  scaling.add("bench", "e12_serving_scaling")
+      .add("qps_threads1", qps_t1)
+      .add("qps_threads4", qps_t4)
+      .add("speedup_1_to_4", qps_t1 > 0 ? qps_t4 / qps_t1 : 0)
+      .add("hw_threads",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .emit();
+  return 0;
+}

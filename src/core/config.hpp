@@ -16,6 +16,18 @@ enum class Scheme {
   kGraceful,     ///< Theorem 1.3: O(log n) worst / O(1) average stretch
 };
 
+/// Stable external name, as used by the CLI flags, the text format
+/// header, and machine-readable bench output.
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kThorupZwick: return "tz";
+    case Scheme::kSlack: return "slack";
+    case Scheme::kCdg: return "cdg";
+    case Scheme::kGraceful: return "graceful";
+  }
+  return "?";
+}
+
 struct BuildConfig {
   Scheme scheme = Scheme::kThorupZwick;
   std::uint32_t k = 3;        ///< TZ / CDG level count

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -78,6 +79,8 @@ SketchEngine::~SketchEngine() = default;
 SketchEngine::SketchEngine(SketchEngine&&) noexcept = default;
 SketchEngine& SketchEngine::operator=(SketchEngine&&) noexcept = default;
 
+NodeId SketchEngine::num_nodes() const { return impl_->n; }
+
 Dist SketchEngine::query(NodeId u, NodeId v) const {
   DS_CHECK(u < impl_->n && v < impl_->n);
   switch (config_.scheme) {
@@ -119,21 +122,23 @@ double SketchEngine::mean_size_words() const {
 const SimStats& SketchEngine::cost() const { return impl_->cost; }
 
 void SketchEngine::save(std::ostream& out) const {
+  // Header carries the build parameters so a loader can reject queries
+  // against mismatched flags (see dsketch query --load).
+  char eps[40];
+  std::snprintf(eps, sizeof(eps), "%.17g", config_.epsilon);
+  out << "scheme " << scheme_name(config_.scheme) << " " << impl_->n << " "
+      << config_.k << " " << eps << "\n";
   switch (config_.scheme) {
     case Scheme::kThorupZwick:
-      out << "scheme tz " << impl_->n << " " << config_.k << "\n";
       write_tz_labels(out, impl_->tz_labels);
       return;
     case Scheme::kSlack:
-      out << "scheme slack " << impl_->n << " " << config_.k << "\n";
       write_slack_sketches(out, impl_->slack, impl_->n);
       return;
     case Scheme::kCdg:
-      out << "scheme cdg " << impl_->n << " " << config_.k << "\n";
       write_cdg_sketches(out, impl_->cdg, impl_->n);
       return;
     case Scheme::kGraceful:
-      out << "scheme graceful " << impl_->n << " " << config_.k << "\n";
       write_graceful_sketches(out, impl_->graceful, impl_->n);
       return;
   }
@@ -150,6 +155,21 @@ SketchEngine SketchEngine::load(std::istream& in) {
   engine.impl_ = std::make_unique<Impl>();
   engine.impl_->n = n;
   engine.config_.k = k;
+  // The epsilon field was added to the header later; files written before
+  // it have the payload magic as the next token. Peek via getline so both
+  // vintages load.
+  std::string rest;
+  std::getline(in, rest);
+  if (const auto pos = rest.find_first_not_of(" \t\r");
+      pos != std::string::npos) {
+    try {
+      engine.config_.epsilon = std::stod(rest.substr(pos));
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad epsilon in sketch engine header: " + rest);
+    }
+  } else {
+    engine.epsilon_known_ = false;
+  }
   if (scheme == "tz") {
     engine.config_.scheme = Scheme::kThorupZwick;
     engine.impl_->tz_labels = read_tz_labels(in);
@@ -166,6 +186,19 @@ SketchEngine SketchEngine::load(std::istream& in) {
     throw std::runtime_error("unknown scheme in sketch file: " + scheme);
   }
   return engine;
+}
+
+const std::vector<TzLabel>* SketchEngine::tz_payload() const {
+  return config_.scheme == Scheme::kThorupZwick ? &impl_->tz_labels : nullptr;
+}
+const SlackSketchSet* SketchEngine::slack_payload() const {
+  return config_.scheme == Scheme::kSlack ? &impl_->slack : nullptr;
+}
+const CdgSketchSet* SketchEngine::cdg_payload() const {
+  return config_.scheme == Scheme::kCdg ? &impl_->cdg : nullptr;
+}
+const GracefulSketchSet* SketchEngine::graceful_payload() const {
+  return config_.scheme == Scheme::kGraceful ? &impl_->graceful : nullptr;
 }
 
 std::string SketchEngine::guarantee() const {

@@ -17,12 +17,18 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "congest/accounting.hpp"
 #include "core/config.hpp"
 #include "graph/graph.hpp"
 
 namespace dsketch {
+
+class TzLabel;
+class SlackSketchSet;
+class CdgSketchSet;
+class GracefulSketchSet;
 
 class SketchEngine {
  public:
@@ -33,6 +39,9 @@ class SketchEngine {
 
   /// Distance estimate from the two nodes' sketches only.
   Dist query(NodeId u, NodeId v) const;
+
+  /// Number of nodes the sketches cover (valid query ids are [0, n)).
+  NodeId num_nodes() const;
 
   /// Sketch size stored at node u, in words.
   std::size_t size_words(NodeId u) const;
@@ -56,10 +65,24 @@ class SketchEngine {
 
   const BuildConfig& config() const { return config_; }
 
+  /// False only for engines loaded from pre-epsilon text files, whose
+  /// config().epsilon is a default rather than the build value; flag
+  /// validation must not trust it then.
+  bool epsilon_known() const { return epsilon_known_; }
+
+  /// Binary-store hooks (serve/sketch_store): read-only access to the built
+  /// payload. Exactly the accessor matching config().scheme returns non-null;
+  /// the other three return nullptr.
+  const std::vector<TzLabel>* tz_payload() const;
+  const SlackSketchSet* slack_payload() const;
+  const CdgSketchSet* cdg_payload() const;
+  const GracefulSketchSet* graceful_payload() const;
+
  private:
   struct Impl;
   SketchEngine() = default;  // used by load()
   BuildConfig config_;
+  bool epsilon_known_ = true;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -1,0 +1,105 @@
+#include "serve/query_service.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dsketch {
+
+QueryService::QueryService(const SketchStore& store, QueryServiceConfig cfg)
+    : store_(&store), pool_(cfg.threads) {
+  if (cfg.shards == 0) {
+    // Enough shards that the pool's serial-fallback threshold
+    // (count < 2 x lanes) never bites and slices stay balanced.
+    cfg.shards = std::max<std::size_t>(8, 4 * (pool_.size() + 1));
+  }
+  shards_.reserve(cfg.shards);
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    shards_.emplace_back();
+    shards_.back().cache = LruCache<std::uint64_t, Dist>(cfg.cache_capacity);
+  }
+}
+
+void QueryService::run_shard(Shard& shard, std::span<const Pair> pairs,
+                             std::span<Dist> out) {
+  if (shard.slice.empty()) return;
+  Timer timer;
+  for (const std::uint32_t i : shard.slice) {
+    const auto [u, v] = pairs[i];
+    const std::uint64_t key = pair_key(u, v);
+    ++shard.queries;
+    if (const Dist* hit = shard.cache.get(key)) {
+      ++shard.cache_hits;
+      out[i] = *hit;
+      continue;
+    }
+    const Dist d = store_->query(u, v);
+    shard.cache.put(key, d);
+    out[i] = d;
+  }
+  shard.slice_latency_us.add(timer.seconds() * 1e6);
+}
+
+void QueryService::query_batch(std::span<const Pair> pairs,
+                               std::span<Dist> out) {
+  DS_CHECK(pairs.size() == out.size());
+  Timer timer;
+  // Scatter pair indices to their owning shards (single pass, reused
+  // buffers), then execute each shard's slice on the pool. out[] is
+  // indexed by the original position, so answers are order-stable and
+  // independent of shard or thread count.
+  for (Shard& shard : shards_) shard.slice.clear();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::size_t s =
+        shard_of(canonical_key(pairs[i].first, pairs[i].second));
+    shards_[s].slice.push_back(static_cast<std::uint32_t>(i));
+  }
+  pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+    run_shard(shards_[s], pairs, out);
+  });
+  ++batches_;
+  wall_seconds_ += timer.seconds();
+}
+
+Dist QueryService::query(NodeId u, NodeId v) {
+  const Pair pair{u, v};
+  Dist answer = kInfDist;
+  query_batch(std::span<const Pair>(&pair, 1), std::span<Dist>(&answer, 1));
+  return answer;
+}
+
+QueryServiceStats QueryService::stats() const {
+  QueryServiceStats s;
+  std::vector<double> latencies;
+  for (const Shard& shard : shards_) {
+    s.queries += shard.queries;
+    s.cache_hits += shard.cache_hits;
+    s.shard_queries.push_back(shard.queries);
+    const auto& samples = shard.slice_latency_us.samples();
+    latencies.insert(latencies.end(), samples.begin(), samples.end());
+  }
+  s.batches = batches_;
+  s.wall_seconds = wall_seconds_;
+  s.qps = wall_seconds_ > 0 ? static_cast<double>(s.queries) / wall_seconds_
+                            : 0;
+  s.hit_rate = s.queries > 0
+                   ? static_cast<double>(s.cache_hits) /
+                         static_cast<double>(s.queries)
+                   : 0;
+  s.p50_shard_batch_us = percentile(latencies, 50);
+  s.p99_shard_batch_us = percentile(std::move(latencies), 99);
+  return s;
+}
+
+void QueryService::reset_stats() {
+  for (Shard& shard : shards_) {
+    shard.queries = 0;
+    shard.cache_hits = 0;
+    shard.slice_latency_us = SampleSet();
+  }
+  batches_ = 0;
+  wall_seconds_ = 0;
+}
+
+}  // namespace dsketch

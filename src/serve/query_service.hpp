@@ -1,0 +1,113 @@
+// Sharded multi-threaded batch query engine over a SketchStore.
+//
+// The serving tier's unit of work is a batch of (u, v) pairs. Pairs are
+// hash-partitioned into shards by their canonical (min, max) key, so both
+// orientations of a pair land on the same shard; shards then execute in
+// parallel on a dedicated util/thread_pool. Because the store's query
+// path is read-only and allocation-free, shards share the arena with no
+// synchronization — the only mutable state (cache, stats) is
+// shard-private. The LRU caches under the *ordered* (u, v) key: the TZ
+// query procedure checks the two orientations in a fixed order, so
+// query(u, v) and query(v, u) may settle on different (both valid)
+// estimates, and the service must reproduce the store's answer for the
+// orientation actually asked.
+//
+//   SketchStore store = SketchStore::load_file("net.sketch");
+//   QueryService service(store, {.shards = 8, .threads = 8,
+//                                .cache_capacity = 4096});
+//   service.query_batch(pairs, answers);   // answers[i] == store.query(pairs[i])
+//   service.stats().qps;
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "serve/sketch_store.hpp"
+#include "util/lru_cache.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsketch {
+
+struct QueryServiceConfig {
+  /// Partitions of the pair space; 0 picks max(8, 4 x threads). The
+  /// thread pool only engages when shards >= 2 x threads (parallel_for
+  /// runs small counts serially), so keep shards comfortably above the
+  /// thread count — the auto default does.
+  std::size_t shards = 0;
+  std::size_t threads = 0;         ///< pool lanes; 0 = hardware concurrency
+  std::size_t cache_capacity = 0;  ///< per-shard LRU entries; 0 disables
+};
+
+struct QueryServiceStats {
+  std::uint64_t queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t batches = 0;
+  double wall_seconds = 0;    ///< total query_batch wall time
+  double qps = 0;             ///< queries / wall_seconds
+  double hit_rate = 0;        ///< cache_hits / queries
+  double p50_shard_batch_us = 0;  ///< per-shard slice latency percentiles
+  double p99_shard_batch_us = 0;
+  std::vector<std::uint64_t> shard_queries;  ///< load balance view
+};
+
+class QueryService {
+ public:
+  using Pair = std::pair<NodeId, NodeId>;
+
+  /// The store must outlive the service.
+  explicit QueryService(const SketchStore& store, QueryServiceConfig cfg = {});
+
+  /// Answers out[i] = store.query(pairs[i]) for every i; out.size() must
+  /// equal pairs.size(). Deterministic regardless of shard/thread count.
+  void query_batch(std::span<const Pair> pairs, std::span<Dist> out);
+
+  /// Single-pair convenience (routes through the owning shard's cache).
+  Dist query(NodeId u, NodeId v);
+
+  QueryServiceStats stats() const;
+  void reset_stats();
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_threads() const { return pool_.size() + 1; }
+
+ private:
+  struct Shard {
+    LruCache<std::uint64_t, Dist> cache;
+    std::uint64_t queries = 0;
+    std::uint64_t cache_hits = 0;
+    SampleSet slice_latency_us;  ///< latency of this shard's batch slices
+    std::vector<std::uint32_t> slice;  ///< scratch: pair indices this batch
+  };
+
+  /// Ordered key: the cache identity (query answers are orientation-
+  /// dependent, see the header comment).
+  static std::uint64_t pair_key(NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+  /// Canonical key: the routing identity (both orientations co-located).
+  static std::uint64_t canonical_key(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+  std::size_t shard_of(std::uint64_t key) const {
+    // splitmix64 finalizer: spreads sequential ids across shards.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>((z ^ (z >> 31)) % shards_.size());
+  }
+
+  void run_shard(Shard& shard, std::span<const Pair> pairs,
+                 std::span<Dist> out);
+
+  const SketchStore* store_;
+  ThreadPool pool_;
+  std::vector<Shard> shards_;
+  std::uint64_t batches_ = 0;
+  double wall_seconds_ = 0;
+};
+
+}  // namespace dsketch

@@ -1,0 +1,604 @@
+#include "serve/sketch_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/serialization.hpp"
+#include "sketch/cdg_sketch.hpp"
+#include "sketch/graceful_sketch.hpp"
+#include "sketch/slack_sketch.hpp"
+#include "sketch/tz_label.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFlagEpsilonKnown = 1;  // header flags word, bit 0
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// ---- little-endian byte packing --------------------------------------------
+
+class ByteWriter {
+ public:
+  void u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((x >> (8 * i)) & 0xff);
+  }
+  void u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back((x >> (8 * i)) & 0xff);
+  }
+  void f64(double x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    u64(bits);
+  }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) {
+      x |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return x;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return x;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double x;
+    std::memcpy(&x, &bits, sizeof(x));
+    return x;
+  }
+  bool done() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw std::runtime_error("sketch store: truncated payload");
+    }
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- packed record layout --------------------------------------------------
+
+inline Dist read_dist(const std::uint32_t* p) {
+  return static_cast<Dist>(p[0]) | (static_cast<Dist>(p[1]) << 32);
+}
+
+void pack_dist(std::vector<std::uint32_t>& arena, Dist d) {
+  arena.push_back(static_cast<std::uint32_t>(d));
+  arena.push_back(static_cast<std::uint32_t>(d >> 32));
+}
+
+constexpr std::size_t kPivotStride = 3;  // id, dist lo, dist hi
+constexpr std::size_t kBunchStride = 4;  // node, level, dist lo, dist hi
+
+void pack_label(std::vector<std::uint32_t>& arena, const TzLabel& label) {
+  arena.push_back(label.levels());
+  arena.push_back(static_cast<std::uint32_t>(label.bunch().size()));
+  for (std::uint32_t i = 0; i < label.levels(); ++i) {
+    arena.push_back(label.pivot(i).id);
+    pack_dist(arena, label.pivot(i).dist);
+  }
+  // Sorted by node so membership tests binary-search; duplicate nodes (one
+  // per level) carry the same distance, so any match is the right answer.
+  std::vector<BunchEntry> sorted = label.bunch();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BunchEntry& a, const BunchEntry& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.level < b.level;
+            });
+  for (const BunchEntry& e : sorted) {
+    arena.push_back(e.node);
+    arena.push_back(e.level);
+    pack_dist(arena, e.dist);
+  }
+}
+
+/// In-place view of a packed TZ label record.
+struct PackedLabel {
+  const std::uint32_t* rec;
+
+  std::uint32_t levels() const { return rec[0]; }
+  std::uint32_t bunch_count() const { return rec[1]; }
+  const std::uint32_t* pivots() const { return rec + 2; }
+  const std::uint32_t* bunch() const {
+    return rec + 2 + kPivotStride * levels();
+  }
+  NodeId pivot_id(std::uint32_t i) const { return pivots()[kPivotStride * i]; }
+  Dist pivot_dist(std::uint32_t i) const {
+    return read_dist(pivots() + kPivotStride * i + 1);
+  }
+  std::size_t words() const {
+    return 2 + kPivotStride * levels() + kBunchStride * bunch_count();
+  }
+
+  Dist bunch_dist(NodeId w) const {
+    const std::uint32_t* b = bunch();
+    std::size_t lo = 0, hi = bunch_count();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const NodeId node = b[kBunchStride * mid];
+      if (node < w) {
+        lo = mid + 1;
+      } else if (node > w) {
+        hi = mid;
+      } else {
+        return read_dist(b + kBunchStride * mid + 2);
+      }
+    }
+    return kInfDist;
+  }
+};
+
+/// Mirror of tz_query_trace over packed records; the caller handles the
+/// owner-equality short-circuit.
+Dist packed_tz_query(const PackedLabel& lu, const PackedLabel& lv) {
+  const std::uint32_t k = std::min(lu.levels(), lv.levels());
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const NodeId pu = lu.pivot_id(i);
+    if (pu != kInvalidNode) {
+      const Dist dv = lv.bunch_dist(pu);
+      if (dv != kInfDist) return lu.pivot_dist(i) + dv;
+    }
+    const NodeId pv = lv.pivot_id(i);
+    if (pv != kInvalidNode) {
+      const Dist du = lu.bunch_dist(pv);
+      if (du != kInfDist) return lv.pivot_dist(i) + du;
+    }
+  }
+  return kInfDist;
+}
+
+TzLabel unpack_label(NodeId owner, const std::uint32_t* rec) {
+  const PackedLabel view{rec};
+  TzLabel label(owner, view.levels());
+  for (std::uint32_t i = 0; i < view.levels(); ++i) {
+    label.set_pivot(i, DistKey{view.pivot_dist(i), view.pivot_id(i)});
+  }
+  const std::uint32_t* b = view.bunch();
+  for (std::uint32_t e = 0; e < view.bunch_count(); ++e) {
+    label.add_bunch_entry(BunchEntry{b[kBunchStride * e],
+                                     b[kBunchStride * e + 1],
+                                     read_dist(b + kBunchStride * e + 2)});
+  }
+  label.sort_bunch();  // canonical (level, node) order for the text format
+  return label;
+}
+
+// CDG record: [net_node, net_dist (2), owner, tz label record].
+constexpr std::size_t kCdgPrefixWords = 4;
+
+}  // namespace
+
+// ---- packing from built sketches -------------------------------------------
+
+SketchStore SketchStore::from_engine(const SketchEngine& engine) {
+  SketchStore store;
+  store.scheme_ = engine.config().scheme;
+  store.k_ = engine.config().k;
+  store.epsilon_ = engine.config().epsilon;
+  // Engines loaded from pre-epsilon text files carry a default, not the
+  // build value; the store must not launder it into a recorded one.
+  store.epsilon_known_ = engine.epsilon_known();
+
+  const auto pack_cdg = [](const CdgSketchSet& set, NodeId n) {
+    SketchStore::Segment seg;
+    seg.offsets.reserve(n + 1);
+    for (NodeId u = 0; u < n; ++u) {
+      seg.offsets.push_back(seg.arena.size());
+      const auto& s = set.sketch(u);
+      seg.arena.push_back(s.net_node);
+      pack_dist(seg.arena, s.net_dist);
+      seg.arena.push_back(s.label.owner());
+      pack_label(seg.arena, s.label);
+    }
+    seg.offsets.push_back(seg.arena.size());
+    return seg;
+  };
+
+  switch (store.scheme_) {
+    case Scheme::kThorupZwick: {
+      const auto& labels = *engine.tz_payload();
+      store.n_ = static_cast<NodeId>(labels.size());
+      Segment seg;
+      seg.offsets.reserve(store.n_ + 1);
+      for (const TzLabel& label : labels) {
+        seg.offsets.push_back(seg.arena.size());
+        pack_label(seg.arena, label);
+      }
+      seg.offsets.push_back(seg.arena.size());
+      store.segments_.push_back(std::move(seg));
+      break;
+    }
+    case Scheme::kSlack: {
+      const SlackSketchSet& set = *engine.slack_payload();
+      store.n_ = engine.num_nodes();
+      Segment seg;
+      seg.meta.push_back(set.net().size());
+      for (const NodeId w : set.net()) seg.meta.push_back(w);
+      seg.offsets.reserve(store.n_ + 1);
+      for (NodeId u = 0; u < store.n_; ++u) {
+        seg.offsets.push_back(seg.arena.size());
+        for (std::size_t i = 0; i < set.net().size(); ++i) {
+          pack_dist(seg.arena, set.net_dist(u, i));
+        }
+      }
+      seg.offsets.push_back(seg.arena.size());
+      store.segments_.push_back(std::move(seg));
+      break;
+    }
+    case Scheme::kCdg: {
+      store.n_ = engine.num_nodes();
+      store.segments_.push_back(pack_cdg(*engine.cdg_payload(), store.n_));
+      break;
+    }
+    case Scheme::kGraceful: {
+      store.n_ = engine.num_nodes();
+      const GracefulSketchSet& set = *engine.graceful_payload();
+      for (std::size_t i = 0; i < set.num_levels(); ++i) {
+        store.segments_.push_back(pack_cdg(set.level(i), store.n_));
+      }
+      break;
+    }
+  }
+  return store;
+}
+
+SketchStore SketchStore::from_text(std::istream& in) {
+  return from_engine(SketchEngine::load(in));
+}
+
+void SketchStore::to_text(std::ostream& out) const {
+  out << "scheme " << scheme_name(scheme_) << " " << n_ << " " << k_;
+  if (epsilon_known_) {
+    char eps[40];
+    std::snprintf(eps, sizeof(eps), "%.17g", epsilon_);
+    out << " " << eps;
+  }
+  out << "\n";
+
+  const auto unpack_cdg = [this](const Segment& seg) {
+    std::vector<CdgSketchSet::NodeSketch> sketches(n_);
+    for (NodeId u = 0; u < n_; ++u) {
+      const std::uint32_t* rec = seg.arena.data() + seg.offsets[u];
+      auto& s = sketches[u];
+      s.net_node = rec[0];
+      s.net_dist = read_dist(rec + 1);
+      s.label = unpack_label(rec[3], rec + kCdgPrefixWords);
+    }
+    return CdgSketchSet(std::move(sketches));
+  };
+
+  switch (scheme_) {
+    case Scheme::kThorupZwick: {
+      const Segment& seg = segments_[0];
+      std::vector<TzLabel> labels;
+      labels.reserve(n_);
+      for (NodeId u = 0; u < n_; ++u) {
+        labels.push_back(unpack_label(u, seg.arena.data() + seg.offsets[u]));
+      }
+      write_tz_labels(out, labels);
+      return;
+    }
+    case Scheme::kSlack: {
+      const Segment& seg = segments_[0];
+      const std::size_t net_size = static_cast<std::size_t>(seg.meta[0]);
+      std::vector<NodeId> net(net_size);
+      for (std::size_t i = 0; i < net_size; ++i) {
+        net[i] = static_cast<NodeId>(seg.meta[1 + i]);
+      }
+      std::vector<std::vector<Dist>> dist(n_, std::vector<Dist>(net_size));
+      for (NodeId u = 0; u < n_; ++u) {
+        const std::uint32_t* rec = seg.arena.data() + seg.offsets[u];
+        for (std::size_t i = 0; i < net_size; ++i) {
+          dist[u][i] = read_dist(rec + 2 * i);
+        }
+      }
+      write_slack_sketches(out, SlackSketchSet(std::move(net), std::move(dist)),
+                           n_);
+      return;
+    }
+    case Scheme::kCdg:
+      write_cdg_sketches(out, unpack_cdg(segments_[0]), n_);
+      return;
+    case Scheme::kGraceful: {
+      std::vector<CdgSketchSet> levels;
+      levels.reserve(segments_.size());
+      for (const Segment& seg : segments_) levels.push_back(unpack_cdg(seg));
+      write_graceful_sketches(out, GracefulSketchSet(std::move(levels)), n_);
+      return;
+    }
+  }
+}
+
+// ---- queries ----------------------------------------------------------------
+
+Dist SketchStore::query_segment(const Segment& seg, NodeId u, NodeId v) const {
+  // CDG estimate: d(u,u') + tz(L(u'), L(v')) + d(v',v), mirroring
+  // CdgSketchSet::query (including the owner short-circuit inside tz_query).
+  const std::uint32_t* ru = seg.arena.data() + seg.offsets[u];
+  const std::uint32_t* rv = seg.arena.data() + seg.offsets[v];
+  const Dist du = read_dist(ru + 1);
+  const Dist dv = read_dist(rv + 1);
+  const NodeId owner_u = ru[3];
+  const NodeId owner_v = rv[3];
+  const PackedLabel lu{ru + kCdgPrefixWords};
+  const PackedLabel lv{rv + kCdgPrefixWords};
+  const Dist mid = owner_u == owner_v ? 0 : packed_tz_query(lu, lv);
+  if (mid == kInfDist) return kInfDist;
+  return du + mid + dv;
+}
+
+Dist SketchStore::query(NodeId u, NodeId v) const {
+  DS_CHECK(u < n_ && v < n_);
+  if (u == v) return 0;
+  switch (scheme_) {
+    case Scheme::kThorupZwick: {
+      const Segment& seg = segments_[0];
+      const PackedLabel lu{seg.arena.data() + seg.offsets[u]};
+      const PackedLabel lv{seg.arena.data() + seg.offsets[v]};
+      return packed_tz_query(lu, lv);
+    }
+    case Scheme::kSlack: {
+      const Segment& seg = segments_[0];
+      const std::size_t net_size = static_cast<std::size_t>(seg.meta[0]);
+      const std::uint32_t* du = seg.arena.data() + seg.offsets[u];
+      const std::uint32_t* dv = seg.arena.data() + seg.offsets[v];
+      Dist best = kInfDist;
+      for (std::size_t i = 0; i < net_size; ++i) {
+        const Dist a = read_dist(du + 2 * i);
+        const Dist b = read_dist(dv + 2 * i);
+        if (a == kInfDist || b == kInfDist) continue;
+        best = std::min(best, a + b);
+      }
+      return best;
+    }
+    case Scheme::kCdg:
+      return query_segment(segments_[0], u, v);
+    case Scheme::kGraceful: {
+      Dist best = kInfDist;
+      for (const Segment& seg : segments_) {
+        best = std::min(best, query_segment(seg, u, v));
+      }
+      return best;
+    }
+  }
+  return kInfDist;
+}
+
+std::size_t SketchStore::payload_bytes() const {
+  std::size_t bytes = 0;
+  for (const Segment& seg : segments_) {
+    bytes += 8 * (1 + seg.meta.size());     // meta_count + meta
+    bytes += 8 * (1 + seg.offsets.size());  // offsets_count + offsets
+    bytes += 8 + 4 * seg.arena.size();      // arena_count + arena
+  }
+  return bytes;
+}
+
+std::size_t SketchStore::node_record_words(NodeId u) const {
+  DS_CHECK(u < n_ && !segments_.empty());
+  const Segment& seg = segments_[0];
+  return static_cast<std::size_t>(seg.offsets[u + 1] - seg.offsets[u]);
+}
+
+// ---- binary round trip ------------------------------------------------------
+
+void SketchStore::write(std::ostream& out) const {
+  ByteWriter payload;
+  for (const Segment& seg : segments_) {
+    payload.u64(seg.meta.size());
+    for (const std::uint64_t m : seg.meta) payload.u64(m);
+    payload.u64(seg.offsets.size());
+    for (const std::uint64_t o : seg.offsets) payload.u64(o);
+    payload.u64(seg.arena.size());
+    for (const std::uint32_t w : seg.arena) payload.u32(w);
+  }
+  const auto& body = payload.bytes();
+
+  out.write(kMagic, 8);
+  ByteWriter h;
+  h.u32(kVersion);
+  h.u32(static_cast<std::uint32_t>(scheme_));
+  h.u32(n_);
+  h.u32(k_);
+  h.u32(static_cast<std::uint32_t>(segments_.size()));
+  h.u32(epsilon_known_ ? kFlagEpsilonKnown : 0);
+  h.f64(epsilon_);
+  h.u64(body.size());
+  h.u64(fnv1a64(body.data(), body.size()));
+  out.write(reinterpret_cast<const char*>(h.bytes().data()),
+            static_cast<std::streamsize>(h.bytes().size()));
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
+  if (!out) throw std::runtime_error("sketch store: write failed");
+}
+
+SketchStore SketchStore::read(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+    throw std::runtime_error("sketch store: bad magic");
+  }
+  std::uint8_t header_bytes[48];
+  if (!in.read(reinterpret_cast<char*>(header_bytes), sizeof(header_bytes))) {
+    throw std::runtime_error("sketch store: truncated header");
+  }
+  ByteReader h(header_bytes, sizeof(header_bytes));
+  const std::uint32_t version = h.u32();
+  if (version != kVersion) {
+    throw std::runtime_error("sketch store: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t scheme_raw = h.u32();
+  if (scheme_raw > static_cast<std::uint32_t>(Scheme::kGraceful)) {
+    throw std::runtime_error("sketch store: unknown scheme tag " +
+                             std::to_string(scheme_raw));
+  }
+  SketchStore store;
+  store.scheme_ = static_cast<Scheme>(scheme_raw);
+  store.n_ = h.u32();
+  store.k_ = h.u32();
+  const std::uint32_t segment_count = h.u32();
+  store.epsilon_known_ = (h.u32() & kFlagEpsilonKnown) != 0;
+  store.epsilon_ = h.f64();
+  const std::uint64_t payload_size = h.u64();
+  const std::uint64_t checksum = h.u64();
+
+  // Read in bounded chunks rather than trusting the header's size for one
+  // up-front allocation: a corrupted payload_size (the header is outside
+  // the checksum) must fail as "truncated", not as a giant bad_alloc.
+  std::vector<std::uint8_t> body;
+  constexpr std::uint64_t kReadChunk = 1 << 24;
+  while (body.size() < payload_size) {
+    const std::uint64_t want =
+        std::min(kReadChunk, payload_size - body.size());
+    const std::size_t old_size = body.size();
+    body.resize(old_size + static_cast<std::size_t>(want));
+    if (!in.read(reinterpret_cast<char*>(body.data() + old_size),
+                 static_cast<std::streamsize>(want))) {
+      throw std::runtime_error("sketch store: truncated payload");
+    }
+  }
+  if (fnv1a64(body.data(), body.size()) != checksum) {
+    throw std::runtime_error("sketch store: checksum mismatch");
+  }
+
+  ByteReader r(body.data(), body.size());
+  store.segments_.reserve(segment_count);
+  for (std::uint32_t s = 0; s < segment_count; ++s) {
+    Segment seg;
+    const std::uint64_t meta_count = r.u64();
+    if (meta_count > r.remaining() / 8) {
+      throw std::runtime_error("sketch store: corrupt meta count");
+    }
+    seg.meta.reserve(meta_count);
+    for (std::uint64_t i = 0; i < meta_count; ++i) seg.meta.push_back(r.u64());
+    const std::uint64_t offsets_count = r.u64();
+    if (offsets_count != static_cast<std::uint64_t>(store.n_) + 1 ||
+        offsets_count > r.remaining() / 8) {
+      throw std::runtime_error("sketch store: offset table size mismatch");
+    }
+    seg.offsets.reserve(offsets_count);
+    for (std::uint64_t i = 0; i < offsets_count; ++i) {
+      seg.offsets.push_back(r.u64());
+      if (i > 0 && seg.offsets[i] < seg.offsets[i - 1]) {
+        throw std::runtime_error("sketch store: offsets not monotone");
+      }
+    }
+    const std::uint64_t arena_count = r.u64();
+    if (arena_count != seg.offsets.back() ||
+        arena_count > r.remaining() / 4) {
+      throw std::runtime_error("sketch store: arena size mismatch");
+    }
+    seg.arena.reserve(arena_count);
+    for (std::uint64_t i = 0; i < arena_count; ++i) {
+      seg.arena.push_back(r.u32());
+    }
+    store.segments_.push_back(std::move(seg));
+  }
+  if (!r.done()) {
+    throw std::runtime_error("sketch store: trailing payload bytes");
+  }
+  if (store.segments_.empty()) {
+    throw std::runtime_error("sketch store: no segments");
+  }
+  store.validate_structure();
+  return store;
+}
+
+// The checksum only proves the payload was not accidentally corrupted; the
+// query path indexes by record-internal counts, so those must be proven
+// consistent with the offset table before any query runs — otherwise a
+// checksum-valid crafted file reads out of bounds.
+void SketchStore::validate_structure() const {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::runtime_error(std::string("sketch store: ") + what);
+  };
+  const auto check_label_record = [&](const Segment& seg, std::uint64_t begin,
+                                      std::uint64_t end) {
+    check(end - begin >= 2, "label record too short");
+    const PackedLabel label{seg.arena.data() + begin};
+    check(label.words() == end - begin, "label record size mismatch");
+  };
+  for (const Segment& seg : segments_) {
+    switch (scheme_) {
+      case Scheme::kThorupZwick:
+        check(seg.meta.empty(), "unexpected tz meta");
+        for (NodeId u = 0; u < n_; ++u) {
+          check_label_record(seg, seg.offsets[u], seg.offsets[u + 1]);
+        }
+        break;
+      case Scheme::kSlack: {
+        check(!seg.meta.empty() && seg.meta[0] + 1 == seg.meta.size(),
+              "slack net meta size mismatch");
+        const std::uint64_t record_words = 2 * seg.meta[0];
+        for (NodeId u = 0; u < n_; ++u) {
+          check(seg.offsets[u + 1] - seg.offsets[u] == record_words,
+                "slack record size mismatch");
+        }
+        break;
+      }
+      case Scheme::kCdg:
+      case Scheme::kGraceful:
+        check(seg.meta.empty(), "unexpected cdg meta");
+        for (NodeId u = 0; u < n_; ++u) {
+          check(seg.offsets[u + 1] - seg.offsets[u] >= kCdgPrefixWords + 2,
+                "cdg record too short");
+          check_label_record(seg, seg.offsets[u] + kCdgPrefixWords,
+                             seg.offsets[u + 1]);
+        }
+        break;
+    }
+  }
+}
+
+void SketchStore::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write(out);
+}
+
+SketchStore SketchStore::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read(in);
+}
+
+}  // namespace dsketch

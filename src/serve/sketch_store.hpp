@@ -1,0 +1,106 @@
+// Compact binary sketch store — the serving-tier representation.
+//
+// The paper's deployment story (§1) is build-once / query-many: the
+// expensive distributed construction runs offline, and the resulting
+// sketches are shipped to query frontends. The text format in
+// core/serialization is convenient for debugging but parses into
+// pointer-heavy per-node structures (vectors + hash maps). This store
+// instead keeps every scheme in one contiguous arena:
+//
+//   header | per-segment { meta | offset table (n+1) | packed arena }
+//
+// A node's sketch is the half-open arena slice [offsets[u], offsets[u+1])
+// of 32-bit words; distances occupy two words (lo, hi). TZ bunch entries
+// are stored sorted by node id so membership tests are branchless binary
+// searches. Queries parse records in place: zero per-query allocation,
+// and answers are bit-identical to SketchEngine::query (tested).
+//
+// On-disk layout (little-endian):
+//   bytes 0..7   magic "DSKSTOR1"
+//   u32 version, u32 scheme, u32 n, u32 k, u32 segments, u32 flags
+//   f64 epsilon                       (flags bit 0: epsilon was recorded)
+//   u64 payload_bytes, u64 checksum (FNV-1a 64 over the payload)
+//   payload: per segment u64 meta_count, u64 meta[], u64 offsets[n+1],
+//            u64 arena_count, u32 arena[]
+//
+// Record layouts (u32 words; D = 2-word little-endian distance):
+//   tz       [levels, bunch_count, (pivot_id, D) x levels,
+//             (node, level, D) x bunch_count sorted by node]
+//   slack    [D x |net|]               (net ids live in the segment meta)
+//   cdg      [net_node, D, owner, <tz record of L(owner)>]
+//   graceful one cdg segment per epsilon level
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+class SketchStore {
+ public:
+  SketchStore() = default;
+
+  /// Packs the engine's built sketches. The engine must hold a payload
+  /// (either constructed or loaded from text).
+  static SketchStore from_engine(const SketchEngine& engine);
+
+  /// Converters bridging the text format of core/serialization.
+  /// from_text reads exactly what SketchEngine::save wrote; to_text writes
+  /// a file SketchEngine::load accepts (bunches come out in canonical
+  /// order, so text -> binary -> text is query-equivalent, not byte-equal).
+  static SketchStore from_text(std::istream& in);
+  void to_text(std::ostream& out) const;
+
+  /// Binary round trip. read()/load_file() validate magic, version,
+  /// structural sizes, and the payload checksum, throwing
+  /// std::runtime_error on any mismatch.
+  void write(std::ostream& out) const;
+  static SketchStore read(std::istream& in);
+  void save_file(const std::string& path) const;
+  static SketchStore load_file(const std::string& path);
+
+  /// Distance estimate from the two packed sketches only; allocation-free
+  /// and safe to call concurrently from any number of threads.
+  Dist query(NodeId u, NodeId v) const;
+
+  Scheme scheme() const { return scheme_; }
+  NodeId num_nodes() const { return n_; }
+  std::uint32_t k() const { return k_; }
+  double epsilon() const { return epsilon_; }
+  /// False when the sketch came from a pre-epsilon text file: epsilon()
+  /// is then a default, not the recorded build value, and to_text()
+  /// writes the old header style to preserve that provenance.
+  bool epsilon_known() const { return epsilon_known_; }
+  std::size_t num_segments() const { return segments_.size(); }
+
+  /// Total packed payload size (arena + offsets + meta), in bytes.
+  std::size_t payload_bytes() const;
+
+  /// Arena words backing node u's record in segment 0 (diagnostics).
+  std::size_t node_record_words(NodeId u) const;
+
+ private:
+  struct Segment {
+    std::vector<std::uint64_t> meta;
+    std::vector<std::uint64_t> offsets;  // n+1 entries, in u32 units
+    std::vector<std::uint32_t> arena;
+  };
+
+  Dist query_segment(const Segment& seg, NodeId u, NodeId v) const;
+  void validate_structure() const;
+
+  Scheme scheme_ = Scheme::kThorupZwick;
+  NodeId n_ = 0;
+  std::uint32_t k_ = 0;
+  double epsilon_ = 0.0;
+  bool epsilon_known_ = true;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace dsketch

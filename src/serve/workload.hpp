@@ -1,0 +1,92 @@
+// Query workload generation for the serving benchmarks.
+//
+// Two shapes cover the serving-tier cases of interest: `uniform` draws
+// independent random pairs (worst case for any cache), and `zipf` draws
+// from a fixed universe of hot pairs with Zipf(s) popularity — the
+// heavy-traffic pattern that per-shard LRUs are built for (a small head
+// of pairs dominates the stream).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dsketch {
+
+struct WorkloadConfig {
+  enum class Kind { kUniform, kZipf };
+  Kind kind = Kind::kUniform;
+  std::size_t hot_pairs = 4096;  ///< zipf universe size
+  double zipf_s = 1.2;           ///< zipf exponent (higher = more skew)
+  std::uint64_t seed = 7;
+};
+
+inline WorkloadConfig::Kind parse_workload_kind(const std::string& name) {
+  if (name == "uniform") return WorkloadConfig::Kind::kUniform;
+  if (name == "zipf") return WorkloadConfig::Kind::kZipf;
+  throw std::runtime_error("unknown workload (want uniform|zipf): " + name);
+}
+
+class WorkloadGenerator {
+ public:
+  using Pair = std::pair<NodeId, NodeId>;
+
+  WorkloadGenerator(NodeId n, const WorkloadConfig& cfg)
+      : n_(n), cfg_(cfg), rng_(cfg.seed) {
+    if (cfg_.kind == WorkloadConfig::Kind::kZipf) {
+      universe_.reserve(cfg_.hot_pairs);
+      Rng pair_rng = rng_.split(1);
+      for (std::size_t i = 0; i < cfg_.hot_pairs; ++i) {
+        universe_.push_back(random_pair(pair_rng));
+      }
+      // Popularity CDF over ranks: P(r) proportional to 1/(r+1)^s.
+      cdf_.reserve(cfg_.hot_pairs);
+      double total = 0;
+      for (std::size_t r = 0; r < cfg_.hot_pairs; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), cfg_.zipf_s);
+        cdf_.push_back(total);
+      }
+      for (double& c : cdf_) c /= total;
+    }
+  }
+
+  Pair next() {
+    if (cfg_.kind == WorkloadConfig::Kind::kUniform) {
+      return random_pair(rng_);
+    }
+    const double x = rng_.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+    const std::size_t rank =
+        it == cdf_.end() ? cdf_.size() - 1
+                         : static_cast<std::size_t>(it - cdf_.begin());
+    return universe_[rank];
+  }
+
+  std::vector<Pair> batch(std::size_t count) {
+    std::vector<Pair> pairs;
+    pairs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) pairs.push_back(next());
+    return pairs;
+  }
+
+ private:
+  Pair random_pair(Rng& rng) {
+    return {static_cast<NodeId>(rng.below(n_)),
+            static_cast<NodeId>(rng.below(n_))};
+  }
+
+  NodeId n_;
+  WorkloadConfig cfg_;
+  Rng rng_;
+  std::vector<Pair> universe_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dsketch

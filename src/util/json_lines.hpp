@@ -1,0 +1,64 @@
+// Machine-readable harness output: one JSON object per line on stdout.
+//
+// Used by the serving CLI and the bench binaries. The perf-trajectory
+// tooling ingests BENCH_*.json files built from these lines, so keys
+// should stay stable across PRs; add keys rather than renaming. Values
+// are emitted in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dsketch::bench {
+
+class JsonLine {
+ public:
+  JsonLine& add(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + escape(value) + "\"");
+  }
+  JsonLine& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonLine& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return raw(key, buf);
+  }
+  JsonLine& add(const std::string& key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& add(const std::string& key, std::uint32_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& add(const std::string& key, int value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& add(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+
+  /// Prints `{...}\n` and flushes so lines survive interleaved crashes.
+  void emit() {
+    std::printf("{%s}\n", body_.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  JsonLine& raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + escape(key) + "\":" + value;
+    return *this;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::string body_;
+};
+
+}  // namespace dsketch::bench

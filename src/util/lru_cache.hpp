@@ -1,0 +1,107 @@
+// Fixed-capacity LRU map for hot-entry caching on the serving path.
+//
+// Single-threaded by design: the query service gives each shard its own
+// instance, so no locking is needed. Doubly-linked recency list threaded
+// through a vector of slots (no per-entry allocation after warmup), with
+// an unordered_map index from key to slot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dsketch {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  /// capacity == 0 disables the cache: get() always misses, put() drops.
+  explicit LruCache(std::size_t capacity = 0) : capacity_(capacity) {
+    slots_.reserve(capacity);
+    index_.reserve(capacity);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return slots_.size(); }
+
+  /// Pointer to the cached value (valid until the next put), or nullptr.
+  /// A hit moves the entry to the front of the recency list.
+  const V* get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    touch(it->second);
+    return &slots_[it->second].value;
+  }
+
+  void put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      slots_[it->second].value = std::move(value);
+      touch(it->second);
+      return;
+    }
+    if (slots_.size() < capacity_) {
+      const std::size_t slot = slots_.size();
+      slots_.push_back(Slot{key, std::move(value), kNil, kNil});
+      index_.emplace(key, slot);
+      link_front(slot);
+      return;
+    }
+    // Evict the tail slot in place.
+    const std::size_t victim = tail_;
+    unlink(victim);
+    index_.erase(slots_[victim].key);
+    slots_[victim].key = key;
+    slots_[victim].value = std::move(value);
+    index_.emplace(key, victim);
+    link_front(victim);
+  }
+
+  void clear() {
+    slots_.clear();
+    index_.clear();
+    head_ = tail_ = kNil;
+  }
+
+ private:
+  static constexpr std::size_t kNil = static_cast<std::size_t>(-1);
+
+  struct Slot {
+    K key;
+    V value;
+    std::size_t prev;
+    std::size_t next;
+  };
+
+  void link_front(std::size_t slot) {
+    slots_[slot].prev = kNil;
+    slots_[slot].next = head_;
+    if (head_ != kNil) slots_[head_].prev = slot;
+    head_ = slot;
+    if (tail_ == kNil) tail_ = slot;
+  }
+
+  void unlink(std::size_t slot) {
+    auto& s = slots_[slot];
+    if (s.prev != kNil) slots_[s.prev].next = s.next;
+    if (s.next != kNil) slots_[s.next].prev = s.prev;
+    if (head_ == slot) head_ = s.next;
+    if (tail_ == slot) tail_ = s.prev;
+  }
+
+  void touch(std::size_t slot) {
+    if (head_ == slot) return;
+    unlink(slot);
+    link_front(slot);
+  }
+
+  std::size_t capacity_;
+  std::vector<Slot> slots_;
+  std::unordered_map<K, std::size_t, Hash> index_;
+  std::size_t head_ = kNil;
+  std::size_t tail_ = kNil;
+};
+
+}  // namespace dsketch

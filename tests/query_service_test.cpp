@@ -1,0 +1,183 @@
+#include "serve/query_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "serve/workload.hpp"
+#include "util/lru_cache.hpp"
+
+namespace dsketch {
+namespace {
+
+SketchStore make_store(Scheme scheme, NodeId n = 90) {
+  const Graph g = erdos_renyi(n, 0.08, {1, 9}, 23);
+  BuildConfig cfg;
+  cfg.scheme = scheme;
+  cfg.k = 2;
+  cfg.epsilon = 0.25;
+  return SketchStore::from_engine(SketchEngine(g, cfg));
+}
+
+std::vector<QueryService::Pair> all_pairs_sample(NodeId n) {
+  std::vector<QueryService::Pair> pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u; v < n; v += 7) pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+TEST(QueryService, BatchAnswersMatchStoreForEveryScheme) {
+  for (const Scheme scheme : {Scheme::kThorupZwick, Scheme::kSlack,
+                              Scheme::kCdg, Scheme::kGraceful}) {
+    const SketchStore store = make_store(scheme);
+    QueryService service(store, {.shards = 4, .threads = 2});
+    const auto pairs = all_pairs_sample(store.num_nodes());
+    std::vector<Dist> answers(pairs.size(), 0);
+    service.query_batch(pairs, answers);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(answers[i], store.query(pairs[i].first, pairs[i].second))
+          << "scheme " << static_cast<int>(scheme) << " pair " << i;
+    }
+  }
+}
+
+TEST(QueryService, AnswersIndependentOfShardAndThreadCount) {
+  const SketchStore store = make_store(Scheme::kThorupZwick);
+  const auto pairs = all_pairs_sample(store.num_nodes());
+  std::vector<Dist> baseline(pairs.size(), 0);
+  QueryService reference(store, {.shards = 1, .threads = 1});
+  reference.query_batch(pairs, baseline);
+  for (const std::size_t shards : {2, 3, 8}) {
+    for (const std::size_t threads : {1, 4}) {
+      QueryService service(store, {.shards = shards,
+                                   .threads = threads,
+                                   .cache_capacity = 64});
+      std::vector<Dist> answers(pairs.size(), 0);
+      service.query_batch(pairs, answers);
+      EXPECT_EQ(answers, baseline) << shards << " shards, " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(QueryService, CacheHitsOnRepeatedPairsAndStatsAddUp) {
+  const SketchStore store = make_store(Scheme::kThorupZwick);
+  QueryService service(store,
+                       {.shards = 4, .threads = 1, .cache_capacity = 1024});
+  std::vector<QueryService::Pair> pairs;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (NodeId u = 0; u < 20; ++u) pairs.emplace_back(u, u + 1);
+  }
+  std::vector<Dist> answers(pairs.size(), 0);
+  service.query_batch(pairs, answers);
+  const QueryServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, pairs.size());
+  EXPECT_EQ(stats.batches, 1u);
+  // 20 distinct pairs queried 5x: at least the 4 repeat rounds must hit.
+  EXPECT_GE(stats.cache_hits, 4u * 20u);
+  EXPECT_GT(stats.hit_rate, 0.5);
+  std::uint64_t per_shard = 0;
+  for (const std::uint64_t q : stats.shard_queries) per_shard += q;
+  EXPECT_EQ(per_shard, stats.queries);
+  service.reset_stats();
+  EXPECT_EQ(service.stats().queries, 0u);
+}
+
+TEST(QueryService, CachedAnswersRespectPairOrientation) {
+  // The TZ query procedure is orientation-dependent (it probes p_i(u) in
+  // B(v) before p_i(v) in B(u)), so query(u,v) and query(v,u) can settle
+  // on different valid estimates. A cache keyed on the canonical pair
+  // would serve one orientation's answer for the other; both orientations
+  // must stay bit-identical to the store even with the cache hot.
+  const SketchStore store = make_store(Scheme::kThorupZwick);
+  QueryService service(store,
+                       {.shards = 2, .threads = 1, .cache_capacity = 4096});
+  for (int round = 0; round < 2; ++round) {  // second round hits the cache
+    for (NodeId u = 0; u < store.num_nodes(); u += 2) {
+      for (NodeId v = u + 1; v < store.num_nodes(); v += 3) {
+        EXPECT_EQ(service.query(u, v), store.query(u, v));
+        EXPECT_EQ(service.query(v, u), store.query(v, u));
+      }
+    }
+  }
+  EXPECT_GT(service.stats().cache_hits, 0u);
+}
+
+TEST(QueryService, AutoShardCountScalesWithThreads) {
+  const SketchStore store = make_store(Scheme::kThorupZwick, 30);
+  QueryService small(store, {.shards = 0, .threads = 1});
+  EXPECT_GE(small.num_shards(), 8u);
+  QueryService wide(store, {.shards = 0, .threads = 6});
+  // parallel_for runs counts < 2*lanes serially; auto-sharding must stay
+  // above that threshold so the pool actually engages.
+  EXPECT_GE(wide.num_shards(), 2 * wide.num_threads());
+}
+
+TEST(QueryService, ZipfWorkloadSkewsTowardHotPairs) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadConfig::Kind::kZipf;
+  cfg.hot_pairs = 64;
+  cfg.zipf_s = 1.2;
+  WorkloadGenerator gen(1000, cfg);
+  std::unordered_map<std::uint64_t, std::size_t> counts;
+  const std::size_t draws = 20000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const auto [u, v] = gen.next();
+    ASSERT_LT(u, 1000u);
+    ASSERT_LT(v, 1000u);
+    ++counts[(static_cast<std::uint64_t>(u) << 32) | v];
+  }
+  EXPECT_LE(counts.size(), 64u);  // confined to the hot universe
+  std::size_t max_count = 0;
+  for (const auto& [key, c] : counts) max_count = std::max(max_count, c);
+  // Rank-1 mass for s=1.2 over 64 ranks is ~23%; uniform would be ~1.6%.
+  EXPECT_GT(max_count, draws / 10);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  ASSERT_NE(cache.get(1), nullptr);  // touch 1; 2 becomes LRU
+  cache.put(3, 30);                  // evicts 2
+  EXPECT_EQ(cache.get(2), nullptr);
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), 10);
+  ASSERT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(*cache.get(3), 30);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, PutOverwritesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(1, 11);
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), 11);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+  LruCache<int, int> cache(0);
+  cache.put(1, 10);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, ClearEmptiesAndKeepsWorking) {
+  LruCache<int, int> cache(3);
+  for (int i = 0; i < 5; ++i) cache.put(i, i);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(4), nullptr);
+  cache.put(7, 70);
+  ASSERT_NE(cache.get(7), nullptr);
+  EXPECT_EQ(*cache.get(7), 70);
+}
+
+}  // namespace
+}  // namespace dsketch

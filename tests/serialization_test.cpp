@@ -80,5 +80,40 @@ TEST(Serialization, LoadedEngineRejectsGarbage) {
   EXPECT_THROW(SketchEngine::load(ss), std::runtime_error);
 }
 
+TEST(Serialization, HeaderPersistsEpsilonForFlagValidation) {
+  const Graph g = ring(30, {1, 4}, 2);
+  BuildConfig cfg;
+  cfg.scheme = Scheme::kSlack;
+  cfg.epsilon = 0.375;
+  const SketchEngine built(g, cfg);
+  std::stringstream ss;
+  built.save(ss);
+  const SketchEngine loaded = SketchEngine::load(ss);
+  EXPECT_EQ(loaded.config().scheme, Scheme::kSlack);
+  EXPECT_DOUBLE_EQ(loaded.config().epsilon, 0.375);
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+}
+
+TEST(Serialization, LoadsHeadersWithoutEpsilonField) {
+  // Files written before the epsilon field carry only "scheme <s> <n> <k>".
+  const Graph g = ring(20, {1, 3}, 4);
+  BuildConfig cfg;
+  cfg.scheme = Scheme::kThorupZwick;
+  cfg.k = 2;
+  const SketchEngine built(g, cfg);
+  std::stringstream ss;
+  built.save(ss);
+  std::string text = ss.str();
+  const auto nl = text.find('\n');
+  std::string header = text.substr(0, nl);
+  header.resize(header.rfind(' '));  // drop the epsilon token
+  std::stringstream old_format(header + text.substr(nl));
+  const SketchEngine loaded = SketchEngine::load(old_format);
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) {
+    EXPECT_EQ(loaded.query(u, (u + 7) % g.num_nodes()),
+              built.query(u, (u + 7) % g.num_nodes()));
+  }
+}
+
 }  // namespace
 }  // namespace dsketch

@@ -4,15 +4,20 @@
 //                 --seed 42 --out net.graph
 //   dsketch info  --graph net.graph [--exact-diameters]
 //   dsketch build --graph net.graph --scheme tz --k 3 [--echo] [--async 4]
+//                 [--save text.sketch] [--store net.store]
 //   dsketch query --graph net.graph --scheme slack --epsilon 0.1
-//                 --pairs 0:17,3:999 [--exact]
+//                 --pairs 0:17,3:999 [--exact] [--load text.sketch]
 //   dsketch eval  --graph net.graph --scheme graceful --sources 16
+//   dsketch convert    --in text.sketch --out net.store
+//   dsketch serve-bench --store net.store --workload zipf --batch 1024
+//                 --threads 1,2,4 --shards 8 --cache 4096
 //
 // Schemes: tz | slack | cdg | graceful. See README for the guarantees.
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,8 +26,13 @@
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/shortest_paths.hpp"
+#include "serve/query_service.hpp"
+#include "serve/sketch_store.hpp"
+#include "serve/workload.hpp"
 #include "sketch/stretch_eval.hpp"
 #include "util/flags.hpp"
+#include "util/json_lines.hpp"
+#include "util/timer.hpp"
 
 using namespace dsketch;
 
@@ -30,18 +40,37 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dsketch <gen|info|build|query|eval> [--flags]\n"
+               "usage: dsketch <gen|info|build|query|eval|convert|serve-bench>"
+               " [--flags]\n"
                "  gen   --topology er|grid|ring|path|ba|ws|geometric|tree|"
                "isp|ring_chords --n N [--p P] [--m M] [--wmin W --wmax W] "
                "[--seed S] --out FILE\n"
                "  info  --graph FILE [--exact-diameters]\n"
                "  build --graph FILE --scheme tz|slack|cdg|graceful [--k K] "
                "[--epsilon E] [--echo|--known-s] [--async DMAX] [--seed S] "
-               "[--save FILE]\n"
-               "  query --graph FILE --scheme ... --pairs u:v,u:v [--exact]\n"
+               "[--save FILE] [--store FILE]\n"
+               "  query --graph FILE --scheme ... --pairs u:v,u:v [--exact] "
+               "[--load FILE]\n"
                "  eval  --graph FILE --scheme ... [--sources N] "
-               "[--epsilon-far E]\n");
+               "[--epsilon-far E]\n"
+               "  convert --in FILE --out FILE   (text <-> binary store, "
+               "direction auto-detected from the input magic)\n"
+               "  serve-bench (--store FILE | --graph FILE --scheme ...) "
+               "[--queries N] [--batch B,B,...] [--threads T,T,...] "
+               "[--shards S] [--cache C] [--workload uniform|zipf] "
+               "[--zipf-s S] [--hot-pairs H] [--seed S] [--verify N]\n");
   return 2;
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  if (out.empty()) throw std::runtime_error("empty integer list: " + csv);
+  return out;
 }
 
 Graph generate(const FlagSet& flags) {
@@ -157,6 +186,13 @@ int cmd_build(const FlagSet& flags) {
     std::printf("sketches saved to %s\n",
                 flags.get("save", std::string{}).c_str());
   }
+  if (flags.has("store")) {
+    const std::string path = flags.get("store", std::string{});
+    const SketchStore store = SketchStore::from_engine(engine);
+    store.save_file(path);
+    std::printf("binary store saved to %s (%zu payload bytes)\n",
+                path.c_str(), store.payload_bytes());
+  }
   std::printf("scheme:     %s\n", engine.guarantee().c_str());
   std::printf("rounds:     %llu\n",
               static_cast<unsigned long long>(engine.cost().rounds));
@@ -168,13 +204,58 @@ int cmd_build(const FlagSet& flags) {
   return 0;
 }
 
+/// A loaded sketch answers with whatever configuration it was built with;
+/// silently ignoring contradicting flags would report estimates under the
+/// wrong guarantee. Reject explicit flags that disagree with the file.
+void check_loaded_config(const FlagSet& flags, const SketchEngine& engine,
+                         const std::string& path) {
+  const BuildConfig& loaded = engine.config();
+  const auto fail = [&](const std::string& what, const std::string& have,
+                        const std::string& want) {
+    throw std::runtime_error("--load " + path + ": sketch was built with " +
+                             what + " " + have + " but --" + what + " " +
+                             want + " was requested; rebuild with `dsketch "
+                             "build` or drop the flag");
+  };
+  if (flags.has("scheme")) {
+    const BuildConfig requested = parse_build_config(flags);
+    if (requested.scheme != loaded.scheme) {
+      fail("scheme", scheme_name(loaded.scheme),
+           scheme_name(requested.scheme));
+    }
+  }
+  if (flags.has("k")) {
+    const auto k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{0}));
+    if (k != loaded.k) {
+      fail("k", std::to_string(loaded.k), std::to_string(k));
+    }
+  }
+  // Pre-epsilon files never recorded the build epsilon; nothing to check
+  // against then.
+  if (flags.has("epsilon") && engine.epsilon_known()) {
+    const double eps = flags.get("epsilon", 0.0);
+    if (eps != loaded.epsilon) {
+      fail("epsilon", std::to_string(loaded.epsilon), std::to_string(eps));
+    }
+  }
+}
+
 int cmd_query(const FlagSet& flags) {
   const Graph g = read_graph_file(flags.require("graph"));
   const SketchEngine engine = [&] {
     if (flags.has("load")) {
-      std::ifstream in(flags.get("load", std::string{}));
+      const std::string path = flags.get("load", std::string{});
+      std::ifstream in(path);
       if (!in) throw std::runtime_error("cannot open --load file");
-      return SketchEngine::load(in);
+      SketchEngine loaded = SketchEngine::load(in);
+      check_loaded_config(flags, loaded, path);
+      if (loaded.num_nodes() != g.num_nodes()) {
+        throw std::runtime_error(
+            "--load " + path + ": sketch covers " +
+            std::to_string(loaded.num_nodes()) + " nodes but --graph has " +
+            std::to_string(g.num_nodes()));
+      }
+      return loaded;
     }
     return SketchEngine(g, parse_build_config(flags));
   }();
@@ -240,6 +321,122 @@ int cmd_eval(const FlagSet& flags) {
   return 0;
 }
 
+int cmd_convert(const FlagSet& flags) {
+  const std::string in_path = flags.require("in");
+  const std::string out_path = flags.require("out");
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open --in file: " + in_path);
+  char magic[8] = {};
+  in.read(magic, 8);
+  in.clear();
+  in.seekg(0);
+  const bool input_is_binary = std::string(magic, 8) == "DSKSTOR1";
+  if (input_is_binary) {
+    const SketchStore store = SketchStore::read(in);
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open --out file: " + out_path);
+    store.to_text(out);
+    std::printf("converted binary store %s -> text %s\n", in_path.c_str(),
+                out_path.c_str());
+  } else {
+    const SketchStore store = SketchStore::from_text(in);
+    store.save_file(out_path);
+    std::printf("converted text %s -> binary store %s (%zu payload bytes)\n",
+                in_path.c_str(), out_path.c_str(), store.payload_bytes());
+  }
+  return 0;
+}
+
+int cmd_serve_bench(const FlagSet& flags) {
+  const SketchStore store = [&] {
+    if (flags.has("store")) {
+      return SketchStore::load_file(flags.get("store", std::string{}));
+    }
+    // No store on disk: build in-process so one command covers the
+    // whole build-once/serve-many pipeline.
+    const Graph g = read_graph_file(flags.require("graph"));
+    return SketchStore::from_engine(SketchEngine(g, parse_build_config(flags)));
+  }();
+
+  WorkloadConfig wl;
+  wl.kind = parse_workload_kind(flags.get("workload", std::string("uniform")));
+  wl.hot_pairs =
+      static_cast<std::size_t>(flags.get("hot-pairs", std::int64_t{4096}));
+  wl.zipf_s = flags.get("zipf-s", 1.2);
+  wl.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{7}));
+
+  const auto queries =
+      static_cast<std::size_t>(flags.get("queries", std::int64_t{200000}));
+  const auto shards = flags.get("shards", std::int64_t{0});  // 0 = auto
+  const auto cache = flags.get("cache", std::int64_t{0});
+  const auto verify =
+      static_cast<std::size_t>(flags.get("verify", std::int64_t{1000}));
+  if (shards < 0) throw std::runtime_error("--shards must be >= 0");
+  if (cache < 0) throw std::runtime_error("--cache must be >= 0");
+
+  for (const std::int64_t threads :
+       parse_int_list(flags.get("threads", std::string("0")))) {
+    if (threads < 0) throw std::runtime_error("--threads must be >= 0");
+    for (const std::int64_t batch :
+         parse_int_list(flags.get("batch", std::string("1024")))) {
+      if (batch <= 0) throw std::runtime_error("--batch must be positive");
+      QueryServiceConfig cfg;
+      cfg.shards = static_cast<std::size_t>(shards);
+      cfg.threads = static_cast<std::size_t>(threads);
+      cfg.cache_capacity = static_cast<std::size_t>(cache);
+      QueryService service(store, cfg);
+      WorkloadGenerator gen(store.num_nodes(), wl);
+
+      std::vector<QueryService::Pair> pairs;
+      std::vector<Dist> answers;
+      std::size_t mismatches = 0;
+      std::size_t done = 0;
+      while (done < queries) {
+        const std::size_t count =
+            std::min(static_cast<std::size_t>(batch), queries - done);
+        pairs = gen.batch(count);
+        answers.assign(count, 0);
+        service.query_batch(pairs, answers);
+        // Spot-check the first batch against the store's single-threaded
+        // answers; the service must be bit-identical.
+        if (done == 0) {
+          for (std::size_t i = 0; i < std::min(verify, count); ++i) {
+            if (answers[i] != store.query(pairs[i].first, pairs[i].second)) {
+              ++mismatches;
+            }
+          }
+        }
+        done += count;
+      }
+
+      const QueryServiceStats stats = service.stats();
+      dsketch::bench::JsonLine line;
+      line.add("bench", "serve")
+          .add("scheme", scheme_name(store.scheme()))
+          .add("n", static_cast<std::uint64_t>(store.num_nodes()))
+          .add("k", store.k())
+          .add("workload",
+               wl.kind == WorkloadConfig::Kind::kUniform ? "uniform" : "zipf")
+          .add("threads", static_cast<std::uint64_t>(service.num_threads()))
+          .add("shards", static_cast<std::uint64_t>(service.num_shards()))
+          .add("batch", static_cast<std::uint64_t>(batch))
+          .add("cache", static_cast<std::uint64_t>(cache))
+          .add("queries", stats.queries)
+          .add("wall_seconds", stats.wall_seconds)
+          .add("qps", stats.qps)
+          .add("hit_rate", stats.hit_rate)
+          .add("p50_shard_batch_us", stats.p50_shard_batch_us)
+          .add("p99_shard_batch_us", stats.p99_shard_batch_us)
+          .add("mismatches", static_cast<std::uint64_t>(mismatches))
+          .emit();
+      if (mismatches > 0) {
+        throw std::runtime_error("service answers diverged from the store");
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -252,6 +449,8 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(flags);
     if (cmd == "query") return cmd_query(flags);
     if (cmd == "eval") return cmd_eval(flags);
+    if (cmd == "convert") return cmd_convert(flags);
+    if (cmd == "serve-bench") return cmd_serve_bench(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
