@@ -1,45 +1,45 @@
-// Shared helpers for the experiment harness binaries.
+// Shared helpers for the experiment library (bench/bench_e*.cpp).
 //
-// Each bench_eN binary regenerates one experiment from DESIGN.md §3 and
-// prints a Markdown table; EXPERIMENTS.md records the observed shapes
-// against the paper's theorem claims.
+// Every experiment emits machine-readable JSON lines (util/json_lines.hpp)
+// to a caller-supplied stream: one `row(...)` object per table row plus one
+// trailing `note(...)` describing the shape the paper predicts. Markdown
+// rendering lives in src/exp/report.cpp, which aggregates these lines into
+// docs/RESULTS.md; the standalone bench shims just stream them to stdout.
 #pragma once
 
-#include <cstdio>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/graph_io.hpp"
 #include "graph/shortest_paths.hpp"
+#include "sketch/hierarchy.hpp"
 #include "sketch/stretch_eval.hpp"
+#include "util/flags.hpp"
+#include "util/json_lines.hpp"
+#include "util/timer.hpp"
 
 namespace dsketch::bench {
 
-inline void print_header(const std::string& title,
-                         const std::vector<std::string>& columns) {
-  std::printf("\n## %s\n\n", title.c_str());
-  std::string head = "|", rule = "|";
-  for (const auto& c : columns) {
-    head += " " + c + " |";
-    rule += "---|";
-  }
-  std::printf("%s\n%s\n", head.c_str(), rule.c_str());
+/// Starts a table row stamped with the shared schema keys every harness
+/// line carries: `experiment` (e1..e12) and `table` (groups rows into one
+/// rendered table).
+inline JsonLine row(const std::string& experiment, const std::string& table) {
+  JsonLine line;
+  line.add("experiment", experiment).add("table", table);
+  return line;
 }
 
-inline void print_row(const std::vector<std::string>& cells) {
-  std::string row = "|";
-  for (const auto& c : cells) row += " " + c + " |";
-  std::printf("%s\n", row.c_str());
+/// Emits the experiment's expected-shape note (rendered as a blockquote
+/// under the experiment's tables in docs/RESULTS.md).
+inline void note(std::ostream& out, const std::string& experiment,
+                 const std::string& text) {
+  JsonLine line;
+  line.add("experiment", experiment).add("note", text).emit(out);
 }
-
-inline std::string fmt(double x, int precision = 2) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
-  return buf;
-}
-inline std::string fmt(std::uint64_t x) { return std::to_string(x); }
-inline std::string fmt(std::uint32_t x) { return std::to_string(x); }
-inline std::string fmt(int x) { return std::to_string(x); }
 
 /// Shorthand: evaluate an estimator over sampled ground truth.
 inline StretchReport eval(const Graph& g, const SampledGroundTruth& gt,
@@ -47,6 +47,58 @@ inline StretchReport eval(const Graph& g, const SampledGroundTruth& gt,
   EvalOptions opts;
   opts.epsilon = epsilon;
   return evaluate_stretch(g, gt, est, opts);
+}
+
+/// Samples a TZ hierarchy, re-drawing until the top level is nonempty
+/// (the construction requires at least one top-level pivot).
+inline Hierarchy sampled_hierarchy(NodeId n, std::uint32_t k,
+                                   std::uint64_t seed) {
+  Hierarchy h = Hierarchy::sample(n, k, seed);
+  for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
+    h = Hierarchy::sample(n, k, seed + b);
+  }
+  return h;
+}
+
+/// The experiment's primary graph: `--graph FILE` loads a corpus file
+/// (how the repro runner shares one generated graph across cells);
+/// otherwise an Erdős–Rényi instance at `--n` (default `def_n`) whose
+/// edge probability preserves `def_p`'s average degree when n is scaled.
+inline Graph primary_graph(const FlagSet& flags, NodeId def_n, double def_p,
+                           WeightSpec weights, std::uint64_t seed) {
+  if (flags.has("graph")) {
+    return read_graph_file(flags.get("graph", std::string{}));
+  }
+  const auto n =
+      static_cast<NodeId>(flags.get("n", static_cast<std::int64_t>(def_n)));
+  const double p = flags.get("p", def_p * def_n / n);
+  return erdos_renyi(n, p, weights, seed);
+}
+
+/// Mean per-node sketch size in words for any set exposing size_words(u).
+template <typename SketchSet>
+double mean_size_words(const SketchSet& set, NodeId n) {
+  double words = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    words += static_cast<double>(set.size_words(u));
+  }
+  return words / static_cast<double>(n);
+}
+
+/// Times `fn(u, v)` over all pairs (one warmup pass, one timed pass) and
+/// returns mean ns per query; the checksum defeats dead-code elimination
+/// without perturbing the loop.
+template <typename Fn>
+double time_ns_per_query(const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                         const Fn& fn) {
+  Dist sink = 0;
+  for (const auto& [u, v] : pairs) sink ^= fn(u, v);
+  Timer timer;
+  for (const auto& [u, v] : pairs) sink ^= fn(u, v);
+  const double ns = timer.seconds() * 1e9;
+  volatile Dist keep = sink;
+  (void)keep;
+  return ns / static_cast<double>(pairs.size());
 }
 
 }  // namespace dsketch::bench

@@ -4,50 +4,54 @@
 //
 // Sweeps k on a dense graph: spanner edge count (normalized by k n^{1+1/k})
 // and the worst observed stretch of spanner distances.
+//
+// Flags: --n (600), --p (0.15), --kmax (5), --sources (12).
 #include <cmath>
-#include <cstdio>
 
 #include "bench_common.hpp"
-#include "graph/generators.hpp"
-#include "sketch/hierarchy.hpp"
 #include "sketch/spanner.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
-int main() {
-  std::printf("# E10: Thorup-Zwick spanners (size vs stretch tradeoff)\n");
-  print_header("dense erdos-renyi n=600, |E|~27000",
-               {"k", "bound 2k-1", "spanner edges", "edges/(k n^{1+1/k})",
-                "kept fraction", "max stretch", "mean stretch"});
-  const NodeId n = 600;
-  const Graph g = erdos_renyi(n, 0.15, {1, 9}, 3);
-  const SampledGroundTruth gt(g, 12, 7);
-  for (const std::uint32_t k : {1u, 2u, 3u, 4u, 5u}) {
-    Hierarchy h = Hierarchy::sample(n, k, 100 + k);
-    for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
-      h = Hierarchy::sample(n, k, 100 + k + b);
-    }
+int run_e10(const FlagSet& flags, std::ostream& out) {
+  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{600}));
+  const auto kmax =
+      static_cast<std::uint32_t>(flags.get("kmax", std::int64_t{5}));
+  const auto sources =
+      static_cast<std::size_t>(flags.get("sources", std::int64_t{12}));
+  const Graph g = erdos_renyi(n, flags.get("p", 0.15), {1, 9}, 3);
+  const SampledGroundTruth gt(g, sources, 7);
+  for (std::uint32_t k = 1; k <= kmax; ++k) {
+    const Hierarchy h = sampled_hierarchy(n, k, 100 + k);
     const Graph sp = spanner_graph(g, h);
     SampleSet stretch;
-    for (std::size_t row = 0; row < gt.num_rows(); ++row) {
-      const auto dh = dijkstra(sp, gt.sources()[row]);
+    for (std::size_t r = 0; r < gt.num_rows(); ++r) {
+      const auto dh = dijkstra(sp, gt.sources()[r]);
       for (NodeId v = 0; v < n; v += 2) {
-        if (v == gt.sources()[row]) continue;
+        if (v == gt.sources()[r]) continue;
         stretch.add(static_cast<double>(dh[v]) /
-                    static_cast<double>(gt.dist(row, v)));
+                    static_cast<double>(gt.dist(r, v)));
       }
     }
-    const double denom =
-        k * std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
-    print_row({fmt(k), fmt(2 * k - 1), fmt(sp.num_edges()),
-               fmt(static_cast<double>(sp.num_edges()) / denom, 3),
-               fmt(static_cast<double>(sp.num_edges()) /
-                   static_cast<double>(g.num_edges())),
-               fmt(stretch.max()), fmt(stretch.mean())});
+    const double denom = k * std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+    row("e10", "spanner_size_vs_stretch")
+        .add("n", static_cast<std::uint64_t>(n))
+        .add("graph_edges", static_cast<std::uint64_t>(g.num_edges()))
+        .add("k", k)
+        .add("bound_2k_minus_1", 2 * k - 1)
+        .add("spanner_edges", static_cast<std::uint64_t>(sp.num_edges()))
+        .add("edges_normalized",
+             static_cast<double>(sp.num_edges()) / denom)
+        .add("kept_fraction", static_cast<double>(sp.num_edges()) /
+                                  static_cast<double>(g.num_edges()))
+        .add("max_stretch", stretch.max())
+        .add("mean_stretch", stretch.mean())
+        .emit(out);
   }
-  std::printf(
-      "\nExpected shape: edges drop sharply with k while max stretch stays "
-      "under 2k-1; normalized edge count is O(1).\n");
+  note(out, "e10",
+       "Expected shape: edges drop sharply with k while max stretch stays "
+       "under 2k-1; normalized edge count is O(1).");
   return 0;
 }
+
+}  // namespace dsketch::bench

@@ -3,39 +3,37 @@
 // The paper's motivation (§1) is that once sketches are built, distance
 // queries need no network traffic at all — so query throughput of the
 // serving representation is a first-class metric alongside build cost
-// (E3) and stretch (E1). This harness:
+// (E3) and stretch (E1). This experiment:
 //
 //   1. builds a TZ k=3 sketch over an n=4096 ER graph (flags override),
 //   2. round-trips it through the binary SketchStore (save + load),
 //   3. verifies the loaded store answers bit-identically to the engine,
 //   4. sweeps workload shape x batch size x thread count through the
 //      sharded QueryService, one JSON line per config,
-//   5. emits a scaling summary line (qps at 1 vs 4 threads, uniform
-//      workload, largest batch).
+//   5. emits a scaling summary line (qps at the lowest vs highest thread
+//      count, uniform workload, largest batch).
 //
 // Thread scaling is only observable when the host exposes cores; the
 // hw_threads key records what was available so trajectories from
 // single-core CI boxes are not misread as regressions.
-#include <cstdint>
-#include <cstdio>
-#include <string>
+//
+// Flags: --n (4096) / --graph FILE, --k (3), --queries (100000),
+// --threads (1,2,4,8), --batch (1024,8192), --shards (0=auto), --cache
+// (4096, zipf only), --out (store path; defaults under --tmpdir when the
+// repro runner sets one).
+#include <algorithm>
 #include <thread>
-#include <vector>
 
+#include "bench_common.hpp"
 #include "core/engine.hpp"
-#include "graph/generators.hpp"
 #include "serve/query_service.hpp"
 #include "serve/sketch_store.hpp"
 #include "serve/workload.hpp"
-#include "util/flags.hpp"
-#include "util/json_lines.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
+
+namespace dsketch::bench {
 
 namespace {
-
-using namespace dsketch;
-using dsketch::bench::JsonLine;
 
 struct RunResult {
   double qps = 0;
@@ -45,7 +43,8 @@ struct RunResult {
 RunResult run_config(const SketchStore& store, const std::string& workload,
                      std::size_t threads, std::size_t shards,
                      std::size_t batch, std::size_t cache,
-                     std::size_t queries, std::uint64_t seed) {
+                     std::size_t queries, std::uint64_t seed,
+                     std::ostream& out) {
   QueryServiceConfig cfg;
   cfg.shards = shards;
   cfg.threads = threads;
@@ -69,8 +68,7 @@ RunResult run_config(const SketchStore& store, const std::string& workload,
   }
 
   const QueryServiceStats stats = service.stats();
-  JsonLine line;
-  line.add("bench", "e12_serving")
+  row("e12", "serving_sweep")
       .add("workload", workload)
       .add("n", static_cast<std::uint64_t>(store.num_nodes()))
       .add("k", store.k())
@@ -86,15 +84,13 @@ RunResult run_config(const SketchStore& store, const std::string& workload,
       .add("hit_rate", stats.hit_rate)
       .add("p50_shard_batch_us", stats.p50_shard_batch_us)
       .add("p99_shard_batch_us", stats.p99_shard_batch_us)
-      .emit();
+      .emit(out);
   return RunResult{stats.qps, stats.hit_rate};
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const FlagSet flags(argc, argv);
-  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{4096}));
+int run_e12(const FlagSet& flags, std::ostream& out) {
   const auto k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{3}));
   const auto queries =
       static_cast<std::size_t>(flags.get("queries", std::int64_t{100000}));
@@ -102,11 +98,21 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get("shards", std::int64_t{0}));  // auto
   const auto cache =
       static_cast<std::size_t>(flags.get("cache", std::int64_t{4096}));
-  const std::string store_path =
-      flags.get("out", std::string("e12_serving.store"));
+  const auto thread_list =
+      parse_int_list(flags.get("threads", std::string("1,2,4,8")));
+  const auto batch_list =
+      parse_int_list(flags.get("batch", std::string("1024,8192")));
+  // The repro runner sets --tmpdir to a cell-private directory so parallel
+  // cells never collide on the store file.
+  const std::string tmpdir = flags.get("tmpdir", std::string{});
+  const std::string store_path = flags.get(
+      "out",
+      tmpdir.empty() ? std::string("e12_serving.store")
+                     : tmpdir + "/e12_serving.store");
 
   // 1. Build (the expensive, once-per-deployment step).
-  const Graph g = erdos_renyi(n, 8.0 / n, {1, 16}, 42);
+  const Graph g = primary_graph(flags, 4096, 8.0 / 4096, {1, 16}, 42);
+  const NodeId n = g.num_nodes();
   BuildConfig cfg;
   cfg.scheme = Scheme::kThorupZwick;
   cfg.k = k;
@@ -127,8 +133,7 @@ int main(int argc, char** argv) {
     const auto v = static_cast<NodeId>(rng.below(n));
     if (store.query(u, v) != engine.query(u, v)) ++mismatches;
   }
-  JsonLine verify_line;
-  verify_line.add("bench", "e12_serving_verify")
+  row("e12", "store_verify")
       .add("n", static_cast<std::uint64_t>(n))
       .add("k", k)
       .add("build_seconds", build_seconds)
@@ -136,37 +141,54 @@ int main(int argc, char** argv) {
       .add("verify_pairs", static_cast<std::uint64_t>(verify_pairs))
       .add("mismatches", static_cast<std::uint64_t>(mismatches))
       .add("bit_identical", mismatches == 0)
-      .emit();
+      .emit(out);
   if (mismatches > 0) {
-    std::fprintf(stderr, "FATAL: store answers diverged from the engine\n");
+    note(out, "e12", "FATAL: store answers diverged from the engine");
     return 1;
   }
 
-  // 4. Workload sweep.
-  const std::size_t big_batch = 8192;
-  double qps_t1 = 0, qps_t4 = 0;
+  // 4. Workload sweep. The scaling summary compares the smallest and
+  // largest thread counts at the largest batch, whatever order the
+  // sweep lists were given in.
+  const auto big_batch = static_cast<std::size_t>(
+      *std::max_element(batch_list.begin(), batch_list.end()));
+  const auto threads_lo = static_cast<std::size_t>(
+      *std::min_element(thread_list.begin(), thread_list.end()));
+  const auto threads_hi = static_cast<std::size_t>(
+      *std::max_element(thread_list.begin(), thread_list.end()));
+  double qps_lo = 0, qps_hi = 0;
   for (const std::string workload : {"uniform", "zipf"}) {
-    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-      for (const std::size_t batch : {std::size_t{1024}, big_batch}) {
+    for (const std::int64_t threads : thread_list) {
+      for (const std::int64_t batch : batch_list) {
         const RunResult r = run_config(
-            store, workload, threads, shards, batch,
-            workload == "zipf" ? cache : 0, queries, /*seed=*/7);
-        if (workload == "uniform" && batch == big_batch) {
-          if (threads == 1) qps_t1 = r.qps;
-          if (threads == 4) qps_t4 = r.qps;
+            store, workload, static_cast<std::size_t>(threads), shards,
+            static_cast<std::size_t>(batch),
+            workload == "zipf" ? cache : 0, queries, /*seed=*/7, out);
+        if (workload == "uniform" &&
+            static_cast<std::size_t>(batch) == big_batch) {
+          if (static_cast<std::size_t>(threads) == threads_lo) qps_lo = r.qps;
+          if (static_cast<std::size_t>(threads) == threads_hi) qps_hi = r.qps;
         }
       }
     }
   }
 
-  // 5. Scaling summary (acceptance: >= 2x on a >= 4-core host).
-  JsonLine scaling;
-  scaling.add("bench", "e12_serving_scaling")
-      .add("qps_threads1", qps_t1)
-      .add("qps_threads4", qps_t4)
-      .add("speedup_1_to_4", qps_t1 > 0 ? qps_t4 / qps_t1 : 0)
+  // 5. Scaling summary (acceptance: >= 2x on a >= 4-core host when the
+  // sweep spans 1 -> 4 threads).
+  row("e12", "thread_scaling")
+      .add("threads_lo", static_cast<std::uint64_t>(threads_lo))
+      .add("threads_hi", static_cast<std::uint64_t>(threads_hi))
+      .add("qps_lo", qps_lo)
+      .add("qps_hi", qps_hi)
+      .add("speedup", qps_lo > 0 ? qps_hi / qps_lo : 0)
       .add("hw_threads",
            static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
-      .emit();
+      .emit(out);
+  note(out, "e12",
+       "Expected shape: the store round-trips bit-identically; uniform qps "
+       "scales with threads on multi-core hosts; zipf hit rate rises with "
+       "cache size and skew.");
   return 0;
 }
+
+}  // namespace dsketch::bench

@@ -4,16 +4,16 @@
 // against the guarantee. The paper's shape: max stretch always below 2k-1,
 // mean stretch far below (typical instances are much better than worst
 // case), and both grow with k while the sketch shrinks.
-#include <cstdio>
+//
+// Flags: --n (1024) scales every topology, --kmax (5), --sources (16)
+// ground-truth rows, --pops (24) ISP core size.
+#include <cmath>
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
-#include "graph/generators.hpp"
-#include "sketch/hierarchy.hpp"
 #include "sketch/tz_distributed.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
 namespace {
 
@@ -22,28 +22,31 @@ struct Topology {
   Graph graph;
 };
 
-std::vector<Topology> make_topologies() {
+std::vector<Topology> make_topologies(NodeId n, NodeId pops) {
+  const auto rows = static_cast<NodeId>(
+      std::max(2.0, std::floor(std::sqrt(static_cast<double>(n)))));
   std::vector<Topology> t;
-  t.push_back({"erdos_renyi(1024,p=0.008)",
-               erdos_renyi(1024, 0.008, {1, 16}, 42)});
-  t.push_back({"grid 32x32 weighted", grid2d(32, 32, {1, 16}, 42)});
-  t.push_back({"barabasi_albert(1024,m=3)",
-               barabasi_albert(1024, 3, {1, 16}, 42)});
-  t.push_back({"isp_two_level(1024,pops=24)",
-               isp_two_level(1024, 24, {1, 4}, {8, 40}, 42)});
+  t.push_back({"erdos_renyi", erdos_renyi(n, 8.0 / n, {1, 16}, 42)});
+  t.push_back({"grid_weighted", grid2d(rows, (n + rows - 1) / rows,
+                                       {1, 16}, 42)});
+  t.push_back({"barabasi_albert", barabasi_albert(n, 3, {1, 16}, 42)});
+  t.push_back({"isp_two_level", isp_two_level(n, pops, {1, 4}, {8, 40}, 42)});
   return t;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("# E1: Thorup-Zwick stretch vs k (Theorem 1.1: stretch <= 2k-1)\n");
-  print_header("stretch by topology and k",
-               {"topology", "k", "bound 2k-1", "mean", "p95", "max",
-                "underest", "mean sketch words"});
-  for (const auto& topo : make_topologies()) {
-    const SampledGroundTruth gt(topo.graph, 16, 7);
-    for (const std::uint32_t k : {1u, 2u, 3u, 4u, 5u}) {
+int run_e1(const FlagSet& flags, std::ostream& out) {
+  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{1024}));
+  const auto kmax =
+      static_cast<std::uint32_t>(flags.get("kmax", std::int64_t{5}));
+  const auto sources =
+      static_cast<std::size_t>(flags.get("sources", std::int64_t{16}));
+  const auto pops = static_cast<NodeId>(flags.get("pops", std::int64_t{24}));
+
+  for (const auto& topo : make_topologies(n, pops)) {
+    const SampledGroundTruth gt(topo.graph, sources, 7);
+    for (std::uint32_t k = 1; k <= kmax; ++k) {
       BuildConfig cfg;
       cfg.scheme = Scheme::kThorupZwick;
       cfg.k = k;
@@ -52,42 +55,51 @@ int main() {
       const auto report =
           eval(topo.graph, gt,
                [&](NodeId u, NodeId v) { return engine.query(u, v); });
-      print_row({topo.name, fmt(k), fmt(2 * k - 1), fmt(report.all.mean()),
-                 fmt(report.all.p(95)), fmt(report.all.max()),
-                 fmt(report.underestimates), fmt(engine.mean_size_words())});
+      row("e1", "stretch_vs_k")
+          .add("topology", topo.name)
+          .add("n", static_cast<std::uint64_t>(topo.graph.num_nodes()))
+          .add("k", k)
+          .add("bound_2k_minus_1", 2 * k - 1)
+          .add("mean_stretch", report.all.mean())
+          .add("p95_stretch", report.all.p(95))
+          .add("max_stretch", report.all.max())
+          .add("underestimates",
+               static_cast<std::uint64_t>(report.underestimates))
+          .add("mean_sketch_words", engine.mean_size_words())
+          .emit(out);
     }
   }
+
   // Ablation: Lemma 3.2's O(k) pivot query vs the exhaustive
   // common-bunch-member scan (same labels, same guarantee, better
   // practical stretch at O(bunch) query cost).
-  print_header("query variant ablation (erdos_renyi n=1024)",
-               {"k", "mean (pivot O(k))", "max (pivot)",
-                "mean (exhaustive)", "max (exhaustive)"});
   {
-    const Graph g = erdos_renyi(1024, 0.008, {1, 16}, 42);
-    const SampledGroundTruth gt(g, 16, 7);
-    for (const std::uint32_t k : {2u, 3u, 4u, 5u}) {
-      Hierarchy h = Hierarchy::sample(g.num_nodes(), k, 100 + k);
-      for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
-        h = Hierarchy::sample(g.num_nodes(), k, 100 + k + b);
-      }
+    const Graph g = erdos_renyi(n, 8.0 / n, {1, 16}, 42);
+    const SampledGroundTruth gt(g, sources, 7);
+    for (std::uint32_t k = 2; k <= kmax; ++k) {
+      const Hierarchy h = sampled_hierarchy(g.num_nodes(), k, 100 + k);
       const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
-      const auto pivot_report =
-          eval(g, gt, [&](NodeId u, NodeId v) {
-            return tz_query(r.labels[u], r.labels[v]);
-          });
-      const auto full_report =
-          eval(g, gt, [&](NodeId u, NodeId v) {
-            return tz_query_exhaustive(r.labels[u], r.labels[v]);
-          });
-      print_row({fmt(k), fmt(pivot_report.all.mean()),
-                 fmt(pivot_report.all.max()), fmt(full_report.all.mean()),
-                 fmt(full_report.all.max())});
+      const auto pivot_report = eval(g, gt, [&](NodeId u, NodeId v) {
+        return tz_query(r.labels[u], r.labels[v]);
+      });
+      const auto full_report = eval(g, gt, [&](NodeId u, NodeId v) {
+        return tz_query_exhaustive(r.labels[u], r.labels[v]);
+      });
+      row("e1", "query_variant_ablation")
+          .add("n", static_cast<std::uint64_t>(g.num_nodes()))
+          .add("k", k)
+          .add("mean_stretch_pivot", pivot_report.all.mean())
+          .add("max_stretch_pivot", pivot_report.all.max())
+          .add("mean_stretch_exhaustive", full_report.all.mean())
+          .add("max_stretch_exhaustive", full_report.all.max())
+          .emit(out);
     }
   }
-  std::printf(
-      "\nExpected shape: max <= bound for every row; mean well below bound; "
-      "sketch words shrink as k grows; the exhaustive query strictly "
-      "dominates the pivot query at equal sketch size.\n");
+  note(out, "e1",
+       "Expected shape: max <= bound for every row; mean well below bound; "
+       "sketch words shrink as k grows; the exhaustive query strictly "
+       "dominates the pivot query at equal sketch size.");
   return 0;
 }
+
+}  // namespace dsketch::bench

@@ -4,29 +4,25 @@
 // exceed 3 n^{1/k} ln n with probability <= 1/n^3. We sweep n and k, report
 // mean and max label sizes normalized by k*n^{1/k}, and count nodes whose
 // label exceeds the whp bound (expected: 0).
+//
+// Flags: --nmax (2048) caps the n sweep, --kmax (4) caps the k sweep.
 #include <cmath>
-#include <cstdio>
 
 #include "bench_common.hpp"
-#include "graph/generators.hpp"
-#include "sketch/hierarchy.hpp"
 #include "sketch/tz_distributed.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
-int main() {
-  std::printf("# E2: sketch size vs n and k (Lemma 3.1: E[size] = O(k n^{1/k}))\n");
-  print_header("label words on erdos-renyi graphs",
-               {"n", "k", "mean words", "max words", "mean/(k n^{1/k})",
-                "whp bound words", "nodes over bound"});
+int run_e2(const FlagSet& flags, std::ostream& out) {
+  const auto nmax = static_cast<NodeId>(flags.get("nmax", std::int64_t{2048}));
+  const auto kmax =
+      static_cast<std::uint32_t>(flags.get("kmax", std::int64_t{4}));
+
   for (const NodeId n : {256u, 512u, 1024u, 2048u}) {
+    if (n > nmax) continue;
     const Graph g = erdos_renyi(n, 8.0 / n, {1, 12}, 9);
-    for (const std::uint32_t k : {2u, 3u, 4u}) {
-      Hierarchy h = Hierarchy::sample(n, k, 31 + k);
-      for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
-        h = Hierarchy::sample(n, k, 31 + k + b);
-      }
+    for (std::uint32_t k = 2; k <= kmax; ++k) {
+      const Hierarchy h = sampled_hierarchy(n, k, 31 + k);
       const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
       SampleSet words;
       const double n1k = std::pow(n, 1.0 / k);
@@ -40,12 +36,21 @@ int main() {
         words.add(w);
         if (w > whp_bound) ++over;
       }
-      print_row({fmt(n), fmt(k), fmt(words.mean()), fmt(words.max()),
-                 fmt(words.mean() / (k * n1k)), fmt(whp_bound, 0), fmt(over)});
+      row("e2", "label_words")
+          .add("n", static_cast<std::uint64_t>(n))
+          .add("k", k)
+          .add("mean_words", words.mean())
+          .add("max_words", words.max())
+          .add("mean_normalized", words.mean() / (k * n1k))
+          .add("whp_bound_words", whp_bound)
+          .add("nodes_over_bound", static_cast<std::uint64_t>(over))
+          .emit(out);
     }
   }
-  std::printf(
-      "\nExpected shape: mean/(k n^{1/k}) stays O(1) (roughly flat in n); "
-      "no node exceeds the whp bound.\n");
+  note(out, "e2",
+       "Expected shape: mean/(k n^{1/k}) stays O(1) (roughly flat in n); "
+       "no node exceeds the whp bound.");
   return 0;
 }
+
+}  // namespace dsketch::bench

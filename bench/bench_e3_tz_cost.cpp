@@ -6,79 +6,73 @@
 // Also runs the capacity ablation (DESIGN.md ✦): with per-edge capacity
 // disabled, round counts collapse, demonstrating the CONGEST constraint is
 // what the bound is made of.
+//
+// Flags: --nmax (1024) caps the n sweep (the S sweep and the bandwidth
+// ablation run at min(512, nmax)), --k (3).
 #include <cmath>
-#include <cstdio>
 
 #include "bench_common.hpp"
-#include "graph/generators.hpp"
-#include "sketch/hierarchy.hpp"
 #include "sketch/tz_distributed.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
-namespace {
+int run_e3(const FlagSet& flags, std::ostream& out) {
+  const auto nmax = static_cast<NodeId>(flags.get("nmax", std::int64_t{1024}));
+  const auto k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{3}));
 
-Hierarchy sampled(NodeId n, std::uint32_t k, std::uint64_t seed) {
-  Hierarchy h = Hierarchy::sample(n, k, seed);
-  for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
-    h = Hierarchy::sample(n, k, seed + b);
-  }
-  return h;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("# E3: construction cost (Theorem 1.1) and termination modes\n");
-  const std::uint32_t k = 3;
-
-  print_header("cost vs n (erdos-renyi, k=3) across synchronization modes",
-               {"n", "S", "rounds(oracle)", "rounds(echo)", "rounds(knownS)",
-                "echo/oracle", "msgs(oracle)", "msgs(echo)",
-                "rounds/(k n^{1/k} S ln n)"});
   for (const NodeId n : {256u, 512u, 1024u}) {
+    if (n > nmax) continue;
     const Graph g = erdos_renyi(n, 8.0 / n, {1, 12}, 5);
     const std::uint32_t S = shortest_path_diameter_estimate(g, 8, 3);
-    const Hierarchy h = sampled(n, k, 11);
+    const Hierarchy h = sampled_hierarchy(n, k, 11);
     const auto oracle = build_tz_distributed(g, h, TerminationMode::kOracle);
     const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
-    const auto knowns = build_tz_distributed(g, h, TerminationMode::kKnownS,
-                                             {}, false, S);
-    const double denom = k * std::pow(n, 1.0 / k) * S *
-                         std::log(static_cast<double>(n));
-    print_row({fmt(n), fmt(S), fmt(oracle.stats.rounds),
-               fmt(echo.total_rounds()), fmt(knowns.stats.rounds),
-               fmt(static_cast<double>(echo.total_rounds()) /
-                   static_cast<double>(oracle.stats.rounds)),
-               fmt(oracle.stats.messages), fmt(echo.total_messages()),
-               fmt(static_cast<double>(oracle.stats.rounds) / denom, 4)});
+    const auto knowns =
+        build_tz_distributed(g, h, TerminationMode::kKnownS, {}, false, S);
+    const double denom =
+        k * std::pow(n, 1.0 / k) * S * std::log(static_cast<double>(n));
+    row("e3", "cost_vs_n")
+        .add("n", static_cast<std::uint64_t>(n))
+        .add("k", k)
+        .add("S", S)
+        .add("rounds_oracle", oracle.stats.rounds)
+        .add("rounds_echo", echo.total_rounds())
+        .add("rounds_knowns", knowns.stats.rounds)
+        .add("echo_over_oracle", static_cast<double>(echo.total_rounds()) /
+                                     static_cast<double>(oracle.stats.rounds))
+        .add("messages_oracle", oracle.stats.messages)
+        .add("messages_echo", echo.total_messages())
+        .add("rounds_normalized",
+             static_cast<double>(oracle.stats.rounds) / denom)
+        .emit(out);
   }
 
-  print_header("cost vs S at fixed n=512 (k=3)",
-               {"topology", "S", "rounds(oracle)", "rounds/S"});
+  const NodeId nf = std::min<NodeId>(512, nmax);
   struct Topo {
     std::string name;
     Graph g;
   };
   std::vector<Topo> topos;
-  topos.push_back({"erdos_renyi", erdos_renyi(512, 0.015, {1, 12}, 5)});
-  topos.push_back({"grid 16x32", grid2d(16, 32, {1, 12}, 5)});
-  topos.push_back({"ring", ring(512, {1, 12}, 5)});
+  topos.push_back({"erdos_renyi", erdos_renyi(nf, 8.0 / nf, {1, 12}, 5)});
+  topos.push_back(
+      {"grid", grid2d(16, std::max<NodeId>(2, nf / 16), {1, 12}, 5)});
+  topos.push_back({"ring", ring(nf, {1, 12}, 5)});
   for (auto& t : topos) {
     const std::uint32_t S = shortest_path_diameter_estimate(t.g, 8, 3);
-    const Hierarchy h = sampled(t.g.num_nodes(), k, 13);
+    const Hierarchy h = sampled_hierarchy(t.g.num_nodes(), k, 13);
     const auto r = build_tz_distributed(t.g, h, TerminationMode::kOracle);
-    print_row({t.name, fmt(S), fmt(r.stats.rounds),
-               fmt(static_cast<double>(r.stats.rounds) / S)});
+    row("e3", "cost_vs_s")
+        .add("topology", t.name)
+        .add("n", static_cast<std::uint64_t>(t.g.num_nodes()))
+        .add("S", S)
+        .add("rounds_oracle", r.stats.rounds)
+        .add("rounds_per_s", static_cast<double>(r.stats.rounds) / S)
+        .emit(out);
   }
 
-  print_header("bandwidth ablation (n=512 erdos-renyi, k=3)",
-               {"send discipline", "edge capacity", "rounds", "messages",
-                "peak edge queue"});
   {
-    const Graph g = erdos_renyi(512, 0.015, {1, 12}, 5);
-    const Hierarchy h = sampled(512, k, 17);
+    const Graph g = erdos_renyi(nf, 8.0 / nf, {1, 12}, 5);
+    const Hierarchy h = sampled_hierarchy(nf, k, 17);
     SimConfig on;
     const auto rr = build_tz_distributed(g, h, TerminationMode::kOracle, on);
     const auto eager_cap = build_tz_distributed(
@@ -87,21 +81,29 @@ int main() {
     off.enforce_capacity = false;
     const auto eager_free = build_tz_distributed(
         g, h, TerminationMode::kOracle, off, /*eager_send=*/true);
-    print_row({"round-robin (Algorithm 2)", "1 msg/round", fmt(rr.stats.rounds),
-               fmt(rr.stats.messages), fmt(rr.stats.max_outbox)});
-    print_row({"eager (all pending)", "1 msg/round",
-               fmt(eager_cap.stats.rounds), fmt(eager_cap.stats.messages),
-               fmt(eager_cap.stats.max_outbox)});
-    print_row({"eager (all pending)", "unbounded",
-               fmt(eager_free.stats.rounds), fmt(eager_free.stats.messages),
-               fmt(eager_free.stats.max_outbox)});
+    const auto ablation_row = [&](const std::string& discipline,
+                                  const std::string& capacity,
+                                  const TzDistributedResult& r) {
+      row("e3", "bandwidth_ablation")
+          .add("send_discipline", discipline)
+          .add("edge_capacity", capacity)
+          .add("rounds", r.stats.rounds)
+          .add("messages", r.stats.messages)
+          .add("peak_edge_queue", r.stats.max_outbox)
+          .emit(out);
+    };
+    ablation_row("round-robin (Algorithm 2)", "1 msg/round", rr);
+    ablation_row("eager (all pending)", "1 msg/round", eager_cap);
+    ablation_row("eager (all pending)", "unbounded", eager_free);
   }
-  std::printf(
-      "\nExpected shape: echo/oracle stays a small constant (~2-3x); "
-      "rounds scale linearly in S; normalized rounds column roughly flat. "
-      "Ablation: under CONGEST capacity, eager sending just moves the "
-      "congestion from node queues to edge queues (similar rounds, large "
-      "peak queue); only removing the bandwidth constraint collapses "
-      "rounds — the Theorem 1.1 round bound is made of bandwidth.\n");
+  note(out, "e3",
+       "Expected shape: echo/oracle stays a small constant (~2-3x); rounds "
+       "scale linearly in S; normalized rounds column roughly flat. "
+       "Ablation: under CONGEST capacity, eager sending just moves the "
+       "congestion from node queues to edge queues (similar rounds, large "
+       "peak queue); only removing the bandwidth constraint collapses "
+       "rounds — the Theorem 1.1 round bound is made of bandwidth.");
   return 0;
 }
+
+}  // namespace dsketch::bench

@@ -4,49 +4,63 @@
 // Sweeps ε: reports net size vs the 10 ln(n)/ε bound and coverage
 // violations (E10), then sketch size, construction rounds, and stretch
 // split into ε-far pairs (guarantee: <= 3) vs near pairs (no guarantee).
+//
+// Flags: --n (1024) / --p / --graph FILE select the instance, --sources
+// (16) ground-truth rows.
 #include <cmath>
-#include <cstdio>
 
 #include "bench_common.hpp"
-#include "graph/generators.hpp"
 #include "sketch/density_net.hpp"
 #include "sketch/slack_sketch.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
-int main() {
-  std::printf("# E4: eps-slack sketches (Theorem 4.3) + density nets (Lemma 4.2)\n");
-  const NodeId n = 1024;
-  const Graph g = erdos_renyi(n, 0.008, {1, 16}, 21);
-  const SampledGroundTruth gt(g, 16, 3);
+int run_e4(const FlagSet& flags, std::ostream& out) {
+  const Graph g = primary_graph(flags, 1024, 0.008, {1, 16}, 21);
+  const NodeId n = g.num_nodes();
+  const auto sources =
+      static_cast<std::size_t>(flags.get("sources", std::int64_t{16}));
+  const SampledGroundTruth gt(g, sources, 3);
 
-  print_header("density nets (Lemma 4.2 verification)",
-               {"eps", "|N|", "bound 10 ln n/eps", "coverage violations"});
   for (const double eps : {0.02, 0.05, 0.1, 0.2, 0.4}) {
     const auto net = sample_density_net(n, eps, 5);
     const double bound = 10.0 * std::log(static_cast<double>(n)) / eps;
-    print_row({fmt(eps), fmt(net.size()), fmt(bound, 0),
-               fmt(count_density_net_violations(g, net, eps))});
+    row("e4", "density_nets")
+        .add("n", static_cast<std::uint64_t>(n))
+        .add("epsilon", eps)
+        .add("net_size", static_cast<std::uint64_t>(net.size()))
+        .add("bound_10_ln_n_over_eps", bound)
+        .add("coverage_violations",
+             static_cast<std::uint64_t>(
+                 count_density_net_violations(g, net, eps)))
+        .emit(out);
   }
 
-  print_header("slack sketches",
-               {"eps", "sketch words", "rounds", "messages",
-                "far mean", "far max (<=3)", "near mean", "near max",
-                "underest"});
   for (const double eps : {0.02, 0.05, 0.1, 0.2, 0.4}) {
     const auto r = build_slack_sketches(g, eps, 9);
     const auto report = eval(
         g, gt, [&](NodeId u, NodeId v) { return r.sketches.query(u, v); },
         eps);
-    print_row({fmt(eps), fmt(r.sketches.size_words(0)), fmt(r.stats.rounds),
-               fmt(r.stats.messages), fmt(report.far_only.mean()),
-               fmt(report.far_only.max()), fmt(report.near_only.mean()),
-               fmt(report.near_only.max()), fmt(report.underestimates)});
+    row("e4", "slack_sketches")
+        .add("n", static_cast<std::uint64_t>(n))
+        .add("epsilon", eps)
+        .add("sketch_words", static_cast<std::uint64_t>(
+                                 r.sketches.size_words(0)))
+        .add("rounds", r.stats.rounds)
+        .add("messages", r.stats.messages)
+        .add("far_mean_stretch", report.far_only.mean())
+        .add("far_max_stretch", report.far_only.max())
+        .add("near_mean_stretch", report.near_only.mean())
+        .add("near_max_stretch", report.near_only.max())
+        .add("underestimates",
+             static_cast<std::uint64_t>(report.underestimates))
+        .emit(out);
   }
-  std::printf(
-      "\nExpected shape: |N| under its bound with zero violations; far max "
-      "<= 3 for every eps; near pairs may exceed 3 (that is the slack); "
-      "size and rounds shrink as eps grows.\n");
+  note(out, "e4",
+       "Expected shape: |N| under its bound with zero violations; far max "
+       "<= 3 for every eps; near pairs may exceed 3 (that is the slack); "
+       "size and rounds shrink as eps grows.");
   return 0;
 }
+
+}  // namespace dsketch::bench

@@ -3,26 +3,25 @@
 // Sweeps the (ε,k) grid: size O(k (1/ε log n)^{1/k} log n) words, stretch
 // 8k-1 on ε-far pairs, and the construction cost split including the label
 // dissemination step the paper leaves implicit.
-#include <cstdio>
-
+//
+// Flags: --n (1024) / --p / --graph FILE select the instance, --sources
+// (16), --kmax (3).
 #include "bench_common.hpp"
-#include "graph/generators.hpp"
 #include "sketch/cdg_sketch.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
-int main() {
-  std::printf("# E5: (eps,k)-CDG sketches (Theorem 4.6)\n");
-  const NodeId n = 1024;
-  const Graph g = erdos_renyi(n, 0.008, {1, 16}, 33);
-  const SampledGroundTruth gt(g, 16, 5);
+int run_e5(const FlagSet& flags, std::ostream& out) {
+  const Graph g = primary_graph(flags, 1024, 0.008, {1, 16}, 33);
+  const NodeId n = g.num_nodes();
+  const auto sources =
+      static_cast<std::size_t>(flags.get("sources", std::int64_t{16}));
+  const auto kmax =
+      static_cast<std::uint32_t>(flags.get("kmax", std::int64_t{3}));
+  const SampledGroundTruth gt(g, sources, 5);
 
-  print_header("stretch and size over the (eps,k) grid",
-               {"eps", "k", "bound 8k-1", "far mean", "far max", "near max",
-                "mean words", "underest"});
   for (const double eps : {0.05, 0.1, 0.2}) {
-    for (const std::uint32_t k : {1u, 2u, 3u}) {
+    for (std::uint32_t k = 1; k <= kmax; ++k) {
       CdgConfig cfg;
       cfg.epsilon = eps;
       cfg.k = k;
@@ -31,35 +30,44 @@ int main() {
       const auto report = eval(
           g, gt, [&](NodeId u, NodeId v) { return r.sketches.query(u, v); },
           eps);
-      double words = 0;
-      for (NodeId u = 0; u < n; ++u) {
-        words += static_cast<double>(r.sketches.size_words(u));
-      }
-      print_row({fmt(eps), fmt(r.k_used), fmt(8 * r.k_used - 1),
-                 fmt(report.far_only.mean()), fmt(report.far_only.max()),
-                 fmt(report.near_only.max()), fmt(words / n),
-                 fmt(report.underestimates)});
+      row("e5", "stretch_and_size")
+          .add("n", static_cast<std::uint64_t>(n))
+          .add("epsilon", eps)
+          .add("k", r.k_used)
+          .add("bound_8k_minus_1", 8 * r.k_used - 1)
+          .add("far_mean_stretch", report.far_only.mean())
+          .add("far_max_stretch", report.far_only.max())
+          .add("near_max_stretch", report.near_only.max())
+          .add("mean_words", mean_size_words(r.sketches, n))
+          .add("underestimates",
+               static_cast<std::uint64_t>(report.underestimates))
+          .emit(out);
     }
   }
 
-  print_header("construction cost split (eps=0.1)",
-               {"k", "voronoi rounds", "tz rounds", "dissem rounds",
-                "dissem share", "total msgs"});
-  for (const std::uint32_t k : {1u, 2u, 3u}) {
+  for (std::uint32_t k = 1; k <= kmax; ++k) {
     CdgConfig cfg;
     cfg.epsilon = 0.1;
     cfg.k = k;
     cfg.seed = 78;
     const auto r = build_cdg_sketches(g, cfg);
     const double total_rounds = static_cast<double>(r.total().rounds);
-    print_row({fmt(k), fmt(r.voronoi_stats.rounds), fmt(r.tz_stats.rounds),
-               fmt(r.dissemination_stats.rounds),
-               fmt(static_cast<double>(r.dissemination_stats.rounds) /
-                   total_rounds),
-               fmt(r.total().messages)});
+    row("e5", "construction_cost_split")
+        .add("n", static_cast<std::uint64_t>(n))
+        .add("epsilon", 0.1)
+        .add("k", k)
+        .add("voronoi_rounds", r.voronoi_stats.rounds)
+        .add("tz_rounds", r.tz_stats.rounds)
+        .add("dissemination_rounds", r.dissemination_stats.rounds)
+        .add("dissemination_share",
+             static_cast<double>(r.dissemination_stats.rounds) / total_rounds)
+        .add("total_messages", r.total().messages)
+        .emit(out);
   }
-  std::printf(
-      "\nExpected shape: far max <= 8k-1 everywhere; sketch words shrink "
-      "with eps and k; dissemination is a minor share of rounds.\n");
+  note(out, "e5",
+       "Expected shape: far max <= 8k-1 everywhere; sketch words shrink "
+       "with eps and k; dissemination is a minor share of rounds.");
   return 0;
 }
+
+}  // namespace dsketch::bench

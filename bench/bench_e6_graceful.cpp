@@ -3,26 +3,26 @@
 // Reports, per n: average and max stretch vs the Thorup-Zwick k=log n
 // sketch (paper: graceful pays an extra log^2 n size factor to turn
 // O(log n) average stretch into O(1)), plus the level-count ablation.
+//
+// Flags: --nmax (1024) caps the n sweep (the ablation runs at
+// min(512, nmax)), --sources (12).
 #include <cmath>
-#include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
-#include "graph/generators.hpp"
 #include "sketch/graceful_sketch.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
-int main() {
-  std::printf("# E6: gracefully degrading sketches (Theorem 1.3)\n");
+int run_e6(const FlagSet& flags, std::ostream& out) {
+  const auto nmax = static_cast<NodeId>(flags.get("nmax", std::int64_t{1024}));
+  const auto sources =
+      static_cast<std::size_t>(flags.get("sources", std::int64_t{12}));
 
-  print_header("graceful vs TZ(k=log n)",
-               {"n", "scheme", "avg stretch", "max stretch", "mean words",
-                "build rounds"});
   for (const NodeId n : {256u, 512u, 1024u}) {
+    if (n > nmax) continue;
     const Graph g = erdos_renyi(n, 8.0 / n, {1, 16}, 13);
-    const SampledGroundTruth gt(g, 12, 3);
+    const SampledGroundTruth gt(g, sources, 3);
     const auto logn = static_cast<std::uint32_t>(
         std::ceil(std::log2(static_cast<double>(n))));
 
@@ -31,32 +31,36 @@ int main() {
     tz.k = logn;
     tz.seed = 3;
     const SketchEngine tz_engine(g, tz);
-    const auto tz_report = eval(
-        g, gt, [&](NodeId u, NodeId v) { return tz_engine.query(u, v); });
-    print_row({fmt(n), "TZ k=log n", fmt(tz_report.average_stretch()),
-               fmt(tz_report.max_stretch()), fmt(tz_engine.mean_size_words()),
-               fmt(tz_engine.cost().rounds)});
+    const auto tz_report =
+        eval(g, gt, [&](NodeId u, NodeId v) { return tz_engine.query(u, v); });
+    row("e6", "graceful_vs_tz")
+        .add("n", static_cast<std::uint64_t>(n))
+        .add("scheme", "tz_k_log_n")
+        .add("avg_stretch", tz_report.average_stretch())
+        .add("max_stretch", tz_report.max_stretch())
+        .add("mean_words", tz_engine.mean_size_words())
+        .add("build_rounds", tz_engine.cost().rounds)
+        .emit(out);
 
     GracefulConfig gc;
     gc.seed = 3;
     const auto gr = build_graceful_sketches(g, gc);
     const auto gr_report = eval(
         g, gt, [&](NodeId u, NodeId v) { return gr.sketches.query(u, v); });
-    double words = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      words += static_cast<double>(gr.sketches.size_words(u));
-    }
-    print_row({fmt(n), "graceful", fmt(gr_report.average_stretch()),
-               fmt(gr_report.max_stretch()), fmt(words / n),
-               fmt(gr.total.rounds)});
+    row("e6", "graceful_vs_tz")
+        .add("n", static_cast<std::uint64_t>(n))
+        .add("scheme", "graceful")
+        .add("avg_stretch", gr_report.average_stretch())
+        .add("max_stretch", gr_report.max_stretch())
+        .add("mean_words", mean_size_words(gr.sketches, n))
+        .add("build_rounds", gr.total.rounds)
+        .emit(out);
   }
 
-  print_header("level-count ablation (n=512)",
-               {"levels", "avg stretch", "max stretch", "mean words"});
   {
-    const NodeId n = 512;
+    const NodeId n = std::min<NodeId>(512, nmax);
     const Graph g = erdos_renyi(n, 8.0 / n, {1, 16}, 13);
-    const SampledGroundTruth gt(g, 12, 3);
+    const SampledGroundTruth gt(g, sources, 3);
     for (const std::uint32_t levels : {1u, 2u, 4u, 6u, 9u}) {
       GracefulConfig gc;
       gc.seed = 3;
@@ -64,17 +68,20 @@ int main() {
       const auto gr = build_graceful_sketches(g, gc);
       const auto report = eval(
           g, gt, [&](NodeId u, NodeId v) { return gr.sketches.query(u, v); });
-      double words = 0;
-      for (NodeId u = 0; u < n; ++u) {
-        words += static_cast<double>(gr.sketches.size_words(u));
-      }
-      print_row({fmt(levels), fmt(report.average_stretch()),
-                 fmt(report.max_stretch()), fmt(words / n)});
+      row("e6", "level_count_ablation")
+          .add("n", static_cast<std::uint64_t>(n))
+          .add("levels", levels)
+          .add("avg_stretch", report.average_stretch())
+          .add("max_stretch", report.max_stretch())
+          .add("mean_words", mean_size_words(gr.sketches, n))
+          .emit(out);
     }
   }
-  std::printf(
-      "\nExpected shape: graceful average stretch roughly flat (O(1)) in n "
-      "and clearly below TZ(k=log n)'s; graceful pays a polylog size "
-      "premium; fewer levels => worse average stretch.\n");
+  note(out, "e6",
+       "Expected shape: graceful average stretch roughly flat (O(1)) in n "
+       "and clearly below TZ(k=log n)'s; graceful pays a polylog size "
+       "premium; fewer levels => worse average stretch.");
   return 0;
 }
+
+}  // namespace dsketch::bench

@@ -2,29 +2,23 @@
 //
 // Hand-rolled timing loops over the query path for each scheme; the TZ
 // query should grow (sub-)linearly in k and stay in the tens to hundreds
-// of nanoseconds — the "quickly in an online fashion" claim of §1.
-//
-// Output is machine-readable: one JSON object per line (see
-// json_lines.hpp), so BENCH_*.json perf trajectories can be populated.
-// Each config is timed twice: through `SketchEngine::query` (the build
+// of nanoseconds — the "quickly in an online fashion" claim of §1. Each
+// config is timed twice: through `SketchEngine::query` (the build
 // representation) and through the packed `SketchStore` (the serving
 // representation, see src/serve/).
+//
+// Flags: --n (1024) / --graph FILE select the instance, --queries
+// (200000) timed pairs per config.
 #include <algorithm>
-#include <cstdint>
-#include <vector>
 
+#include "bench_common.hpp"
 #include "core/engine.hpp"
-#include "graph/generators.hpp"
 #include "serve/sketch_store.hpp"
-#include "util/json_lines.hpp"
-#include "util/flags.hpp"
 #include "util/rng.hpp"
-#include "util/timer.hpp"
+
+namespace dsketch::bench {
 
 namespace {
-
-using namespace dsketch;
-using dsketch::bench::JsonLine;
 
 std::vector<std::pair<NodeId, NodeId>> random_pairs(NodeId n,
                                                     std::size_t count,
@@ -39,24 +33,8 @@ std::vector<std::pair<NodeId, NodeId>> random_pairs(NodeId n,
   return pairs;
 }
 
-/// Times `queries` calls of `fn(u, v)` and returns mean ns per query.
-template <typename Fn>
-double time_ns_per_query(const std::vector<std::pair<NodeId, NodeId>>& pairs,
-                         const Fn& fn) {
-  // One warmup pass, then a timed pass; the checksum defeats dead-code
-  // elimination without perturbing the loop.
-  Dist sink = 0;
-  for (const auto& [u, v] : pairs) sink ^= fn(u, v);
-  Timer timer;
-  for (const auto& [u, v] : pairs) sink ^= fn(u, v);
-  const double ns = timer.seconds() * 1e9;
-  volatile Dist keep = sink;
-  (void)keep;
-  return ns / static_cast<double>(pairs.size());
-}
-
 void run_config(const Graph& g, const BuildConfig& cfg, const char* scheme,
-                std::size_t queries) {
+                std::size_t queries, std::ostream& out) {
   const SketchEngine engine(g, cfg);
   const SketchStore store = SketchStore::from_engine(engine);
   const auto pairs = random_pairs(g.num_nodes(), queries, 5);
@@ -64,52 +42,56 @@ void run_config(const Graph& g, const BuildConfig& cfg, const char* scheme,
       pairs, [&](NodeId u, NodeId v) { return engine.query(u, v); });
   const double store_ns = time_ns_per_query(
       pairs, [&](NodeId u, NodeId v) { return store.query(u, v); });
-  JsonLine line;
-  line.add("bench", "e7_query")
+  row("e7", "query_latency")
       .add("scheme", scheme)
       .add("k", cfg.k)
       .add("epsilon", cfg.epsilon)
       .add("n", static_cast<std::uint64_t>(g.num_nodes()))
-      .add("queries", queries)
+      .add("queries", static_cast<std::uint64_t>(queries))
       .add("engine_ns_per_query", engine_ns)
       .add("store_ns_per_query", store_ns)
       .add("mean_sketch_words", engine.mean_size_words())
-      .emit();
+      .emit(out);
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const FlagSet flags(argc, argv);
-  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{1024}));
+int run_e7(const FlagSet& flags, std::ostream& out) {
   const auto queries =
       static_cast<std::size_t>(flags.get("queries", std::int64_t{200000}));
-  const Graph g = erdos_renyi(n, 8.0 / n, {1, 16}, 99);
+  const Graph g = primary_graph(flags, 1024, 8.0 / 1024, {1, 16}, 99);
 
   for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
     BuildConfig cfg;
     cfg.scheme = Scheme::kThorupZwick;
     cfg.k = k;
-    run_config(g, cfg, "tz", queries);
+    run_config(g, cfg, "tz", queries, out);
   }
   for (const double inv_eps : {5.0, 10.0, 20.0}) {
     BuildConfig cfg;
     cfg.scheme = Scheme::kSlack;
     cfg.epsilon = 1.0 / inv_eps;
-    run_config(g, cfg, "slack", queries);
+    run_config(g, cfg, "slack", queries, out);
   }
   {
     BuildConfig cfg;
     cfg.scheme = Scheme::kCdg;
     cfg.k = 2;
-    run_config(g, cfg, "cdg", queries);
+    run_config(g, cfg, "cdg", queries, out);
   }
   {
     BuildConfig cfg;
     cfg.scheme = Scheme::kGraceful;
     // Graceful queries scan every epsilon level; 10x fewer reps keeps the
     // runtime in line (floor of 1 so tiny --queries still measures).
-    run_config(g, cfg, "graceful", std::max<std::size_t>(1, queries / 10));
+    run_config(g, cfg, "graceful", std::max<std::size_t>(1, queries / 10),
+               out);
   }
+  note(out, "e7",
+       "Expected shape: TZ ns/query grows (sub-)linearly in k and stays in "
+       "the tens-to-hundreds of ns; the packed store is at least as fast "
+       "as the engine representation.");
   return 0;
 }
+
+}  // namespace dsketch::bench

@@ -9,51 +9,45 @@
 // shortcut edges keep the hop diameter small — e.g. a light ring with
 // heavy chords. In overlays where the peer's address is known (§2.1), the
 // exchange is direct and D drops out entirely.
-#include <cstdio>
-
+//
+// Flags: --nmax (2048) skips topologies larger than the cap.
 #include "bench_common.hpp"
 #include "congest/bellman_ford.hpp"
 #include "congest/sketch_exchange.hpp"
 #include "core/engine.hpp"
-#include "graph/generators.hpp"
 #include "sketch/cdg_sketch.hpp"
-#include "sketch/hierarchy.hpp"
 #include "sketch/tz_distributed.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
-int main() {
-  std::printf("# E8: online query cost — no-preprocessing Omega(S) vs sketch exchange\n");
+int run_e8(const FlagSet& flags, std::ostream& out) {
+  const auto nmax = static_cast<NodeId>(flags.get("nmax", std::int64_t{2048}));
   struct Topo {
     std::string name;
+    std::string regime;
     Graph g;
   };
   std::vector<Topo> topos;
-  topos.push_back({"erdos_renyi(512) [S~D]",
-                   erdos_renyi(512, 0.015, {1, 4}, 5)});
-  topos.push_back({"grid 16x32 [moderate S/D]", grid2d(16, 32, {1, 4}, 5)});
+  topos.push_back(
+      {"erdos_renyi_512", "S~D", erdos_renyi(512, 0.015, {1, 4}, 5)});
+  topos.push_back({"grid_16x32", "moderate S/D", grid2d(16, 32, {1, 4}, 5)});
   // Light ring + heavy chords: chords give ~O(log n) hop routes but never
   // carry weighted shortest paths, so S stays ~n/2 while D collapses.
-  topos.push_back({"ring+heavy chords(512) [S>>D]",
+  topos.push_back({"ring_heavy_chords_512", "S>>D",
                    ring_with_chords(512, 1024, 1, 60000, 7)});
-  topos.push_back({"ring+heavy chords(2048) [S>>D]",
-                   ring_with_chords(2048, 6144, 1, 60000, 7)});
+  if (nmax >= 2048) {
+    topos.push_back({"ring_heavy_chords_2048", "S>>D",
+                     ring_with_chords(2048, 6144, 1, 60000, 7)});
+  }
 
-  print_header("per-query round cost (TZ k=4 sketches)",
-               {"topology", "D", "S", "online BF rounds", "sketch words",
-                "measured exchange rounds", "model D+words",
-                "speedup (measured)"});
   for (auto& t : topos) {
+    if (t.g.num_nodes() > nmax) continue;
     const std::uint32_t D = hop_diameter_estimate(t.g, 6, 3);
     const std::uint32_t S = shortest_path_diameter_estimate(t.g, 6, 3);
     const SimStats online = online_distance_rounds(t.g, 0);
 
     // Build labels directly so we can serialize one for the exchange.
-    Hierarchy h = Hierarchy::sample(t.g.num_nodes(), 4, 19);
-    for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
-      h = Hierarchy::sample(t.g.num_nodes(), 4, 19 + b);
-    }
+    const Hierarchy h = sampled_hierarchy(t.g.num_nodes(), 4, 19);
     const auto built = build_tz_distributed(t.g, h, TerminationMode::kOracle);
     double mean_words = 0;
     for (NodeId u = 0; u < t.g.num_nodes(); ++u) {
@@ -65,17 +59,22 @@ int main() {
     const NodeId peer = t.g.num_nodes() / 2;
     const auto exchange =
         exchange_sketch(t.g, 0, peer, serialize_label(built.labels[peer]));
-    const double model = D + mean_words;
-    print_row({t.name, fmt(D), fmt(S), fmt(online.rounds), fmt(mean_words, 0),
-               fmt(exchange.stats.rounds), fmt(model, 0),
-               fmt(static_cast<double>(online.rounds) /
-                   static_cast<double>(exchange.stats.rounds))});
+    row("e8", "per_query_rounds")
+        .add("topology", t.name)
+        .add("regime", t.regime)
+        .add("n", static_cast<std::uint64_t>(t.g.num_nodes()))
+        .add("D", D)
+        .add("S", S)
+        .add("online_bf_rounds", online.rounds)
+        .add("sketch_words", mean_words)
+        .add("measured_exchange_rounds", exchange.stats.rounds)
+        .add("model_d_plus_words", D + mean_words)
+        .add("speedup_measured", static_cast<double>(online.rounds) /
+                                     static_cast<double>(
+                                         exchange.stats.rounds))
+        .emit(out);
   }
 
-  print_header("amortization: construction cost spread over Q queries "
-               "(ring+heavy chords n=512)",
-               {"queries Q", "rounds/query with sketches",
-                "rounds/query online"});
   {
     const Graph g = ring_with_chords(512, 1024, 1, 60000, 7);
     const std::uint32_t D = hop_diameter_estimate(g, 6, 3);
@@ -89,14 +88,21 @@ int main() {
       const double amortized =
           static_cast<double>(engine.cost().rounds) / static_cast<double>(q) +
           exchange;
-      print_row({fmt(q), fmt(amortized, 1),
-                 fmt(static_cast<double>(online.rounds), 1)});
+      row("e8", "amortization")
+          .add("n", std::uint64_t{512})
+          .add("queries", q)
+          .add("rounds_per_query_sketch", amortized)
+          .add("rounds_per_query_online",
+               static_cast<double>(online.rounds))
+          .emit(out);
     }
   }
-  std::printf(
-      "\nExpected shape: speedup <1 on S~D graphs (preprocessing cannot "
-      "help), rising well above 1 as S/D grows; amortized per-query cost "
-      "drops below the online cost once a handful of queries share the "
-      "preprocessing.\n");
+  note(out, "e8",
+       "Expected shape: speedup <1 on S~D graphs (preprocessing cannot "
+       "help), rising well above 1 as S/D grows; amortized per-query cost "
+       "drops below the online cost once a handful of queries share the "
+       "preprocessing.");
   return 0;
 }
+
+}  // namespace dsketch::bench

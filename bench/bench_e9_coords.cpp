@@ -5,16 +5,14 @@
 // geometric graph (friendly) vs a ring-with-chords and an expander
 // (hostile embeddings). Reported distortion = max(est/d, d/est) since
 // coordinates can underestimate.
-#include <cstdio>
-
+//
+// Flags: --n (512) scales every topology, --sources (12).
 #include "baselines/landmark.hpp"
 #include "baselines/vivaldi.hpp"
 #include "bench_common.hpp"
 #include "core/engine.hpp"
-#include "graph/generators.hpp"
 
-using namespace dsketch;
-using namespace dsketch::bench;
+namespace dsketch::bench {
 
 namespace {
 
@@ -31,8 +29,7 @@ DistortionRow measure(const Graph& g, const SampledGroundTruth& gt,
     for (NodeId v = 0; v < g.num_nodes(); v += 3) {
       if (v == s) continue;
       const double d = static_cast<double>(gt.dist(r, v));
-      const double e =
-          std::max<double>(1.0, static_cast<double>(est(s, v)));
+      const double e = std::max<double>(1.0, static_cast<double>(est(s, v)));
       row.distortion.add(std::max(e / d, d / e));
       if (e < d) ++row.underestimates;
     }
@@ -40,8 +37,9 @@ DistortionRow measure(const Graph& g, const SampledGroundTruth& gt,
   return row;
 }
 
-void run_topology(const std::string& name, const Graph& g) {
-  const SampledGroundTruth gt(g, 12, 9);
+void run_topology(const std::string& name, const Graph& g,
+                  std::size_t sources, std::ostream& out) {
+  const SampledGroundTruth gt(g, sources, 9);
 
   VivaldiConfig vc;
   vc.rounds = 48;
@@ -61,40 +59,52 @@ void run_topology(const std::string& name, const Graph& g) {
     DistortionRow row;
   };
   std::vector<Entry> entries;
-  entries.push_back(
-      {"vivaldi(3d)", measure(g, gt, [&](NodeId u, NodeId v) {
-         return viv.query(u, v);
-       })});
-  entries.push_back({"landmarks(32)", measure(g, gt, [&](NodeId u, NodeId v) {
+  entries.push_back({"vivaldi_3d", measure(g, gt, [&](NodeId u, NodeId v) {
+                       return viv.query(u, v);
+                     })});
+  entries.push_back({"landmarks_32", measure(g, gt, [&](NodeId u, NodeId v) {
                        return lm.query(u, v);
                      })});
-  entries.push_back({"slack eps=0.1", measure(g, gt, [&](NodeId u, NodeId v) {
-                       return slack_engine.query(u, v);
-                     })});
-  entries.push_back({"TZ k=3", measure(g, gt, [&](NodeId u, NodeId v) {
+  entries.push_back(
+      {"slack_eps_0.1", measure(g, gt, [&](NodeId u, NodeId v) {
+         return slack_engine.query(u, v);
+       })});
+  entries.push_back({"tz_k3", measure(g, gt, [&](NodeId u, NodeId v) {
                        return tz_engine.query(u, v);
                      })});
   for (auto& e : entries) {
-    print_row({name, e.scheme, fmt(e.row.distortion.p(50)),
-               fmt(e.row.distortion.p(95)), fmt(e.row.distortion.max()),
-               fmt(e.row.underestimates)});
+    row("e9", "distortion")
+        .add("topology", name)
+        .add("n", static_cast<std::uint64_t>(g.num_nodes()))
+        .add("scheme", e.scheme)
+        .add("p50_distortion", e.row.distortion.p(50))
+        .add("p95_distortion", e.row.distortion.p(95))
+        .add("max_distortion", e.row.distortion.max())
+        .add("underestimates",
+             static_cast<std::uint64_t>(e.row.underestimates))
+        .emit(out);
   }
 }
 
 }  // namespace
 
-int main() {
-  std::printf("# E9: coordinate systems vs sketches on friendly and hostile graphs\n");
-  print_header("distortion = max(est/d, d/est)",
-               {"topology", "scheme", "p50", "p95", "max", "underest"});
-  run_topology("geometric (friendly)", random_geometric(512, 0.08, 3, true));
+int run_e9(const FlagSet& flags, std::ostream& out) {
+  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{512}));
+  const auto sources =
+      static_cast<std::size_t>(flags.get("sources", std::int64_t{12}));
+  run_topology("geometric (friendly)", random_geometric(n, 0.08, 3, true),
+               sources, out);
   run_topology("ring+chords (hostile)",
-               ring_with_chords(512, 256, 32, 1, 3));
+               ring_with_chords(n, n / 2, 32, 1, 3), sources, out);
   run_topology("expander nm (hostile)",
-               random_graph_nm(512, 2048, {1, 2}, 3));
-  std::printf(
-      "\nExpected shape: Vivaldi competitive on the geometric graph but its "
-      "p95/max blow up on hostile topologies (plus nonzero underestimates); "
-      "TZ/slack max distortion stays within the proven bounds everywhere.\n");
+               random_graph_nm(n, 4 * static_cast<std::size_t>(n), {1, 2}, 3),
+               sources, out);
+  note(out, "e9",
+       "Expected shape: Vivaldi competitive on the geometric graph but its "
+       "p95/max blow up on hostile topologies (plus nonzero "
+       "underestimates); TZ/slack max distortion stays within the proven "
+       "bounds everywhere.");
   return 0;
 }
+
+}  // namespace dsketch::bench

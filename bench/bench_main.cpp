@@ -1,0 +1,13 @@
+// Generic main() shim for the standalone bench binaries. CMake compiles
+// this file once per experiment with DSKETCH_EXPERIMENT_ID set to the
+// registry id (e.g. "e7"); the experiment bodies live in bench_e*.cpp as
+// library functions so `dsketch repro` can run them in-process.
+#include "experiments.hpp"
+
+#ifndef DSKETCH_EXPERIMENT_ID
+#error "compile with -DDSKETCH_EXPERIMENT_ID=\"eN\""
+#endif
+
+int main(int argc, char** argv) {
+  return dsketch::bench::experiment_main(DSKETCH_EXPERIMENT_ID, argc, argv);
+}

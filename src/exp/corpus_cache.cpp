@@ -1,0 +1,84 @@
+#include "exp/corpus_cache.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+
+namespace dsketch::exp {
+
+Graph generate_graph(const FlagSet& flags) {
+  const std::string topo = flags.get("topology", std::string("er"));
+  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{1024}));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get("seed", std::int64_t{42}));
+  WeightSpec w{static_cast<Weight>(flags.get("wmin", std::int64_t{1})),
+               static_cast<Weight>(flags.get("wmax", std::int64_t{1}))};
+  if (topo == "er") {
+    return erdos_renyi(n, flags.get("p", 8.0 / n), w, seed);
+  }
+  if (topo == "grid") {
+    const auto rows = static_cast<NodeId>(
+        flags.get("rows", static_cast<std::int64_t>(std::max<NodeId>(
+                              2, static_cast<NodeId>(std::sqrt(n))))));
+    return grid2d(rows, (n + rows - 1) / rows, w, seed);
+  }
+  if (topo == "ring") return ring(n, w, seed);
+  if (topo == "path") return path(n, w, seed);
+  if (topo == "ba") {
+    return barabasi_albert(
+        n, static_cast<NodeId>(flags.get("m", std::int64_t{2})), w, seed);
+  }
+  if (topo == "ws") {
+    return watts_strogatz(n,
+                          static_cast<NodeId>(flags.get("m", std::int64_t{3})),
+                          flags.get("beta", 0.1), w, seed);
+  }
+  if (topo == "geometric") {
+    return random_geometric(n, flags.get("radius", 0.08), seed, true);
+  }
+  if (topo == "tree") return random_tree(n, w, seed);
+  if (topo == "isp") {
+    return isp_two_level(
+        n, static_cast<NodeId>(flags.get("pops", std::int64_t{16})), {1, 4},
+        w, seed);
+  }
+  if (topo == "ring_chords") {
+    return ring_with_chords(
+        n, static_cast<std::size_t>(flags.get("chords", std::int64_t{n})),
+        static_cast<Weight>(flags.get("ring-weight", std::int64_t{1})),
+        static_cast<Weight>(flags.get("chord-weight", std::int64_t{1000})),
+        seed);
+  }
+  throw std::runtime_error("unknown topology: " + topo);
+}
+
+std::string ensure_graph(const GraphSpec& spec,
+                         const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cache_dir);
+  const std::string path =
+      (fs::path(cache_dir) /
+       (spec.name + "-" + hash_hex(fnv1a64(spec.canonical())) + ".graph"))
+          .string();
+  if (fs::exists(path)) {
+    try {
+      read_graph_file(path);
+      return path;  // valid cached instance
+    } catch (const std::exception&) {
+      // Truncated or corrupted (e.g. an interrupted earlier run):
+      // regenerate below.
+    }
+  }
+  const Graph g = generate_graph(FlagSet(spec.params));
+  // Write to a temp name then rename so a concurrent or interrupted run
+  // never observes a half-written file under the content-addressed name.
+  const std::string tmp = path + ".tmp";
+  write_graph_file(tmp, g);
+  fs::rename(tmp, path);
+  return path;
+}
+
+}  // namespace dsketch::exp

@@ -1,0 +1,32 @@
+/// \file
+/// Content-addressed graph corpus for the repro harness.
+///
+/// A manifest names its graphs once ([corpus.NAME] tables); every cell
+/// that references NAME shares one on-disk instance. Files are addressed
+/// by the hash of the generator parameters, so re-running a manifest (or
+/// two manifests sharing a spec) generates each graph exactly once, and
+/// editing a spec automatically produces a fresh file instead of silently
+/// reusing a stale one.
+#pragma once
+
+#include <string>
+
+#include "exp/manifest.hpp"
+#include "graph/graph.hpp"
+#include "util/flags.hpp"
+
+namespace dsketch::exp {
+
+/// Builds a graph from generator flags (--topology er|grid|ring|path|ba|
+/// ws|geometric|tree|isp|ring_chords plus per-topology parameters).
+/// Shared by `dsketch gen` and the corpus cache so a manifest spec and
+/// the CLI agree on semantics. Throws on an unknown topology.
+Graph generate_graph(const FlagSet& flags);
+
+/// Ensures the graph described by `spec` exists under `cache_dir` and
+/// returns its path (`<cache_dir>/<name>-<hash16>.graph`). The file is
+/// regenerated when missing or unreadable; a valid cached file is reused
+/// without regeneration. Creates `cache_dir` if needed.
+std::string ensure_graph(const GraphSpec& spec, const std::string& cache_dir);
+
+}  // namespace dsketch::exp

@@ -1,0 +1,263 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "experiments.hpp"
+
+namespace dsketch::exp {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n')) {
+    ++i;
+  }
+  return i < s.size();
+}
+
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      if (i + 1 >= s.size()) return false;
+      out += s[i + 1];
+      i += 2;
+    } else {
+      out += s[i++];
+    }
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+bool parse_literal(const std::string& s, std::size_t& i, std::string& out) {
+  const std::size_t begin = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ' ') ++i;
+  out = s.substr(begin, i - begin);
+  return !out.empty();
+}
+
+}  // namespace
+
+bool parse_json_line(const std::string& line, JsonObject& out) {
+  out.clear();
+  std::size_t i = 0;
+  if (!skip_ws(line, i) || line[i] != '{') return false;
+  ++i;
+  if (!skip_ws(line, i)) return false;
+  if (line[i] == '}') return true;  // empty object
+  for (;;) {
+    std::string key, value;
+    if (!skip_ws(line, i) || !parse_string(line, i, key)) return false;
+    if (!skip_ws(line, i) || line[i] != ':') return false;
+    ++i;
+    if (!skip_ws(line, i)) return false;
+    if (line[i] == '"') {
+      if (!parse_string(line, i, value)) return false;
+    } else {
+      if (!parse_literal(line, i, value)) return false;
+    }
+    out.emplace_back(key, value);
+    if (!skip_ws(line, i)) return false;
+    if (line[i] == '}') return true;
+    if (line[i] != ',') return false;
+    ++i;
+  }
+}
+
+std::string json_value(const JsonObject& object, const std::string& key) {
+  for (const auto& [k, v] : object) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+namespace {
+
+std::string escape_md(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '|') out += "\\|";
+    else out += c;
+  }
+  return out;
+}
+
+/// Rows of one rendered table, with columns in first-seen order.
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<JsonObject> rows;
+
+  void add(const JsonObject& object) {
+    for (const auto& [k, _] : object) {
+      if (k == "experiment" || k == "table") continue;
+      if (std::find(columns.begin(), columns.end(), k) == columns.end()) {
+        columns.push_back(k);
+      }
+    }
+    rows.push_back(object);
+  }
+
+  void render(std::ostream& out) const {
+    out << "|";
+    for (const auto& c : columns) out << " " << escape_md(c) << " |";
+    out << "\n|";
+    for (std::size_t i = 0; i < columns.size(); ++i) out << "---|";
+    out << "\n";
+    for (const JsonObject& r : rows) {
+      out << "|";
+      for (const auto& c : columns) out << " " << escape_md(json_value(r, c))
+                                        << " |";
+      out << "\n";
+    }
+  }
+};
+
+/// Everything collected for one experiment id.
+struct ExperimentReport {
+  std::vector<std::string> table_order;
+  std::map<std::string, Table> tables;
+  std::vector<std::string> notes;        // unique, in order seen
+  std::vector<std::string> cells;        // "id (params)" listing
+  double wall_seconds = 0;
+};
+
+}  // namespace
+
+std::string generate_report(const std::string& out_dir,
+                            const std::string& title) {
+  std::map<std::string, ExperimentReport> experiments;
+  std::size_t files = 0, bad_lines = 0;
+
+  std::vector<fs::path> paths;
+  const fs::path cells_dir = fs::path(out_dir) / "cells";
+  if (fs::exists(cells_dir)) {
+    for (const auto& entry : fs::directory_iterator(cells_dir)) {
+      if (entry.path().extension() == ".jsonl") paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const fs::path& path : paths) {
+    ++files;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      JsonObject object;
+      if (!parse_json_line(line, object)) {
+        ++bad_lines;
+        continue;
+      }
+      const std::string exp_id = json_value(object, "experiment");
+      if (exp_id.empty()) continue;
+      ExperimentReport& report = experiments[exp_id];
+      const std::string table = json_value(object, "table");
+      const std::string note = json_value(object, "note");
+      const std::string status = json_value(object, "status");
+      if (!table.empty()) {
+        if (report.tables.find(table) == report.tables.end()) {
+          report.table_order.push_back(table);
+        }
+        report.tables[table].add(object);
+      } else if (!note.empty()) {
+        if (std::find(report.notes.begin(), report.notes.end(), note) ==
+            report.notes.end()) {
+          report.notes.push_back(note);
+        }
+      } else if (status == "start") {
+        std::string cell = json_value(object, "cell");
+        const std::string params = json_value(object, "params");
+        if (!params.empty()) cell += " (" + params + ")";
+        report.cells.push_back(cell);
+      } else if (status == "ok") {
+        const std::string seconds = json_value(object, "wall_seconds");
+        if (!seconds.empty()) report.wall_seconds += std::stod(seconds);
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "# Experiment results — " << title << "\n\n";
+  out << "Generated by `dsketch repro` from the JSON-lines artifacts under "
+      << "`" << out_dir << "`.\n"
+      << "Do not edit by hand — rerun the manifest to regenerate "
+      << "(see docs/BENCHMARKS.md).\n\n";
+  if (files == 0) {
+    out << "_No cell artifacts found._\n";
+    return out.str();
+  }
+  if (bad_lines > 0) {
+    out << "_Warning: " << bad_lines
+        << " malformed JSON line(s) were skipped._\n\n";
+  }
+
+  // Registry order first, then any unknown experiment ids alphabetically
+  // (robustness against artifacts from a newer binary).
+  std::vector<std::string> order;
+  for (const auto& exp : bench::experiment_registry()) {
+    if (experiments.count(exp.id)) order.push_back(exp.id);
+  }
+  for (const auto& [id, _] : experiments) {
+    if (std::find(order.begin(), order.end(), id) == order.end()) {
+      order.push_back(id);
+    }
+  }
+
+  for (const std::string& id : order) {
+    const ExperimentReport& report = experiments.at(id);
+    const bench::Experiment* exp = bench::find_experiment(id);
+    std::string heading = id;
+    std::transform(heading.begin(), heading.end(), heading.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    out << "## " << heading;
+    if (exp != nullptr) out << " — " << exp->title;
+    out << "\n\n";
+    for (const std::string& table : report.table_order) {
+      out << "### " << table << "\n\n";
+      report.tables.at(table).render(out);
+      out << "\n";
+    }
+    for (const std::string& note : report.notes) {
+      out << "> " << note << "\n\n";
+    }
+    if (!report.cells.empty()) {
+      out << "<sub>cells: ";
+      for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        if (i) out << "; ";
+        out << escape_md(report.cells[i]);
+      }
+      if (report.wall_seconds > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", report.wall_seconds);
+        out << " — " << buf << " s";
+      }
+      out << "</sub>\n\n";
+    }
+  }
+  return out.str();
+}
+
+void write_report(const std::string& out_dir, const std::string& title,
+                  const std::string& path) {
+  const fs::path p(path);
+  if (p.has_parent_path()) fs::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("cannot write report: " + path);
+  out << generate_report(out_dir, title);
+}
+
+}  // namespace dsketch::exp

@@ -1,0 +1,37 @@
+/// \file
+/// Report generation: JSON-lines artifacts -> docs/RESULTS.md.
+///
+/// The repro runner leaves one `cells/<cell-id>.jsonl` file per completed
+/// manifest cell. This module re-reads those artifacts and renders one
+/// Markdown table per (experiment, table) group, so the perf trajectory in
+/// docs/RESULTS.md is always regenerated from data, never hand-edited.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsketch::exp {
+
+/// One parsed flat JSON object: keys with their values in line order.
+/// String values are unescaped; numbers and booleans keep their literal
+/// text (which is how the report renders them).
+using JsonObject = std::vector<std::pair<std::string, std::string>>;
+
+/// Parses one flat JSON line emitted by util/json_lines.hpp. Returns
+/// false on malformed input (nested objects/arrays are out of scope).
+bool parse_json_line(const std::string& line, JsonObject& out);
+
+/// First value for `key`, or empty string when absent.
+std::string json_value(const JsonObject& object, const std::string& key);
+
+/// Renders the Markdown report from every `cells/*.jsonl` under
+/// `out_dir`. `title` names the run (usually the manifest name).
+std::string generate_report(const std::string& out_dir,
+                            const std::string& title);
+
+/// Writes generate_report() to `path`, creating parent directories.
+void write_report(const std::string& out_dir, const std::string& title,
+                  const std::string& path);
+
+}  // namespace dsketch::exp

@@ -71,13 +71,12 @@ Dist QueryService::query(NodeId u, NodeId v) {
 
 QueryServiceStats QueryService::stats() const {
   QueryServiceStats s;
-  std::vector<double> latencies;
+  SampleSet latencies;
   for (const Shard& shard : shards_) {
     s.queries += shard.queries;
     s.cache_hits += shard.cache_hits;
     s.shard_queries.push_back(shard.queries);
-    const auto& samples = shard.slice_latency_us.samples();
-    latencies.insert(latencies.end(), samples.begin(), samples.end());
+    latencies.merge(shard.slice_latency_us);
   }
   s.batches = batches_;
   s.wall_seconds = wall_seconds_;
@@ -87,8 +86,9 @@ QueryServiceStats QueryService::stats() const {
                    ? static_cast<double>(s.cache_hits) /
                          static_cast<double>(s.queries)
                    : 0;
-  s.p50_shard_batch_us = percentile(latencies, 50);
-  s.p99_shard_batch_us = percentile(std::move(latencies), 99);
+  const Summary latency = latencies.summary();
+  s.p50_shard_batch_us = latency.p50;
+  s.p99_shard_batch_us = latency.p99;
   return s;
 }
 

@@ -1,22 +1,25 @@
-// Sharded multi-threaded batch query engine over a SketchStore.
-//
-// The serving tier's unit of work is a batch of (u, v) pairs. Pairs are
-// hash-partitioned into shards by their canonical (min, max) key, so both
-// orientations of a pair land on the same shard; shards then execute in
-// parallel on a dedicated util/thread_pool. Because the store's query
-// path is read-only and allocation-free, shards share the arena with no
-// synchronization — the only mutable state (cache, stats) is
-// shard-private. The LRU caches under the *ordered* (u, v) key: the TZ
-// query procedure checks the two orientations in a fixed order, so
-// query(u, v) and query(v, u) may settle on different (both valid)
-// estimates, and the service must reproduce the store's answer for the
-// orientation actually asked.
-//
-//   SketchStore store = SketchStore::load_file("net.sketch");
-//   QueryService service(store, {.shards = 8, .threads = 8,
-//                                .cache_capacity = 4096});
-//   service.query_batch(pairs, answers);   // answers[i] == store.query(pairs[i])
-//   service.stats().qps;
+/// \file
+/// Sharded multi-threaded batch query engine over a SketchStore.
+///
+/// The serving tier's unit of work is a batch of (u, v) pairs. Pairs are
+/// hash-partitioned into shards by their canonical (min, max) key, so both
+/// orientations of a pair land on the same shard; shards then execute in
+/// parallel on a dedicated util/thread_pool. Because the store's query
+/// path is read-only and allocation-free, shards share the arena with no
+/// synchronization — the only mutable state (cache, stats) is
+/// shard-private. The LRU caches under the *ordered* (u, v) key: the TZ
+/// query procedure checks the two orientations in a fixed order, so
+/// query(u, v) and query(v, u) may settle on different (both valid)
+/// estimates, and the service must reproduce the store's answer for the
+/// orientation actually asked.
+///
+/// \code
+///   SketchStore store = SketchStore::load_file("net.sketch");
+///   QueryService service(store, {.shards = 8, .threads = 8,
+///                                .cache_capacity = 4096});
+///   service.query_batch(pairs, answers);  // answers[i] == store.query(...)
+///   service.stats().qps;
+/// \endcode
 #pragma once
 
 #include <cstdint>
@@ -29,8 +32,10 @@
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
+/// dsketch — distributed distance sketches (library root namespace).
 namespace dsketch {
 
+/// Shard, thread, and cache sizing for a QueryService.
 struct QueryServiceConfig {
   /// Partitions of the pair space; 0 picks max(8, 4 x threads). The
   /// thread pool only engages when shards >= 2 x threads (parallel_for
@@ -41,10 +46,11 @@ struct QueryServiceConfig {
   std::size_t cache_capacity = 0;  ///< per-shard LRU entries; 0 disables
 };
 
+/// Service-wide roll-up of per-shard counters (see QueryService::stats).
 struct QueryServiceStats {
-  std::uint64_t queries = 0;
-  std::uint64_t cache_hits = 0;
-  std::uint64_t batches = 0;
+  std::uint64_t queries = 0;     ///< total pairs answered
+  std::uint64_t cache_hits = 0;  ///< answered from a shard LRU
+  std::uint64_t batches = 0;     ///< query_batch calls
   double wall_seconds = 0;    ///< total query_batch wall time
   double qps = 0;             ///< queries / wall_seconds
   double hit_rate = 0;        ///< cache_hits / queries
@@ -53,8 +59,10 @@ struct QueryServiceStats {
   std::vector<std::uint64_t> shard_queries;  ///< load balance view
 };
 
+/// The sharded batch query engine (see the file comment for the model).
 class QueryService {
  public:
+  /// A query: ordered (source, target) node pair.
   using Pair = std::pair<NodeId, NodeId>;
 
   /// The store must outlive the service.
@@ -67,10 +75,14 @@ class QueryService {
   /// Single-pair convenience (routes through the owning shard's cache).
   Dist query(NodeId u, NodeId v);
 
+  /// Rolls the shard-private counters up into one service-wide view.
   QueryServiceStats stats() const;
+  /// Zeroes all counters and latency samples (caches stay warm).
   void reset_stats();
 
+  /// Number of pair-space partitions.
   std::size_t num_shards() const { return shards_.size(); }
+  /// Pool lanes incl. the calling thread.
   std::size_t num_threads() const { return pool_.size() + 1; }
 
  private:

@@ -1,34 +1,35 @@
-// Compact binary sketch store — the serving-tier representation.
-//
-// The paper's deployment story (§1) is build-once / query-many: the
-// expensive distributed construction runs offline, and the resulting
-// sketches are shipped to query frontends. The text format in
-// core/serialization is convenient for debugging but parses into
-// pointer-heavy per-node structures (vectors + hash maps). This store
-// instead keeps every scheme in one contiguous arena:
-//
-//   header | per-segment { meta | offset table (n+1) | packed arena }
-//
-// A node's sketch is the half-open arena slice [offsets[u], offsets[u+1])
-// of 32-bit words; distances occupy two words (lo, hi). TZ bunch entries
-// are stored sorted by node id so membership tests are branchless binary
-// searches. Queries parse records in place: zero per-query allocation,
-// and answers are bit-identical to SketchEngine::query (tested).
-//
-// On-disk layout (little-endian):
-//   bytes 0..7   magic "DSKSTOR1"
-//   u32 version, u32 scheme, u32 n, u32 k, u32 segments, u32 flags
-//   f64 epsilon                       (flags bit 0: epsilon was recorded)
-//   u64 payload_bytes, u64 checksum (FNV-1a 64 over the payload)
-//   payload: per segment u64 meta_count, u64 meta[], u64 offsets[n+1],
-//            u64 arena_count, u32 arena[]
-//
-// Record layouts (u32 words; D = 2-word little-endian distance):
-//   tz       [levels, bunch_count, (pivot_id, D) x levels,
-//             (node, level, D) x bunch_count sorted by node]
-//   slack    [D x |net|]               (net ids live in the segment meta)
-//   cdg      [net_node, D, owner, <tz record of L(owner)>]
-//   graceful one cdg segment per epsilon level
+/// \file
+/// Compact binary sketch store — the serving-tier representation.
+///
+/// The paper's deployment story (§1) is build-once / query-many: the
+/// expensive distributed construction runs offline, and the resulting
+/// sketches are shipped to query frontends. The text format in
+/// core/serialization is convenient for debugging but parses into
+/// pointer-heavy per-node structures (vectors + hash maps). This store
+/// instead keeps every scheme in one contiguous arena:
+///
+///   header | per-segment { meta | offset table (n+1) | packed arena }
+///
+/// A node's sketch is the half-open arena slice [offsets[u], offsets[u+1])
+/// of 32-bit words; distances occupy two words (lo, hi). TZ bunch entries
+/// are stored sorted by node id so membership tests are branchless binary
+/// searches. Queries parse records in place: zero per-query allocation,
+/// and answers are bit-identical to SketchEngine::query (tested).
+///
+/// On-disk layout (little-endian):
+///   bytes 0..7   magic "DSKSTOR1"
+///   u32 version, u32 scheme, u32 n, u32 k, u32 segments, u32 flags
+///   f64 epsilon                       (flags bit 0: epsilon was recorded)
+///   u64 payload_bytes, u64 checksum (FNV-1a 64 over the payload)
+///   payload: per segment u64 meta_count, u64 meta[], u64 offsets[n+1],
+///            u64 arena_count, u32 arena[]
+///
+/// Record layouts (u32 words; D = 2-word little-endian distance):
+///   tz       [levels, bunch_count, (pivot_id, D) x levels,
+///             (node, level, D) x bunch_count sorted by node]
+///   slack    [D x |net|]               (net ids live in the segment meta)
+///   cdg      [net_node, D, owner, <tz record of L(owner)>]
+///   graceful one cdg segment per epsilon level
 #pragma once
 
 #include <cstdint>
@@ -42,8 +43,10 @@
 
 namespace dsketch {
 
+/// Packed, checksummed, query-ready sketches for all four schemes.
 class SketchStore {
  public:
+  /// An empty store (no nodes); fill via from_engine/from_text/read.
   SketchStore() = default;
 
   /// Packs the engine's built sketches. The engine must hold a payload
@@ -69,14 +72,19 @@ class SketchStore {
   /// and safe to call concurrently from any number of threads.
   Dist query(NodeId u, NodeId v) const;
 
+  /// The sketch family the store holds.
   Scheme scheme() const { return scheme_; }
+  /// Nodes covered (valid query ids are [0, n)).
   NodeId num_nodes() const { return n_; }
+  /// The TZ/CDG hierarchy depth recorded at build time.
   std::uint32_t k() const { return k_; }
+  /// The slack/CDG epsilon recorded at build time (see epsilon_known()).
   double epsilon() const { return epsilon_; }
   /// False when the sketch came from a pre-epsilon text file: epsilon()
   /// is then a default, not the recorded build value, and to_text()
   /// writes the old header style to preserve that provenance.
   bool epsilon_known() const { return epsilon_known_; }
+  /// Packed segments (1 for tz/slack/cdg; one per level for graceful).
   std::size_t num_segments() const { return segments_.size(); }
 
   /// Total packed payload size (arena + offsets + meta), in bytes.

@@ -1,10 +1,11 @@
-// Query workload generation for the serving benchmarks.
-//
-// Two shapes cover the serving-tier cases of interest: `uniform` draws
-// independent random pairs (worst case for any cache), and `zipf` draws
-// from a fixed universe of hot pairs with Zipf(s) popularity — the
-// heavy-traffic pattern that per-shard LRUs are built for (a small head
-// of pairs dominates the stream).
+/// \file
+/// Query workload generation for the serving benchmarks.
+///
+/// Two shapes cover the serving-tier cases of interest: `uniform` draws
+/// independent random pairs (worst case for any cache), and `zipf` draws
+/// from a fixed universe of hot pairs with Zipf(s) popularity — the
+/// heavy-traffic pattern that per-shard LRUs are built for (a small head
+/// of pairs dominates the stream).
 #pragma once
 
 #include <algorithm>
@@ -20,24 +21,34 @@
 
 namespace dsketch {
 
+/// Shape and skew of a generated query stream.
 struct WorkloadConfig {
-  enum class Kind { kUniform, kZipf };
-  Kind kind = Kind::kUniform;
+  /// Stream shape.
+  enum class Kind {
+    kUniform,  ///< independent uniform pairs (cache worst case)
+    kZipf      ///< Zipf-skewed draws from a fixed hot-pair universe
+  };
+  Kind kind = Kind::kUniform;    ///< which stream shape to generate
   std::size_t hot_pairs = 4096;  ///< zipf universe size
   double zipf_s = 1.2;           ///< zipf exponent (higher = more skew)
-  std::uint64_t seed = 7;
+  std::uint64_t seed = 7;        ///< stream seed (same seed = same stream)
 };
 
+/// Parses "uniform" | "zipf"; throws std::runtime_error otherwise.
 inline WorkloadConfig::Kind parse_workload_kind(const std::string& name) {
   if (name == "uniform") return WorkloadConfig::Kind::kUniform;
   if (name == "zipf") return WorkloadConfig::Kind::kZipf;
   throw std::runtime_error("unknown workload (want uniform|zipf): " + name);
 }
 
+/// Deterministic (seeded) query-pair stream over node ids [0, n).
 class WorkloadGenerator {
  public:
+  /// A query: ordered (source, target) node pair.
   using Pair = std::pair<NodeId, NodeId>;
 
+  /// Prepares the stream (for zipf: samples the hot universe and builds
+  /// the popularity CDF).
   WorkloadGenerator(NodeId n, const WorkloadConfig& cfg)
       : n_(n), cfg_(cfg), rng_(cfg.seed) {
     if (cfg_.kind == WorkloadConfig::Kind::kZipf) {
@@ -57,6 +68,7 @@ class WorkloadGenerator {
     }
   }
 
+  /// Draws the next pair of the stream.
   Pair next() {
     if (cfg_.kind == WorkloadConfig::Kind::kUniform) {
       return random_pair(rng_);
@@ -69,6 +81,7 @@ class WorkloadGenerator {
     return universe_[rank];
   }
 
+  /// Draws `count` consecutive pairs.
   std::vector<Pair> batch(std::size_t count) {
     std::vector<Pair> pairs;
     pairs.reserve(count);

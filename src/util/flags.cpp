@@ -1,5 +1,8 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 namespace dsketch {
 namespace {
 
@@ -8,6 +11,11 @@ bool is_flag(const std::string& arg) {
 }
 
 }  // namespace
+
+FlagSet::FlagSet(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  for (const auto& [key, value] : kv) values_[key] = value;
+}
 
 FlagSet::FlagSet(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -58,6 +66,25 @@ std::string FlagSet::require(const std::string& key) const {
     throw std::runtime_error("missing required flag --" + key);
   }
   return it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> FlagSet::items() const {
+  std::vector<std::pair<std::string, std::string>> out(values_.begin(),
+                                                       values_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Parses "1,2,4" into integers; used for sweep-style CLI flags.
+std::vector<std::int64_t> parse_int_list(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::string item;
+  std::stringstream ss(csv);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  if (out.empty()) throw std::runtime_error("empty integer list: " + csv);
+  return out;
 }
 
 }  // namespace dsketch

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace dsketch {
@@ -17,6 +18,11 @@ namespace dsketch {
 class FlagSet {
  public:
   FlagSet(int argc, const char* const* argv);
+
+  /// Builds a flag set from explicit key/value pairs — how the repro
+  /// harness passes manifest cell parameters to an experiment without
+  /// synthesizing an argv.
+  explicit FlagSet(const std::vector<std::pair<std::string, std::string>>& kv);
 
   bool has(const std::string& key) const { return values_.count(key) != 0; }
 
@@ -29,9 +35,16 @@ class FlagSet {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All stored key/value pairs, sorted by key (for logging a cell's
+  /// resolved parameters deterministically).
+  std::vector<std::pair<std::string, std::string>> items() const;
+
  private:
   std::unordered_map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// Parses "1,2,4" into integers; throws on an empty list.
+std::vector<std::int64_t> parse_int_list(const std::string& csv);
 
 }  // namespace dsketch

@@ -1,14 +1,21 @@
-// Machine-readable harness output: one JSON object per line on stdout.
+// Machine-readable harness output: one JSON object per line.
 //
-// Used by the serving CLI and the bench binaries. The perf-trajectory
-// tooling ingests BENCH_*.json files built from these lines, so keys
-// should stay stable across PRs; add keys rather than renaming. Values
-// are emitted in insertion order.
+// Used by the serving CLI, the experiment library (bench/), and the
+// repro harness (src/exp). Perf-trajectory tooling ingests the JSON-lines
+// artifacts, so keys should stay stable across PRs; add keys rather than
+// renaming. The stable discriminators are `experiment` (e1..e12) and
+// `table` (one rendered table per value) — see docs/BENCHMARKS.md for the
+// per-experiment schema. (PR 2 migrated the pre-harness `bench` key to
+// this scheme; that is the last rename.) Values are emitted in insertion
+// order.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <ostream>
 #include <string>
+
+#include "util/stats.hpp"
 
 namespace dsketch::bench {
 
@@ -38,11 +45,28 @@ class JsonLine {
     return raw(key, value ? "true" : "false");
   }
 
+  /// Emits `<prefix>_mean/p50/p95/p99/max` from a Summary — the shared
+  /// shape for any latency/size/stretch distribution in harness output.
+  JsonLine& add_summary(const std::string& prefix, const Summary& s) {
+    add(prefix + "_mean", s.mean);
+    add(prefix + "_p50", s.p50);
+    add(prefix + "_p95", s.p95);
+    add(prefix + "_p99", s.p99);
+    return add(prefix + "_max", s.max);
+  }
+
+  /// The serialized object, `{...}` (no trailing newline).
+  std::string str() const { return "{" + body_ + "}"; }
+
   /// Prints `{...}\n` and flushes so lines survive interleaved crashes.
   void emit() {
     std::printf("{%s}\n", body_.c_str());
     std::fflush(stdout);
   }
+
+  /// Writes `{...}\n` to an arbitrary sink (per-cell output files in the
+  /// repro harness; std::cout in the standalone bench shims).
+  void emit(std::ostream& out) { out << str() << '\n'; }
 
  private:
   JsonLine& raw(const std::string& key, const std::string& value) {

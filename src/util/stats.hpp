@@ -39,16 +39,36 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Batch percentile over a copy of the samples (nearest-rank).
-inline double percentile(std::vector<double> xs, double p) {
+/// Percentile over already-sorted samples (linear interpolation).
+inline double percentile_sorted(const std::vector<double>& xs, double p) {
   if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
+
+/// Batch percentile over a copy of the samples.
+inline double percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, p);
+}
+
+/// Fixed-shape roll-up of a sample distribution. The single summary type
+/// shared by the serving tier (shard-slice latencies) and the experiment
+/// harness (stretch/size/latency rows), so reports agree on which
+/// percentiles exist and how they are computed.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
 
 /// Collects samples and reports a compact summary; used for table rows.
 class SampleSet {
@@ -57,17 +77,44 @@ class SampleSet {
     samples_.push_back(x);
     acc_.add(x);
   }
+  /// Folds another set's samples in (used to roll shard-local stats up
+  /// into a service-wide view without re-collecting).
+  void merge(const SampleSet& other) {
+    for (const double x : other.samples_) add(x);
+  }
   std::size_t count() const { return acc_.count(); }
   double mean() const { return acc_.mean(); }
   double min() const { return acc_.min(); }
   double max() const { return acc_.max(); }
   double stddev() const { return acc_.stddev(); }
   double p(double pct) const { return percentile(samples_, pct); }
+  Summary summary() const {
+    Summary s;
+    s.count = count();
+    s.mean = mean();
+    s.stddev = stddev();
+    s.min = min();
+    s.max = max();
+    // One copy + one sort covers every percentile.
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50 = percentile_sorted(sorted, 50);
+    s.p95 = percentile_sorted(sorted, 95);
+    s.p99 = percentile_sorted(sorted, 99);
+    return s;
+  }
   const std::vector<double>& samples() const { return samples_; }
 
  private:
   std::vector<double> samples_;
   Accumulator acc_;
 };
+
+/// One-shot summary of a raw sample vector.
+inline Summary summarize(const std::vector<double>& xs) {
+  SampleSet set;
+  for (const double x : xs) set.add(x);
+  return set.summary();
+}
 
 }  // namespace dsketch

@@ -11,18 +11,25 @@
 //   dsketch convert    --in text.sketch --out net.store
 //   dsketch serve-bench --store net.store --workload zipf --batch 1024
 //                 --threads 1,2,4 --shards 8 --cache 4096
+//   dsketch repro --manifest bench/manifests/quick.toml [--out-dir DIR]
+//                 [--threads N] [--force] [--list] [--no-report]
 //
 // Schemes: tz | slack | cdg | graceful. See README for the guarantees.
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "baselines/exact_oracle.hpp"
 #include "core/engine.hpp"
+#include "exp/corpus_cache.hpp"
+#include "exp/manifest.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/shortest_paths.hpp"
@@ -40,7 +47,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dsketch <gen|info|build|query|eval|convert|serve-bench>"
+               "usage: dsketch "
+               "<gen|info|build|query|eval|convert|serve-bench|repro>"
                " [--flags]\n"
                "  gen   --topology er|grid|ring|path|ba|ws|geometric|tree|"
                "isp|ring_chords --n N [--p P] [--m M] [--wmin W --wmax W] "
@@ -58,64 +66,11 @@ int usage() {
                "  serve-bench (--store FILE | --graph FILE --scheme ...) "
                "[--queries N] [--batch B,B,...] [--threads T,T,...] "
                "[--shards S] [--cache C] [--workload uniform|zipf] "
-               "[--zipf-s S] [--hot-pairs H] [--seed S] [--verify N]\n");
+               "[--zipf-s S] [--hot-pairs H] [--seed S] [--verify N]\n"
+               "  repro (--manifest FILE | --quick) [--out-dir DIR] "
+               "[--corpus-dir DIR] [--threads N] [--force] [--list] "
+               "[--no-report] [--report FILE]\n");
   return 2;
-}
-
-std::vector<std::int64_t> parse_int_list(const std::string& csv) {
-  std::vector<std::int64_t> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stoll(item));
-  }
-  if (out.empty()) throw std::runtime_error("empty integer list: " + csv);
-  return out;
-}
-
-Graph generate(const FlagSet& flags) {
-  const std::string topo = flags.get("topology", std::string("er"));
-  const auto n = static_cast<NodeId>(flags.get("n", std::int64_t{1024}));
-  const auto seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{42}));
-  WeightSpec w{static_cast<Weight>(flags.get("wmin", std::int64_t{1})),
-               static_cast<Weight>(flags.get("wmax", std::int64_t{1}))};
-  if (topo == "er") {
-    return erdos_renyi(n, flags.get("p", 8.0 / n), w, seed);
-  }
-  if (topo == "grid") {
-    const auto rows = static_cast<NodeId>(
-        flags.get("rows", static_cast<std::int64_t>(std::max<NodeId>(
-                              2, static_cast<NodeId>(std::sqrt(n))))));
-    return grid2d(rows, (n + rows - 1) / rows, w, seed);
-  }
-  if (topo == "ring") return ring(n, w, seed);
-  if (topo == "path") return path(n, w, seed);
-  if (topo == "ba") {
-    return barabasi_albert(
-        n, static_cast<NodeId>(flags.get("m", std::int64_t{2})), w, seed);
-  }
-  if (topo == "ws") {
-    return watts_strogatz(n,
-                          static_cast<NodeId>(flags.get("m", std::int64_t{3})),
-                          flags.get("beta", 0.1), w, seed);
-  }
-  if (topo == "geometric") {
-    return random_geometric(n, flags.get("radius", 0.08), seed, true);
-  }
-  if (topo == "tree") return random_tree(n, w, seed);
-  if (topo == "isp") {
-    return isp_two_level(
-        n, static_cast<NodeId>(flags.get("pops", std::int64_t{16})), {1, 4},
-        w, seed);
-  }
-  if (topo == "ring_chords") {
-    return ring_with_chords(
-        n, static_cast<std::size_t>(flags.get("chords", std::int64_t{n})),
-        static_cast<Weight>(flags.get("ring-weight", std::int64_t{1})),
-        static_cast<Weight>(flags.get("chord-weight", std::int64_t{1000})),
-        seed);
-  }
-  throw std::runtime_error("unknown topology: " + topo);
 }
 
 BuildConfig parse_build_config(const FlagSet& flags) {
@@ -143,7 +98,7 @@ BuildConfig parse_build_config(const FlagSet& flags) {
 }
 
 int cmd_gen(const FlagSet& flags) {
-  const Graph g = generate(flags);
+  const Graph g = exp::generate_graph(flags);
   const std::string out = flags.require("out");
   write_graph_file(out, g);
   std::printf("wrote %s: %u nodes, %zu edges\n", out.c_str(), g.num_nodes(),
@@ -437,6 +392,65 @@ int cmd_serve_bench(const FlagSet& flags) {
   return 0;
 }
 
+/// Runs a manifest's experiment grid and regenerates the results report.
+/// Resume is the default: cells whose artifacts already exist and
+/// validate are skipped, so an interrupted grid picks up where it left
+/// off; --force reruns everything.
+int cmd_repro(const FlagSet& flags) {
+  const exp::Manifest manifest = [&] {
+    if (flags.has("manifest")) {
+      return exp::load_manifest_file(flags.get("manifest", std::string{}));
+    }
+    if (flags.get_bool("quick")) {
+      return exp::parse_manifest(exp::default_quick_manifest());
+    }
+    throw std::runtime_error("repro needs --manifest FILE or --quick");
+  }();
+
+  const std::vector<exp::Cell> cells = exp::expand_cells(manifest);
+  if (flags.get_bool("list")) {
+    std::printf("manifest %s: %zu cell(s)\n", manifest.name.c_str(),
+                cells.size());
+    for (const exp::Cell& cell : cells) {
+      std::string params;
+      for (const auto& [k, v] : cell.params) {
+        params += " " + k + "=" + v;
+      }
+      std::printf("  %s%s\n", cell.id().c_str(), params.c_str());
+    }
+    return 0;
+  }
+
+  exp::RunOptions opts;
+  opts.out_dir =
+      flags.get("out-dir", std::string("exp_out/") + manifest.name);
+  opts.corpus_dir = flags.get("corpus-dir", std::string{});
+  opts.threads =
+      static_cast<std::size_t>(flags.get("threads", std::int64_t{0}));
+  opts.force = flags.get_bool("force");
+  opts.progress = &std::cerr;
+
+  const exp::RunSummary summary = exp::run_manifest(manifest, opts);
+  std::printf("repro %s: %zu ran, %zu skipped (resume), %zu failed in "
+              "%.1f s -> %s\n",
+              manifest.name.c_str(), summary.ran, summary.skipped,
+              summary.failed, summary.wall_seconds, opts.out_dir.c_str());
+  for (const exp::CellResult& cell : summary.cells) {
+    if (cell.status == exp::CellResult::Status::kFailed) {
+      std::fprintf(stderr, "  failed: %s (%s)\n", cell.id.c_str(),
+                   cell.error.c_str());
+    }
+  }
+
+  if (!flags.get_bool("no-report")) {
+    const std::string report_path =
+        flags.get("report", std::string("docs/RESULTS.md"));
+    exp::write_report(opts.out_dir, manifest.name, report_path);
+    std::printf("report regenerated: %s\n", report_path.c_str());
+  }
+  return summary.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -451,6 +465,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(flags);
     if (cmd == "convert") return cmd_convert(flags);
     if (cmd == "serve-bench") return cmd_serve_bench(flags);
+    if (cmd == "repro") return cmd_repro(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
