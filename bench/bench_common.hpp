@@ -60,6 +60,26 @@ inline Hierarchy sampled_hierarchy(NodeId n, std::uint32_t k,
   return h;
 }
 
+/// Largest n at which the benches compute diameters exactly; the exact
+/// sweeps are source-parallel over the kernel now, but they are still
+/// n full searches, so larger graphs fall back to sampled lower bounds.
+inline constexpr NodeId kExactDiameterMaxN = 1024;
+
+/// Hop diameter D: exact up to kExactDiameterMaxN, sampled beyond.
+inline std::uint32_t hop_diameter_auto(const Graph& g, int samples,
+                                       std::uint64_t seed) {
+  if (g.num_nodes() <= kExactDiameterMaxN) return hop_diameter(g);
+  return hop_diameter_estimate(g, samples, seed);
+}
+
+/// Shortest-path diameter S: exact up to kExactDiameterMaxN, sampled
+/// beyond.
+inline std::uint32_t sp_diameter_auto(const Graph& g, int samples,
+                                      std::uint64_t seed) {
+  if (g.num_nodes() <= kExactDiameterMaxN) return shortest_path_diameter(g);
+  return shortest_path_diameter_estimate(g, samples, seed);
+}
+
 /// The experiment's primary graph: `--graph FILE` loads a corpus file
 /// (how the repro runner shares one generated graph across cells);
 /// otherwise an Erdős–Rényi instance at `--n` (default `def_n`) whose

@@ -23,7 +23,7 @@ int run_e3(const FlagSet& flags, std::ostream& out) {
   for (const NodeId n : {256u, 512u, 1024u}) {
     if (n > nmax) continue;
     const Graph g = erdos_renyi(n, 8.0 / n, {1, 12}, 5);
-    const std::uint32_t S = shortest_path_diameter_estimate(g, 8, 3);
+    const std::uint32_t S = sp_diameter_auto(g, 8, 3);
     const Hierarchy h = sampled_hierarchy(n, k, 11);
     const auto oracle = build_tz_distributed(g, h, TerminationMode::kOracle);
     const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
@@ -58,7 +58,7 @@ int run_e3(const FlagSet& flags, std::ostream& out) {
       {"grid", grid2d(16, std::max<NodeId>(2, nf / 16), {1, 12}, 5)});
   topos.push_back({"ring", ring(nf, {1, 12}, 5)});
   for (auto& t : topos) {
-    const std::uint32_t S = shortest_path_diameter_estimate(t.g, 8, 3);
+    const std::uint32_t S = sp_diameter_auto(t.g, 8, 3);
     const Hierarchy h = sampled_hierarchy(t.g.num_nodes(), k, 13);
     const auto r = build_tz_distributed(t.g, h, TerminationMode::kOracle);
     row("e3", "cost_vs_s")

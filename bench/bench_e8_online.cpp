@@ -42,8 +42,8 @@ int run_e8(const FlagSet& flags, std::ostream& out) {
 
   for (auto& t : topos) {
     if (t.g.num_nodes() > nmax) continue;
-    const std::uint32_t D = hop_diameter_estimate(t.g, 6, 3);
-    const std::uint32_t S = shortest_path_diameter_estimate(t.g, 6, 3);
+    const std::uint32_t D = hop_diameter_auto(t.g, 6, 3);
+    const std::uint32_t S = sp_diameter_auto(t.g, 6, 3);
     const SimStats online = online_distance_rounds(t.g, 0);
 
     // Build labels directly so we can serialize one for the exchange.
@@ -77,7 +77,7 @@ int run_e8(const FlagSet& flags, std::ostream& out) {
 
   {
     const Graph g = ring_with_chords(512, 1024, 1, 60000, 7);
-    const std::uint32_t D = hop_diameter_estimate(g, 6, 3);
+    const std::uint32_t D = hop_diameter_auto(g, 6, 3);
     const SimStats online = online_distance_rounds(g, 0);
     BuildConfig cfg;
     cfg.scheme = Scheme::kThorupZwick;

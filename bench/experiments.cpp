@@ -39,6 +39,10 @@ const std::vector<Experiment>& experiment_registry() {
       {"e12", "serving",
        "Serving-tier throughput: store round trip + sharded query service",
        run_e12},
+      {"e13", "kernel",
+       "Shortest-path kernel: bucket vs heap engines, serial vs parallel "
+       "TZ construction",
+       run_e13},
   };
   return registry;
 }

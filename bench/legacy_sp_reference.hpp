@@ -1,0 +1,107 @@
+// The pre-PR shortest-path kernels, frozen verbatim as the correctness
+// and performance baseline: fresh dist vectors and a binary
+// std::priority_queue per call, strictly single-threaded. Shared by the
+// E13 microbenchmark (before/after timing + agreement gate) and the
+// sp_kernel property tests (fixed-point equivalence) so both validate
+// against the same reference.
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsketch::legacy_ref {
+
+struct QItem {
+  Dist dist;
+  NodeId node;
+  bool operator>(const QItem& o) const {
+    return dist != o.dist ? dist > o.dist : node > o.node;
+  }
+};
+
+inline std::vector<Dist> dijkstra(const Graph& g, NodeId source) {
+  std::vector<Dist> dist(g.num_nodes(), kInfDist);
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const HalfEdge& he : g.neighbors(u)) {
+      const Dist nd = d + he.weight;
+      if (nd < dist[he.to]) {
+        dist[he.to] = nd;
+        pq.push({nd, he.to});
+      }
+    }
+  }
+  return dist;
+}
+
+inline void multi_source(const Graph& g, const std::vector<NodeId>& sources,
+                         std::vector<Dist>& dist,
+                         std::vector<NodeId>& owner) {
+  dist.assign(g.num_nodes(), kInfDist);
+  owner.assign(g.num_nodes(), kInvalidNode);
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  for (NodeId s : sources) {
+    if (dist[s] == 0 && owner[s] <= s) continue;
+    dist[s] = 0;
+    owner[s] = std::min(owner[s], s);
+    pq.push({0, s});
+  }
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const HalfEdge& he : g.neighbors(u)) {
+      const Dist nd = d + he.weight;
+      if (nd < dist[he.to] ||
+          (nd == dist[he.to] && owner[u] < owner[he.to])) {
+        dist[he.to] = nd;
+        owner[he.to] = owner[u];
+        pq.push({nd, he.to});
+      }
+    }
+  }
+}
+
+inline void min_hops(const Graph& g, NodeId source, std::vector<Dist>& dist,
+                     std::vector<std::uint32_t>& hops) {
+  struct Item {
+    Dist dist;
+    std::uint32_t hops;
+    NodeId node;
+    bool operator>(const Item& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      if (hops != o.hops) return hops > o.hops;
+      return node > o.node;
+    }
+  };
+  dist.assign(g.num_nodes(), kInfDist);
+  hops.assign(g.num_nodes(), static_cast<std::uint32_t>(-1));
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  hops[source] = 0;
+  pq.push({0, 0, source});
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (d != dist[u] || h != hops[u]) continue;
+    for (const HalfEdge& he : g.neighbors(u)) {
+      const Dist nd = d + he.weight;
+      const std::uint32_t nh = h + 1;
+      if (nd < dist[he.to] || (nd == dist[he.to] && nh < hops[he.to])) {
+        dist[he.to] = nd;
+        hops[he.to] = nh;
+        pq.push({nd, nh, he.to});
+      }
+    }
+  }
+}
+
+}  // namespace dsketch::legacy_ref

@@ -1,14 +1,19 @@
 #include "baselines/exact_oracle.hpp"
 
-#include "graph/shortest_paths.hpp"
+#include "graph/sp_kernel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
 
 ExactOracle::ExactOracle(const Graph& g) {
-  dist_.reserve(g.num_nodes());
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    dist_.push_back(dijkstra(g, u));
-  }
+  // Full APSP table, one kernel SSSP per row in parallel.
+  dist_.resize(g.num_nodes());
+  global_pool().for_each_dynamic(g.num_nodes(),
+                                 [&](std::size_t, std::size_t u) {
+    SpWorkspace& ws = thread_workspace();
+    sp_dijkstra(g, static_cast<NodeId>(u), ws);
+    dist_[u] = ws.export_dist();
+  });
 }
 
 }  // namespace dsketch

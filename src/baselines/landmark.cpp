@@ -2,9 +2,10 @@
 
 #include <algorithm>
 
-#include "graph/shortest_paths.hpp"
+#include "graph/sp_kernel.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
 
@@ -21,8 +22,14 @@ LandmarkSketchSet::LandmarkSketchSet(const Graph& g, std::size_t num_landmarks,
     std::swap(perm[i], perm[j]);
     landmarks_.push_back(perm[i]);
   }
-  dist_.reserve(num_landmarks);
-  for (const NodeId l : landmarks_) dist_.push_back(dijkstra(g, l));
+  dist_.resize(num_landmarks);
+  // One SSSP row per landmark, in parallel over the kernel.
+  global_pool().for_each_dynamic(num_landmarks,
+                                 [&](std::size_t, std::size_t i) {
+    SpWorkspace& ws = thread_workspace();
+    sp_dijkstra(g, landmarks_[i], ws);
+    dist_[i] = ws.export_dist();
+  });
 }
 
 Dist LandmarkSketchSet::query(NodeId u, NodeId v) const {

@@ -443,6 +443,12 @@ graph = "er512"
 queries = 30000
 threads = "1,2"
 batch = "1024,4096"
+
+[[cell]]
+experiment = "e13"
+graph = "er512"
+sources = 8
+threads = "1,0"
 )";
   return manifest;
 }

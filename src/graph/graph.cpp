@@ -16,6 +16,7 @@ Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges) {
     DS_CHECK(e.u < n && e.v < n && e.u != e.v);
     ++g.offsets_[e.u + 1];
     ++g.offsets_[e.v + 1];
+    g.max_weight_ = std::max(g.max_weight_, e.weight);
   }
   for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
   g.adj_.resize(g.offsets_[n]);
@@ -66,18 +67,35 @@ bool Graph::connected() const {
 void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
   if (u == v) return;
   DS_CHECK(u < n_ && v < n_);
-  const std::uint64_t k = key(u, v);
-  auto [it, inserted] = index_.try_emplace(k, edges_.size());
-  if (inserted) {
-    if (u > v) std::swap(u, v);
-    edges_.push_back(Edge{u, v, w});
-  } else if (w < edges_[it->second].weight) {
-    edges_[it->second].weight = w;
-  }
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, w});
+  if (indexed_) index_.insert(key(u, v));
 }
 
 bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  if (!indexed_) {
+    index_.reserve(edges_.size() * 2);
+    for (const Edge& e : edges_) index_.insert(key(e.u, e.v));
+    indexed_ = true;
+  }
   return index_.count(key(u, v)) != 0;
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<Edge> unique = edges_;
+  // Sort by (u, v, weight): the first of each pair run carries the
+  // smallest weight, exactly what the old per-add dedup kept.
+  std::sort(unique.begin(), unique.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.weight < b.weight;
+  });
+  unique.erase(std::unique(unique.begin(), unique.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }),
+               unique.end());
+  return Graph::from_edges(n_, unique);
 }
 
 }  // namespace dsketch

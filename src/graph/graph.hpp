@@ -8,7 +8,7 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -64,30 +64,46 @@ class Graph {
   /// Sum of all edge weights (useful for upper bounds on distances).
   Dist total_weight() const;
 
+  /// Largest edge weight (0 for an edgeless graph); cached at build time.
+  /// The shortest-path kernel selects its frontier engine from this.
+  Weight max_weight() const { return max_weight_; }
+
   /// True when every node can reach every other (BFS check).
   bool connected() const;
 
  private:
   NodeId n_ = 0;
+  Weight max_weight_ = 0;
   std::vector<std::size_t> offsets_;  // n_+1 entries
   std::vector<HalfEdge> adj_;
   std::vector<Edge> edges_;
 };
 
 /// Incremental builder used by generators.
+///
+/// add_edge is append-only: duplicates of the same unordered pair are
+/// collapsed by sort-and-unique at build() time (smaller weight wins), so
+/// the hot generation path carries no hash map. Generators that need
+/// membership queries pay for an index only once they call has_edge —
+/// the set is materialized lazily on first use and kept incrementally
+/// updated from then on.
 class GraphBuilder {
  public:
   explicit GraphBuilder(NodeId n) : n_(n) {}
 
-  /// Adds edge {u, v} with weight w; ignores self loops; deduplicates exact
-  /// duplicates of the same unordered pair, keeping the smaller weight.
+  /// Records edge {u, v} with weight w; ignores self loops. Duplicates of
+  /// the same unordered pair are collapsed at build() time, keeping the
+  /// smaller weight.
   void add_edge(NodeId u, NodeId v, Weight w);
 
   NodeId num_nodes() const { return n_; }
+  /// Number of add_edge calls recorded so far (duplicates included —
+  /// dedup happens at build()).
   std::size_t num_edges() const { return edges_.size(); }
   bool has_edge(NodeId u, NodeId v) const;
 
-  Graph build() const { return Graph::from_edges(n_, edges_); }
+  /// Sorts, deduplicates (min weight per unordered pair), and freezes.
+  Graph build() const;
   const std::vector<Edge>& edges() const { return edges_; }
 
  private:
@@ -97,7 +113,8 @@ class GraphBuilder {
   }
   NodeId n_;
   std::vector<Edge> edges_;
-  std::unordered_map<std::uint64_t, std::size_t> index_;  // pair key -> slot
+  mutable bool indexed_ = false;
+  mutable std::unordered_set<std::uint64_t> index_;  // lazy, has_edge only
 };
 
 }  // namespace dsketch

@@ -1,173 +1,123 @@
 #include "graph/shortest_paths.hpp"
 
 #include <algorithm>
-#include <queue>
 
+#include "graph/sp_kernel.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
-namespace {
-
-struct QItem {
-  Dist dist;
-  NodeId node;
-  bool operator>(const QItem& o) const {
-    return dist != o.dist ? dist > o.dist : node > o.node;
-  }
-};
-
-}  // namespace
 
 std::vector<Dist> dijkstra(const Graph& g, NodeId source) {
-  std::vector<Dist> dist(g.num_nodes(), kInfDist);
-  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  dist[source] = 0;
-  pq.push({0, source});
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d != dist[u]) continue;
-    for (const HalfEdge& he : g.neighbors(u)) {
-      const Dist nd = d + he.weight;
-      if (nd < dist[he.to]) {
-        dist[he.to] = nd;
-        pq.push({nd, he.to});
-      }
-    }
-  }
-  return dist;
+  SpWorkspace& ws = thread_workspace();
+  sp_dijkstra(g, source, ws);
+  return ws.export_dist();
 }
 
 MultiSourceResult multi_source_dijkstra(const Graph& g,
                                         const std::vector<NodeId>& sources) {
+  SpWorkspace& ws = thread_workspace();
+  sp_multi_source(g, sources, ws);
   MultiSourceResult r;
-  r.dist.assign(g.num_nodes(), kInfDist);
-  r.owner.assign(g.num_nodes(), kInvalidNode);
-  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  for (NodeId s : sources) {
-    // Ties between sources at equal distance resolve to the smaller id,
-    // matching the library-wide (dist, id) key order.
-    if (r.dist[s] == 0 && r.owner[s] <= s) continue;
-    r.dist[s] = 0;
-    r.owner[s] = std::min(r.owner[s], s);
-    pq.push({0, s});
-  }
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d != r.dist[u]) continue;
-    for (const HalfEdge& he : g.neighbors(u)) {
-      const Dist nd = d + he.weight;
-      if (nd < r.dist[he.to] ||
-          (nd == r.dist[he.to] && r.owner[u] < r.owner[he.to])) {
-        r.dist[he.to] = nd;
-        r.owner[he.to] = r.owner[u];
-        pq.push({nd, he.to});
-      }
-    }
-  }
+  r.dist = ws.export_dist();
+  r.owner = ws.export_owner();
   return r;
 }
 
 std::vector<std::uint32_t> hop_bfs(const Graph& g, NodeId source) {
-  std::vector<std::uint32_t> hops(g.num_nodes(),
-                                  static_cast<std::uint32_t>(-1));
-  std::queue<NodeId> q;
-  hops[source] = 0;
-  q.push(source);
-  while (!q.empty()) {
-    const NodeId u = q.front();
-    q.pop();
-    for (const HalfEdge& he : g.neighbors(u)) {
-      if (hops[he.to] == static_cast<std::uint32_t>(-1)) {
-        hops[he.to] = hops[u] + 1;
-        q.push(he.to);
-      }
-    }
-  }
-  return hops;
+  SpWorkspace& ws = thread_workspace();
+  sp_hop_bfs(g, source, ws);
+  return ws.export_hops();
 }
 
 DistHops dijkstra_min_hops(const Graph& g, NodeId source) {
+  SpWorkspace& ws = thread_workspace();
+  sp_dijkstra_min_hops(g, source, ws);
   DistHops r;
-  r.dist.assign(g.num_nodes(), kInfDist);
-  r.hops.assign(g.num_nodes(), static_cast<std::uint32_t>(-1));
-  struct Item {
-    Dist dist;
-    std::uint32_t hops;
-    NodeId node;
-    bool operator>(const Item& o) const {
-      if (dist != o.dist) return dist > o.dist;
-      if (hops != o.hops) return hops > o.hops;
-      return node > o.node;
-    }
-  };
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  r.dist[source] = 0;
-  r.hops[source] = 0;
-  pq.push({0, 0, source});
-  while (!pq.empty()) {
-    const auto [d, h, u] = pq.top();
-    pq.pop();
-    if (d != r.dist[u] || h != r.hops[u]) continue;
-    for (const HalfEdge& he : g.neighbors(u)) {
-      const Dist nd = d + he.weight;
-      const std::uint32_t nh = h + 1;
-      if (nd < r.dist[he.to] ||
-          (nd == r.dist[he.to] && nh < r.hops[he.to])) {
-        r.dist[he.to] = nd;
-        r.hops[he.to] = nh;
-        pq.push({nd, nh, he.to});
-      }
-    }
-  }
+  r.dist = ws.export_dist();
+  r.hops = ws.export_hops();
   return r;
 }
 
-std::uint32_t hop_diameter(const Graph& g) {
-  std::uint32_t best = 0;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (std::uint32_t h : hop_bfs(g, u)) {
-      DS_CHECK(h != static_cast<std::uint32_t>(-1));  // connected input
+namespace {
+
+/// Max hop count over all-source searches, one search per task pulled
+/// dynamically; lane-local maxima merge with max (commutative), so the
+/// result is thread-count independent. The exact diameters require a
+/// connected graph (as before this was parallelized); the sampled
+/// estimators tolerate disconnected inputs by skipping unreached nodes.
+template <typename SearchFn>
+std::uint32_t max_hops_over_sources(const Graph& g,
+                                    const std::vector<NodeId>& sources,
+                                    const SearchFn& search,
+                                    bool require_connected) {
+  ThreadPool& pool = global_pool();
+  std::vector<std::uint32_t> lane_best(pool.lanes(), 0);
+  pool.for_each_dynamic(sources.size(), [&](std::size_t lane,
+                                            std::size_t i) {
+    SpWorkspace& ws = thread_workspace();
+    search(g, sources[i], ws);
+    std::uint32_t best = lane_best[lane];
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const std::uint32_t h = ws.hops(u);
+      if (h == kInvalidHops) {
+        DS_CHECK(!require_connected);
+        continue;
+      }
       best = std::max(best, h);
     }
+    lane_best[lane] = best;
+  });
+  return *std::max_element(lane_best.begin(), lane_best.end());
+}
+
+std::vector<NodeId> all_nodes(const Graph& g) {
+  std::vector<NodeId> nodes(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) nodes[u] = u;
+  return nodes;
+}
+
+std::vector<NodeId> sampled_nodes(const Graph& g, int samples,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    nodes.push_back(static_cast<NodeId>(rng.below(g.num_nodes())));
   }
-  return best;
+  return nodes;
+}
+
+void bfs_search(const Graph& g, NodeId s, SpWorkspace& ws) {
+  sp_hop_bfs(g, s, ws);
+}
+
+void min_hops_search(const Graph& g, NodeId s, SpWorkspace& ws) {
+  sp_dijkstra_min_hops(g, s, ws);
+}
+
+}  // namespace
+
+std::uint32_t hop_diameter(const Graph& g) {
+  return max_hops_over_sources(g, all_nodes(g), bfs_search,
+                               /*require_connected=*/true);
 }
 
 std::uint32_t shortest_path_diameter(const Graph& g) {
-  std::uint32_t best = 0;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const DistHops dh = dijkstra_min_hops(g, u);
-    for (std::uint32_t h : dh.hops) {
-      DS_CHECK(h != static_cast<std::uint32_t>(-1));
-      best = std::max(best, h);
-    }
-  }
-  return best;
+  return max_hops_over_sources(g, all_nodes(g), min_hops_search,
+                               /*require_connected=*/true);
 }
 
 std::uint32_t hop_diameter_estimate(const Graph& g, int samples,
                                     std::uint64_t seed) {
-  Rng rng(seed);
-  std::uint32_t best = 0;
-  for (int i = 0; i < samples; ++i) {
-    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
-    for (std::uint32_t h : hop_bfs(g, s)) best = std::max(best, h);
-  }
-  return best;
+  return max_hops_over_sources(g, sampled_nodes(g, samples, seed),
+                               bfs_search, /*require_connected=*/false);
 }
 
 std::uint32_t shortest_path_diameter_estimate(const Graph& g, int samples,
                                               std::uint64_t seed) {
-  Rng rng(seed);
-  std::uint32_t best = 0;
-  for (int i = 0; i < samples; ++i) {
-    const NodeId s = static_cast<NodeId>(rng.below(g.num_nodes()));
-    const DistHops dh = dijkstra_min_hops(g, s);
-    for (std::uint32_t h : dh.hops) best = std::max(best, h);
-  }
-  return best;
+  return max_hops_over_sources(g, sampled_nodes(g, samples, seed),
+                               min_hops_search, /*require_connected=*/false);
 }
 
 SampledGroundTruth::SampledGroundTruth(const Graph& g, std::size_t rows,
@@ -182,8 +132,12 @@ SampledGroundTruth::SampledGroundTruth(const Graph& g, std::size_t rows,
     std::swap(perm[i], perm[j]);
     sources_.push_back(perm[i]);
   }
-  table_.reserve(rows);
-  for (NodeId s : sources_) table_.push_back(dijkstra(g, s));
+  table_.resize(rows);
+  global_pool().for_each_dynamic(rows, [&](std::size_t, std::size_t row) {
+    SpWorkspace& ws = thread_workspace();
+    sp_dijkstra(g, sources_[row], ws);
+    table_[row] = ws.export_dist();
+  });
 }
 
 }  // namespace dsketch

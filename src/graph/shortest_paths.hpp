@@ -7,6 +7,13 @@
 //       among *weighted* shortest paths. D <= S, and every distributed
 //       distance computation needs Omega(S) rounds.
 // S is computed with a lexicographic Dijkstra on keys (dist, hops).
+//
+// Everything here is a thin driver over graph/sp_kernel.hpp: single-shot
+// wrappers reuse the calling thread's workspace, and the all-source sweeps
+// (diameters, estimates, SampledGroundTruth) run source-parallel over the
+// global thread pool with one workspace per worker. Results are identical
+// across engines and thread counts (see the kernel's determinism
+// contract).
 #pragma once
 
 #include <cstdint>

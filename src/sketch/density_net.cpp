@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "graph/shortest_paths.hpp"
+#include "graph/sp_kernel.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
 
@@ -41,13 +43,17 @@ std::vector<Dist> density_radii(const Graph& g, double epsilon) {
   const std::size_t need = static_cast<std::size_t>(
       std::max<double>(1.0, std::ceil(epsilon * static_cast<double>(n))));
   std::vector<Dist> radii(n);
-  for (NodeId u = 0; u < n; ++u) {
-    std::vector<Dist> d = dijkstra(g, u);
+  // One SSSP per node, source-parallel over the kernel; radii[u] writes
+  // are index-disjoint, so the result is thread-count independent.
+  global_pool().for_each_dynamic(n, [&](std::size_t, std::size_t u) {
+    SpWorkspace& ws = thread_workspace();
+    sp_dijkstra(g, static_cast<NodeId>(u), ws);
+    std::vector<Dist> d = ws.export_dist();
     std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(
                                     std::min(need, d.size()) - 1),
                      d.end());
     radii[u] = d[std::min(need, d.size()) - 1];
-  }
+  });
   return radii;
 }
 

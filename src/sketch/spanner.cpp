@@ -1,10 +1,12 @@
 #include "sketch/spanner.hpp"
 
-#include <queue>
 #include <unordered_set>
+#include <utility>
 
+#include "graph/sp_kernel.hpp"
 #include "sketch/tz_centralized.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
 
@@ -12,62 +14,49 @@ std::vector<Edge> extract_spanner(const Graph& g, const Hierarchy& hierarchy) {
   const std::uint32_t k = hierarchy.k();
   const NodeId n = g.num_nodes();
   DS_CHECK(hierarchy.n() == n);
-  const LevelGates gates = compute_level_gates(g, hierarchy);
+  ThreadPool& tp = global_pool();
+  const LevelGates gates = compute_level_gates(g, hierarchy, &tp);
+
+  // Same pruned cluster growth as the label construction, but recording
+  // the tree edge through which each cluster member was reached. Sources
+  // grow in parallel; per-source tree edges merge in phase order, so the
+  // first-wins dedup below is thread-count independent.
+  struct GrowJob {
+    std::uint32_t level;
+    NodeId source;
+  };
+  std::vector<GrowJob> jobs;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (const NodeId w : hierarchy.phase_sources(i)) {
+      jobs.push_back(GrowJob{i, w});
+    }
+  }
+  std::vector<std::vector<Edge>> tree_edges(jobs.size());
+  tp.for_each_dynamic(jobs.size(), [&](std::size_t, std::size_t j) {
+    const auto [level, w] = jobs[j];
+    const std::vector<DistKey>* next_gate =
+        level + 1 < k ? &gates.gate[level + 1] : nullptr;
+    SpWorkspace& ws = thread_workspace();
+    std::vector<Edge>& out = tree_edges[j];
+    sp_pruned_dijkstra<true>(g, w, ws, [&](NodeId x, Dist d) {
+      if (next_gate != nullptr && !(DistKey{d, w} < (*next_gate)[x])) {
+        return false;
+      }
+      if (ws.parent(x) != kInvalidNode) {
+        out.push_back(Edge{x, ws.parent(x), ws.parent_weight(x)});
+      }
+      return true;
+    });
+  });
 
   std::unordered_set<std::uint64_t> picked;
   std::vector<Edge> spanner;
-  auto add_edge = [&](NodeId a, NodeId b, Weight w) {
-    if (a > b) std::swap(a, b);
-    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
-    if (picked.insert(key).second) spanner.push_back(Edge{a, b, w});
-  };
-
-  // Same pruned cluster growth as the label construction, but recording the
-  // tree edge through which each cluster member was reached.
-  struct QItem {
-    Dist dist;
-    NodeId node;
-    bool operator>(const QItem& o) const {
-      return dist != o.dist ? dist > o.dist : node > o.node;
-    }
-  };
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<NodeId> parent(n, kInvalidNode);
-  std::vector<Weight> parent_weight(n, 0);
-  std::vector<NodeId> touched;
-  for (std::uint32_t i = 0; i < k; ++i) {
-    const bool top = i + 1 >= k;
-    for (const NodeId w : hierarchy.phase_sources(i)) {
-      std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-      dist[w] = 0;
-      parent[w] = kInvalidNode;
-      touched.push_back(w);
-      pq.push({0, w});
-      while (!pq.empty()) {
-        const auto [d, x] = pq.top();
-        pq.pop();
-        if (d != dist[x]) continue;
-        const DistKey key{d, w};
-        if (!top && !(key < gates.gate[i + 1][x])) continue;
-        if (parent[x] != kInvalidNode) {
-          add_edge(x, parent[x], parent_weight[x]);
-        }
-        for (const HalfEdge& he : g.neighbors(x)) {
-          const Dist nd = d + he.weight;
-          if (nd < dist[he.to]) {
-            if (dist[he.to] == kInfDist) touched.push_back(he.to);
-            dist[he.to] = nd;
-            parent[he.to] = x;
-            parent_weight[he.to] = he.weight;
-            pq.push({nd, he.to});
-          }
-        }
-      }
-      for (const NodeId t : touched) {
-        dist[t] = kInfDist;
-        parent[t] = kInvalidNode;
-      }
-      touched.clear();
+  for (const std::vector<Edge>& edges : tree_edges) {
+    for (Edge e : edges) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+      if (picked.insert(key).second) spanner.push_back(e);
     }
   }
   return spanner;

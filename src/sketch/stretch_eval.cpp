@@ -4,6 +4,7 @@
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
 
@@ -36,31 +37,42 @@ std::vector<bool> far_flags(const std::vector<Dist>& row, NodeId source,
 
 StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
                                const Estimator& est, const EvalOptions& opts) {
-  StretchReport report;
   const NodeId n = g.num_nodes();
+  const std::size_t rows = gt.num_rows();
+
+  // Draw every row's target sample up front from the single rng stream
+  // (bit-identical to the old serial loop), then evaluate rows in
+  // parallel — the estimators are pure reads of built sketches — and
+  // merge per-row reports in row order so sample insertion order, and
+  // thus every percentile and accumulator, matches a serial run exactly.
   Rng rng(opts.seed);
-  for (std::size_t row = 0; row < gt.num_rows(); ++row) {
+  std::vector<std::vector<NodeId>> targets(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    const NodeId s = gt.sources()[row];
+    if (opts.max_pairs_per_source == 0 || opts.max_pairs_per_source >= n - 1) {
+      targets[row].reserve(n - 1);
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != s) targets[row].push_back(v);
+      }
+    } else {
+      for (std::size_t i = 0; i < opts.max_pairs_per_source; ++i) {
+        NodeId v = static_cast<NodeId>(rng.below(n));
+        if (v == s) v = (v + 1) % n;
+        targets[row].push_back(v);
+      }
+    }
+  }
+
+  std::vector<StretchReport> per_row(rows);
+  global_pool().for_each_dynamic(rows, [&](std::size_t, std::size_t row) {
+    StretchReport& report = per_row[row];
     const NodeId s = gt.sources()[row];
     std::vector<Dist> dist_row(n);
     for (NodeId v = 0; v < n; ++v) dist_row[v] = gt.dist(row, v);
     std::vector<bool> far;
     if (opts.epsilon > 0.0) far = far_flags(dist_row, s, opts.epsilon);
 
-    std::vector<NodeId> targets;
-    if (opts.max_pairs_per_source == 0 || opts.max_pairs_per_source >= n - 1) {
-      targets.reserve(n - 1);
-      for (NodeId v = 0; v < n; ++v) {
-        if (v != s) targets.push_back(v);
-      }
-    } else {
-      for (std::size_t i = 0; i < opts.max_pairs_per_source; ++i) {
-        NodeId v = static_cast<NodeId>(rng.below(n));
-        if (v == s) v = (v + 1) % n;
-        targets.push_back(v);
-      }
-    }
-
-    for (const NodeId v : targets) {
+    for (const NodeId v : targets[row]) {
       const Dist d = dist_row[v];
       DS_CHECK(d != kInfDist && d > 0);
       const Dist e = est(s, v);
@@ -80,6 +92,15 @@ StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
         }
       }
     }
+  });
+
+  StretchReport report;
+  for (const StretchReport& r : per_row) {
+    report.all.merge(r.all);
+    report.far_only.merge(r.far_only);
+    report.near_only.merge(r.near_only);
+    report.underestimates += r.underestimates;
+    report.unreachable += r.unreachable;
   }
   return report;
 }

@@ -20,6 +20,9 @@
 
 namespace dsketch {
 
+/// Must be safe to call concurrently: evaluate_stretch fans rows out over
+/// the thread pool. Every in-library estimator is a pure read of built
+/// sketches, which qualifies.
 using Estimator = std::function<Dist(NodeId, NodeId)>;
 
 struct StretchReport {

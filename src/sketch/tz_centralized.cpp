@@ -1,35 +1,43 @@
 #include "sketch/tz_centralized.hpp"
 
-#include <queue>
+#include <utility>
 
-#include "graph/shortest_paths.hpp"
+#include "graph/sp_kernel.hpp"
 #include "util/assert.hpp"
 
 namespace dsketch {
 
-LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy) {
+LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy,
+                               ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : global_pool();
   const std::uint32_t k = hierarchy.k();
   LevelGates out;
   out.gate.resize(k);
+  std::vector<std::vector<NodeId>> members(k);
   for (std::uint32_t i = 0; i < k; ++i) {
-    const std::vector<NodeId> members = hierarchy.level_members(i);
-    out.gate[i].assign(g.num_nodes(), DistKey{});
-    if (members.empty()) continue;
-    const MultiSourceResult r = multi_source_dijkstra(g, members);
-    for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      out.gate[i][u] = DistKey{r.dist[u], r.owner[u]};
-    }
+    members[i] = hierarchy.level_members(i);
   }
+  tp.for_each_dynamic(k, [&](std::size_t, std::size_t i) {
+    out.gate[i].assign(g.num_nodes(), DistKey{});
+    if (members[i].empty()) return;
+    SpWorkspace& ws = thread_workspace();
+    sp_multi_source(g, members[i], ws);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      out.gate[i][u] = DistKey{ws.dist(u), ws.owner(u)};
+    }
+  });
   return out;
 }
 
 std::vector<TzLabel> build_tz_centralized(const Graph& g,
-                                          const Hierarchy& hierarchy) {
+                                          const Hierarchy& hierarchy,
+                                          ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : global_pool();
   const std::uint32_t k = hierarchy.k();
   const NodeId n = g.num_nodes();
   DS_CHECK(hierarchy.n() == n);
 
-  const LevelGates gates = compute_level_gates(g, hierarchy);
+  const LevelGates gates = compute_level_gates(g, hierarchy, &tp);
 
   std::vector<TzLabel> labels;
   labels.reserve(n);
@@ -41,48 +49,44 @@ std::vector<TzLabel> build_tz_centralized(const Graph& g,
   }
 
   // Cluster growth: pruned Dijkstra from every source w in A_i \ A_{i+1}.
-  // Node x joins C(w) iff key(d(x,w), w) < gate_{i+1}(x); expansion stops at
-  // nodes that fail the gate (cluster is closed under shortest paths — the
-  // same consistency argument that makes the distributed gate sound).
-  struct QItem {
-    Dist dist;
-    NodeId node;
-    bool operator>(const QItem& o) const {
-      return dist != o.dist ? dist > o.dist : node > o.node;
-    }
+  // Node x joins C(w) iff key(d(x,w), w) < gate_{i+1}(x); expansion stops
+  // at nodes that fail the gate (cluster is closed under shortest paths —
+  // the same consistency argument that makes the distributed gate sound).
+  // Sources are independent: grow them in parallel, one kernel workspace
+  // per worker, then append the per-source member lists in phase order so
+  // the labels match a serial build exactly.
+  struct GrowJob {
+    std::uint32_t level;
+    NodeId source;
   };
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<NodeId> touched;
+  std::vector<GrowJob> jobs;
   for (std::uint32_t i = 0; i < k; ++i) {
-    const bool top = i + 1 >= k;
     for (const NodeId w : hierarchy.phase_sources(i)) {
-      std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-      dist[w] = 0;
-      touched.push_back(w);
-      pq.push({0, w});
-      while (!pq.empty()) {
-        const auto [d, x] = pq.top();
-        pq.pop();
-        if (d != dist[x]) continue;
-        const DistKey key{d, w};
-        const bool in_cluster =
-            top || key < gates.gate[i + 1][x];
-        if (!in_cluster) continue;
-        labels[x].add_bunch_entry(BunchEntry{w, i, d});
-        for (const HalfEdge& he : g.neighbors(x)) {
-          const Dist nd = d + he.weight;
-          if (nd < dist[he.to]) {
-            if (dist[he.to] == kInfDist) touched.push_back(he.to);
-            dist[he.to] = nd;
-            pq.push({nd, he.to});
-          }
-        }
-      }
-      for (const NodeId t : touched) dist[t] = kInfDist;
-      touched.clear();
+      jobs.push_back(GrowJob{i, w});
     }
   }
-  for (auto& l : labels) l.sort_bunch();
+  std::vector<std::vector<std::pair<NodeId, Dist>>> grown(jobs.size());
+  tp.for_each_dynamic(jobs.size(), [&](std::size_t, std::size_t j) {
+    const auto [level, w] = jobs[j];
+    const std::vector<DistKey>* next_gate =
+        level + 1 < k ? &gates.gate[level + 1] : nullptr;
+    std::vector<std::pair<NodeId, Dist>>& members = grown[j];
+    sp_pruned_dijkstra(g, w, thread_workspace(), [&](NodeId x, Dist d) {
+      if (next_gate != nullptr && !(DistKey{d, w} < (*next_gate)[x])) {
+        return false;
+      }
+      members.emplace_back(x, d);
+      return true;
+    });
+  });
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (const auto& [x, d] : grown[j]) {
+      labels[x].add_bunch_entry(BunchEntry{jobs[j].source, jobs[j].level, d});
+    }
+  }
+  tp.for_each_dynamic(n, [&](std::size_t, std::size_t u) {
+    labels[u].sort_bunch();
+  });
   return labels;
 }
 

@@ -10,6 +10,12 @@
 // Complexity is the centralized O(k m n^{1/k}) expectation of [TZ05]; we use
 // it both to validate the distributed output (labels must match exactly for
 // the same hierarchy) and as the "offline computation" baseline in benches.
+// The construction is source-parallel over the shortest-path kernel
+// (graph/sp_kernel.hpp): level gates run one multi-source search per
+// level, cluster growth runs one pruned search per phase source, and the
+// per-source results merge back in phase order — so the output is
+// bit-identical whatever the thread count (tested). Pass a 1-thread pool
+// to force a serial build.
 #pragma once
 
 #include <vector>
@@ -17,18 +23,22 @@
 #include "graph/graph.hpp"
 #include "sketch/hierarchy.hpp"
 #include "sketch/tz_label.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
 
 /// All labels for one hierarchy. labels[u] is the sketch stored at node u.
+/// `pool == nullptr` uses the global pool.
 std::vector<TzLabel> build_tz_centralized(const Graph& g,
-                                          const Hierarchy& hierarchy);
+                                          const Hierarchy& hierarchy,
+                                          ThreadPool* pool = nullptr);
 
 /// Gates (d(u, A_i), p_i(u)) for every node and level; exposed for tests.
 struct LevelGates {
   /// gate[i][u] = key of the nearest A_i node to u (kInfDist key if empty).
   std::vector<std::vector<DistKey>> gate;
 };
-LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy);
+LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace dsketch

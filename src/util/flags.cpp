@@ -46,7 +46,15 @@ std::string FlagSet::get(const std::string& key, const std::string& def) const {
 
 std::int64_t FlagSet::get(const std::string& key, std::int64_t def) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? def : std::stoll(it->second);
+  if (it == values_.end()) return def;
+  // Derived 64-bit seeds may land in [2^63, 2^64); wrap them into the
+  // signed range (callers reading seeds cast straight back to uint64)
+  // instead of letting stoll throw on half of all possible seeds.
+  try {
+    return std::stoll(it->second);
+  } catch (const std::out_of_range&) {
+    return static_cast<std::int64_t>(std::stoull(it->second));
+  }
 }
 
 double FlagSet::get(const std::string& key, double def) const {

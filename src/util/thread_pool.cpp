@@ -4,11 +4,18 @@
 
 namespace dsketch {
 
+namespace {
+/// True while this thread is executing inside a pool parallel section
+/// (as the driving caller or as a worker). Nested parallel calls from
+/// such a thread run serially instead of deadlocking on entry_mutex_.
+thread_local bool tl_inside_pool = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  // The calling thread participates in parallel_for, so spawn threads-1.
+  // The calling thread participates in parallel loops, so spawn threads-1.
   const std::size_t workers = threads > 1 ? threads - 1 : 0;
   tasks_.resize(workers);
   workers_.reserve(workers);
@@ -30,15 +37,23 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   const std::size_t lanes = workers_.size() + 1;
   if (count == 0) return;
-  if (lanes == 1 || count < 2 * lanes) {
+  if (lanes == 1 || count < 2 * lanes || tl_inside_pool) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  std::unique_lock<std::mutex> entry(entry_mutex_, std::try_to_lock);
+  if (!entry.owns_lock()) {
+    // Another thread is driving the workers; do our loop ourselves.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  tl_inside_pool = true;
   const std::size_t chunk = (count + lanes - 1) / lanes;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++generation_;
     pending_ = 0;
+    dyn_active_ = false;
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       const std::size_t begin = std::min(count, (w + 1) * chunk);
       const std::size_t end = std::min(count, (w + 2) * chunk);
@@ -49,14 +64,59 @@ void ThreadPool::parallel_for(std::size_t count,
   cv_start_.notify_all();
   // Caller handles the first chunk.
   for (std::size_t i = 0; i < std::min(count, chunk); ++i) body(i);
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+  tl_inside_pool = false;
+}
+
+void ThreadPool::for_each_dynamic(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t lanes = workers_.size() + 1;
+  if (lanes == 1 || count == 1 || tl_inside_pool) {
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
+    return;
+  }
+  std::unique_lock<std::mutex> entry(entry_mutex_, std::try_to_lock);
+  if (!entry.owns_lock()) {
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
+    return;
+  }
+  tl_inside_pool = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++generation_;
+    pending_ = workers_.size();  // every worker acknowledges dynamic jobs
+    dyn_active_ = true;
+    dyn_count_ = count;
+    dyn_body_ = &body;
+    dyn_next_.store(0, std::memory_order_relaxed);
+  }
+  cv_start_.notify_all();
+  // Caller pulls as lane 0.
+  for (;;) {
+    const std::size_t i = dyn_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    body(0, i);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    dyn_active_ = false;
+  }
+  tl_inside_pool = false;
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
   std::size_t seen_generation = 0;
   for (;;) {
     Task task;
+    bool dynamic = false;
+    std::size_t dyn_count = 0;
+    const std::function<void(std::size_t, std::size_t)>* dyn_body = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_start_.wait(lock, [&] {
@@ -64,10 +124,29 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       });
       if (stop_) return;
       seen_generation = generation_;
-      task = tasks_[worker_index];
+      dynamic = dyn_active_;
+      if (dynamic) {
+        dyn_count = dyn_count_;
+        dyn_body = dyn_body_;
+      } else {
+        task = tasks_[worker_index];
+      }
     }
-    if (task.begin < task.end) {
+    if (dynamic) {
+      tl_inside_pool = true;
+      for (;;) {
+        const std::size_t i =
+            dyn_next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= dyn_count) break;
+        (*dyn_body)(worker_index + 1, i);
+      }
+      tl_inside_pool = false;
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    } else if (task.begin < task.end) {
+      tl_inside_pool = true;
       for (std::size_t i = task.begin; i < task.end; ++i) (*task.body)(i);
+      tl_inside_pool = false;
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_all();
     }

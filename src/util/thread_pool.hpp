@@ -5,8 +5,24 @@
 // parallel_for over the active set is safe. Determinism is preserved because
 // message *delivery* order is fixed by edge indices, independent of which
 // thread executed which node.
+//
+// Two loop shapes:
+//   parallel_for      — static contiguous chunks; best for homogeneous
+//                       bodies (simulator node steps, per-node exports).
+//   for_each_dynamic  — atomic work pulling; best for heterogeneous bodies
+//                       (per-source shortest-path searches whose cluster
+//                       sizes vary by orders of magnitude). The body also
+//                       receives a lane id in [0, lanes()) for per-lane
+//                       accumulators.
+//
+// Both entry points are safe to call from multiple threads at once (the
+// repro runner executes manifest cells on its own threads, and cells call
+// into parallel builds): one caller drives the workers, concurrent callers
+// fall back to running their loop serially on their own thread, and
+// re-entrant calls from inside a pool task degrade to serial likewise.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -27,10 +43,23 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Number of execution lanes (workers plus the calling thread); the
+  /// upper bound on the lane ids for_each_dynamic hands out.
+  std::size_t lanes() const { return workers_.size() + 1; }
+
   /// Runs body(i) for i in [0, count), blocking until all complete.
   /// Work is divided into contiguous chunks, one per worker plus caller.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
+
+  /// Runs body(lane, i) for i in [0, count) with dynamic load balancing:
+  /// lanes pull the next index from a shared counter, so wildly uneven
+  /// per-index costs still spread evenly. Blocks until all complete.
+  /// Index-to-lane assignment is nondeterministic; merges keyed by index
+  /// (not lane) stay deterministic.
+  void for_each_dynamic(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
 
  private:
   struct Task {
@@ -43,12 +72,19 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
+  std::mutex entry_mutex_;       // one driving caller at a time
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  std::vector<Task> tasks_;      // one slot per worker
-  std::size_t generation_ = 0;   // bumped per parallel_for call
+  std::vector<Task> tasks_;      // one slot per worker (static mode)
+  std::size_t generation_ = 0;   // bumped per parallel call
   std::size_t pending_ = 0;      // workers still running this generation
   bool stop_ = false;
+
+  // Dynamic-mode state, valid while dyn_active_.
+  bool dyn_active_ = false;
+  std::size_t dyn_count_ = 0;
+  const std::function<void(std::size_t, std::size_t)>* dyn_body_ = nullptr;
+  std::atomic<std::size_t> dyn_next_{0};
 };
 
 /// Global pool used by the simulator when parallel stepping is requested.

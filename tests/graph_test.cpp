@@ -63,9 +63,28 @@ TEST(GraphBuilder, DeduplicatesKeepingSmallerWeight) {
   b.add_edge(0, 1, 9);
   b.add_edge(1, 0, 4);  // same undirected edge, reversed, lighter
   b.add_edge(0, 1, 7);
-  ASSERT_EQ(b.num_edges(), 1u);
+  // Dedup happens at build() (sort-and-unique), not per add.
+  ASSERT_EQ(b.num_edges(), 3u);
   const Graph g = b.build();
+  ASSERT_EQ(g.num_edges(), 1u);
   EXPECT_EQ(g.neighbors(0)[0].weight, 4u);
+}
+
+TEST(GraphBuilder, HasEdgeStaysCurrentAfterLazyIndexing) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  EXPECT_TRUE(b.has_edge(0, 1));   // materializes the lazy index
+  b.add_edge(2, 3, 1);             // must keep the index in sync
+  EXPECT_TRUE(b.has_edge(3, 2));
+  EXPECT_FALSE(b.has_edge(1, 2));
+}
+
+TEST(Graph, MaxWeightIsCached) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 7);
+  b.add_edge(1, 2, 19);
+  EXPECT_EQ(b.build().max_weight(), 19u);
+  EXPECT_EQ(Graph().max_weight(), 0u);
 }
 
 TEST(GraphBuilder, HasEdgeIsOrderInsensitive) {

@@ -115,6 +115,18 @@ TEST(DiameterEstimates, LowerBoundExact) {
   EXPECT_EQ(hop_diameter_estimate(g, 64, 1), hop_diameter(g));
 }
 
+TEST(DiameterEstimates, TolerateDisconnectedGraphs) {
+  // The exact diameters require connectivity; the sampled estimators are
+  // the cheap/safe path (e.g. `dsketch info` defaults) and must simply
+  // skip unreached nodes.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2);
+  b.add_edge(2, 3, 5);
+  const Graph g = b.build();
+  EXPECT_EQ(hop_diameter_estimate(g, 8, 1), 1u);
+  EXPECT_EQ(shortest_path_diameter_estimate(g, 8, 1), 1u);
+}
+
 TEST(SampledGroundTruth, MatchesDirectDijkstra) {
   const Graph g = erdos_renyi(60, 0.1, {1, 9}, 4);
   const SampledGroundTruth gt(g, 5, 99);

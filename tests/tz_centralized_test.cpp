@@ -4,7 +4,9 @@
 
 #include "baselines/exact_oracle.hpp"
 #include "graph/generators.hpp"
+#include "sketch/cdg_sketch.hpp"  // serialize_label
 #include "sketch/tz_centralized.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsketch {
 namespace {
@@ -112,6 +114,30 @@ TEST(TzCentralized, PivotZeroIsSelf) {
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     EXPECT_EQ(labels[u].pivot(0).id, u);
     EXPECT_EQ(labels[u].pivot(0).dist, 0u);
+  }
+}
+
+TEST(TzCentralized, ParallelBuildIsByteIdenticalToSerial) {
+  // The parallel construction merges per-source cluster growth in phase
+  // order, so a 1-thread and an N-thread build must serialize to exactly
+  // the same words for every node.
+  const Graph g = erdos_renyi(300, 0.03, {1, 14}, 23);
+  Hierarchy h = Hierarchy::sample(g.num_nodes(), 3, 29);
+  std::uint64_t bump = 1;
+  while (!h.top_level_nonempty()) {
+    h = Hierarchy::sample(g.num_nodes(), 3, 29 + bump++);
+  }
+  ThreadPool serial_pool(1);
+  ThreadPool wide_pool(4);
+  const auto serial = build_tz_centralized(g, h, &serial_pool);
+  const auto wide = build_tz_centralized(g, h, &wide_pool);
+  const auto global = build_tz_centralized(g, h);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(serialize_label(serial[u]), serialize_label(wide[u]))
+        << "label words diverge at node " << u;
+    EXPECT_EQ(serialize_label(serial[u]), serialize_label(global[u]))
+        << "global-pool label words diverge at node " << u;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -149,6 +150,44 @@ TEST(ThreadPool, ZeroCountIsNoop) {
   bool ran = false;
   pool.parallel_for(0, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, DynamicRunsAllIndicesWithValidLanes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  std::atomic<bool> bad_lane{false};
+  pool.for_each_dynamic(777, [&](std::size_t lane, std::size_t i) {
+    if (lane >= pool.lanes()) bad_lane = true;
+    hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(bad_lane.load());
+}
+
+TEST(ThreadPool, DynamicNestedCallDegradesToSerial) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.for_each_dynamic(8, [&](std::size_t, std::size_t) {
+    // Re-entrant use from inside a pool task must not deadlock.
+    pool.for_each_dynamic(4, [&](std::size_t, std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentCallersAreSafe) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 6; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.for_each_dynamic(50, [&](std::size_t, std::size_t) { total++; });
+        pool.parallel_for(50, [&](std::size_t) { total++; });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 6 * 20 * 100);
 }
 
 }  // namespace
