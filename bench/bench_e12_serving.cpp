@@ -22,10 +22,12 @@
 // (4096, zipf only), --out (store path; defaults under --tmpdir when the
 // repro runner sets one).
 #include <algorithm>
+#include <memory>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
+#include "core/oracle_registry.hpp"
 #include "serve/query_service.hpp"
 #include "serve/sketch_store.hpp"
 #include "serve/workload.hpp"
@@ -173,7 +175,55 @@ int run_e12(const FlagSet& flags, std::ostream& out) {
     }
   }
 
-  // 5. Scaling summary (acceptance: >= 2x on a >= 4-core host when the
+  // 5. Oracle comparison: the same sharded service over any registered
+  // oracle — the packed store for the sketch scheme, in-memory baselines
+  // resolved by name — so serving throughput lands next to per-node size
+  // for sketches and baselines alike.
+  {
+    const std::size_t cmp_queries = std::min<std::size_t>(queries, 50000);
+    for (const std::string& name : parse_name_list(
+             flags.get("oracles", std::string("tz,landmark")))) {
+      std::unique_ptr<DistanceOracle> built;
+      const DistanceOracle* oracle = nullptr;
+      if (name == store.scheme()) {
+        oracle = &store;  // serve the packed representation, not a rebuild
+      } else {
+        built = OracleRegistry::instance().build(name, g, flags);
+        oracle = built.get();
+      }
+      QueryServiceConfig svc_cfg;
+      svc_cfg.shards = shards;
+      svc_cfg.threads = threads_hi;
+      QueryService service(*oracle, svc_cfg);
+      WorkloadConfig wl;
+      wl.kind = WorkloadConfig::Kind::kUniform;
+      wl.seed = 7;
+      WorkloadGenerator gen(oracle->num_nodes(), wl);
+      std::vector<QueryService::Pair> pairs;
+      std::vector<Dist> answers;
+      std::size_t done = 0;
+      while (done < cmp_queries) {
+        const std::size_t count = std::min(big_batch, cmp_queries - done);
+        pairs = gen.batch(count);
+        answers.assign(count, 0);
+        service.query_batch(pairs, answers);
+        done += count;
+      }
+      const QueryServiceStats stats = service.stats();
+      row("e12", "oracle_serving")
+          .add("oracle",
+               name == store.scheme() ? name + " (packed store)" : name)
+          .add("guarantee", oracle->guarantee())
+          .add("n", static_cast<std::uint64_t>(oracle->num_nodes()))
+          .add("threads", static_cast<std::uint64_t>(service.num_threads()))
+          .add("queries", stats.queries)
+          .add("qps", stats.qps)
+          .add("mean_size_words", oracle->mean_size_words())
+          .emit(out);
+    }
+  }
+
+  // 6. Scaling summary (acceptance: >= 2x on a >= 4-core host when the
   // sweep spans 1 -> 4 threads).
   row("e12", "thread_scaling")
       .add("threads_lo", static_cast<std::uint64_t>(threads_lo))

@@ -5,12 +5,19 @@
 // mean stretch far below (typical instances are much better than worst
 // case), and both grow with k while the sketch shrinks.
 //
+// A `baseline_stretch` table evaluates the registered baseline oracles
+// (--baselines, default "landmark,vivaldi") over the same ground truth
+// through the scheme-agnostic DistanceOracle path, so every E1 stretch
+// row — sketch or baseline — comes from the identical evaluator.
+//
 // Flags: --n (1024) scales every topology, --kmax (5), --sources (16)
-// ground-truth rows, --pops (24) ISP core size.
+// ground-truth rows, --pops (24) ISP core size, --baselines NAME,....
 #include <cmath>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
+#include "core/oracle_registry.hpp"
 #include "sketch/tz_distributed.hpp"
 
 namespace dsketch::bench {
@@ -46,6 +53,30 @@ int run_e1(const FlagSet& flags, std::ostream& out) {
 
   for (const auto& topo : make_topologies(n, pops)) {
     const SampledGroundTruth gt(topo.graph, sources, 7);
+
+    // Baseline oracles over the same ground truth and evaluator; Vivaldi
+    // rows rely on the evaluator skipping pairs with no finite ground
+    // truth rather than scoring est/infinity.
+    for (const std::string& name : parse_name_list(
+             flags.get("baselines", std::string("landmark,vivaldi")))) {
+      const std::unique_ptr<DistanceOracle> oracle =
+          OracleRegistry::instance().build(name, topo.graph, flags);
+      const StretchReport report =
+          evaluate_stretch(topo.graph, gt, *oracle, {});
+      row("e1", "baseline_stretch")
+          .add("topology", topo.name)
+          .add("oracle", name)
+          .add("n", static_cast<std::uint64_t>(topo.graph.num_nodes()))
+          .add("guarantee", oracle->guarantee())
+          .add("mean_stretch", report.all.mean())
+          .add("p95_stretch", report.all.p(95))
+          .add("max_stretch", report.all.max())
+          .add("underestimates",
+               static_cast<std::uint64_t>(report.underestimates))
+          .add("mean_sketch_words", oracle->mean_size_words())
+          .emit(out);
+    }
+
     for (std::uint32_t k = 1; k <= kmax; ++k) {
       BuildConfig cfg;
       cfg.scheme = Scheme::kThorupZwick;

@@ -7,12 +7,20 @@
 // representation) and through the packed `SketchStore` (the serving
 // representation, see src/serve/).
 //
+// A second table (`oracle_latency`) times every oracle named by
+// --oracles (default "tz,landmark,exact") through the registry-resolved
+// DistanceOracle interface — one code path for sketches and baselines,
+// both per-query and batched — so the sketch/baseline latency-vs-size
+// trade-off lands in one table.
+//
 // Flags: --n (1024) / --graph FILE select the instance, --queries
-// (200000) timed pairs per config.
+// (200000) timed pairs per config, --oracles NAME,NAME,...
 #include <algorithm>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
+#include "core/oracle_registry.hpp"
 #include "serve/sketch_store.hpp"
 #include "util/rng.hpp"
 
@@ -86,6 +94,36 @@ int run_e7(const FlagSet& flags, std::ostream& out) {
     // runtime in line (floor of 1 so tiny --queries still measures).
     run_config(g, cfg, "graceful", std::max<std::size_t>(1, queries / 10),
                out);
+  }
+
+  // Scheme-agnostic comparison: every oracle resolved by registry name
+  // through the same build/query code path — sketches and baselines in
+  // one table.
+  {
+    const auto pairs = random_pairs(g.num_nodes(), queries, 5);
+    for (const std::string& name : parse_name_list(
+             flags.get("oracles", std::string("tz,landmark,exact")))) {
+      const std::unique_ptr<DistanceOracle> oracle =
+          OracleRegistry::instance().build(name, g, flags);
+      const double ns = time_ns_per_query(
+          pairs, [&](NodeId u, NodeId v) { return oracle->query(u, v); });
+      // The batched path (the serving hot loop), amortized per query.
+      std::vector<Dist> answers(pairs.size());
+      oracle->query_batch(pairs, answers);  // warmup
+      Timer timer;
+      oracle->query_batch(pairs, answers);
+      const double batch_ns =
+          timer.seconds() * 1e9 / static_cast<double>(pairs.size());
+      row("e7", "oracle_latency")
+          .add("oracle", name)
+          .add("guarantee", oracle->guarantee())
+          .add("n", static_cast<std::uint64_t>(g.num_nodes()))
+          .add("queries", static_cast<std::uint64_t>(pairs.size()))
+          .add("ns_per_query", ns)
+          .add("batch_ns_per_query", batch_ns)
+          .add("mean_size_words", oracle->mean_size_words())
+          .emit(out);
+    }
   }
   note(out, "e7",
        "Expected shape: TZ ns/query grows (sub-)linearly in k and stays in "

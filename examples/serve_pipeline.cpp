@@ -5,12 +5,20 @@
 // load the store and answer distance queries from sketches alone — no
 // graph, no network traffic, microseconds per batch.
 //
-//   build phase:  graph -> SketchEngine -> SketchStore::save_file
-//   serve phase:  SketchStore::load_file -> QueryService -> answers
+//   build phase:  graph -> OracleRegistry::build -> SketchStore::save_file
+//   serve phase:  SketchStore::load_oracle -> QueryService -> answers
+//
+// Everything below is scheme-agnostic: swap "tz" for any registered
+// scheme name (dsketch list-schemes) and the pipeline still runs —
+// sketch schemes ship the packed binary store, baselines persist their
+// text envelope, and both serve through the same sharded service.
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <vector>
 
-#include "core/engine.hpp"
+#include "congest/accounting.hpp"
+#include "core/oracle_registry.hpp"
 #include "graph/generators.hpp"
 #include "serve/query_service.hpp"
 #include "serve/sketch_store.hpp"
@@ -18,33 +26,61 @@
 
 using namespace dsketch;
 
-int main() {
-  const std::string store_path = "serve_pipeline.store";
+namespace {
 
+constexpr const char* kScheme = "tz";  // any name from `dsketch list-schemes`
+constexpr const char* kStorePath = "serve_pipeline.store";
+
+/// Loads whatever the build phase shipped back to a DistanceOracle.
+std::unique_ptr<DistanceOracle> load_shipped(bool packed) {
+  if (packed) return SketchStore::load_oracle(kStorePath);
+  std::ifstream in(kStorePath);
+  return OracleRegistry::instance().load(in).oracle;
+}
+
+}  // namespace
+
+int main() {
   // ---- offline build (expensive, run once) ---------------------------------
+  bool packed = false;
   {
     const Graph g = erdos_renyi(1024, 0.008, {1, 16}, 42);
-    BuildConfig cfg;
-    cfg.scheme = Scheme::kThorupZwick;
-    cfg.k = 3;
-    const SketchEngine engine(g, cfg);
-    const SketchStore store = SketchStore::from_engine(engine);
-    store.save_file(store_path);
-    std::printf("built %s: %u rounds of CONGEST, %.1f words/node, "
-                "%zu packed bytes on disk\n",
-                engine.guarantee().c_str(),
-                static_cast<unsigned>(engine.cost().rounds),
-                engine.mean_size_words(), store.payload_bytes());
+    const FlagSet flags(
+        std::vector<std::pair<std::string, std::string>>{{"k", "3"}});
+    const std::unique_ptr<DistanceOracle> oracle =
+        OracleRegistry::instance().build(kScheme, g, flags);
+    std::size_t shipped_bytes = 0;
+    packed = SketchStore::packable(*oracle);
+    if (packed) {
+      // Sketch schemes: pack the binary serving representation.
+      const SketchStore store = SketchStore::from_oracle(*oracle);
+      store.save_file(kStorePath);
+      shipped_bytes = store.payload_bytes();
+    } else {
+      // Baselines: no packed form — ship the text envelope instead.
+      std::ofstream out(kStorePath);
+      oracle->save(out);
+    }
+    if (const SimStats* cost = oracle->build_cost()) {
+      std::printf("built %s: %u rounds of CONGEST paid once\n",
+                  oracle->guarantee().c_str(),
+                  static_cast<unsigned>(cost->rounds));
+    } else {
+      std::printf("built %s (centralized baseline)\n",
+                  oracle->guarantee().c_str());
+    }
+    std::printf("  %.1f words/node, %zu packed bytes on disk\n",
+                oracle->mean_size_words(), shipped_bytes);
   }
 
   // ---- serving frontend (cheap, run anywhere, any number of replicas) ------
-  const SketchStore store = SketchStore::load_file(store_path);
-  QueryService service(store, {.shards = 8, .threads = 4,
-                               .cache_capacity = 4096});
+  const std::unique_ptr<DistanceOracle> store = load_shipped(packed);
+  QueryService service(*store, {.shards = 8, .threads = 4,
+                                .cache_capacity = 4096});
 
   WorkloadConfig wl;
   wl.kind = WorkloadConfig::Kind::kZipf;  // hot-pair traffic
-  WorkloadGenerator gen(store.num_nodes(), wl);
+  WorkloadGenerator gen(store->num_nodes(), wl);
 
   std::vector<Dist> answers;
   for (int batch = 0; batch < 20; ++batch) {

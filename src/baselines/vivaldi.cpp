@@ -1,7 +1,12 @@
 #include "baselines/vivaldi.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
 
+#include "core/oracle_registry.hpp"
 #include "graph/shortest_paths.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -83,7 +88,88 @@ VivaldiCoordinates::VivaldiCoordinates(const Graph& g,
 Dist VivaldiCoordinates::query(NodeId u, NodeId v) const {
   if (u == v) return 0;
   const double d = norm(coords_[u], coords_[v]);
+  // Disconnected probe targets feed kInfDist-sized RTTs into the springs
+  // and can fling coordinates beyond the integer range; clamp before
+  // rounding (llround on such doubles is undefined behaviour).
+  if (!(d < 9.0e18)) return kInfDist;
   return static_cast<Dist>(std::llround(std::max(d, 0.0)));
+}
+
+std::string VivaldiCoordinates::guarantee() const {
+  return "no guarantee (may underestimate); dim=" + std::to_string(dim_);
+}
+
+Capabilities VivaldiCoordinates::static_capabilities() {
+  Capabilities caps;
+  // Estimates come from an embedding, not witnessed paths: they can
+  // undercut the true distance and never report unreachability.
+  caps.supports_paths = false;
+  caps.supports_save = true;
+  return caps;
+}
+
+void VivaldiCoordinates::save_payload(std::ostream& out) const {
+  out << dim_ << "\n";
+  std::vector<std::uint64_t> bits_row(dim_);
+  for (const std::vector<double>& c : coords_) {
+    for (unsigned i = 0; i < dim_; ++i) {
+      std::memcpy(&bits_row[i], &c[i], sizeof(bits_row[i]));
+    }
+    write_payload_row(out, bits_row);
+  }
+}
+
+std::unique_ptr<VivaldiCoordinates> VivaldiCoordinates::load_payload(
+    std::istream& in, const OracleEnvelope& envelope) {
+  auto oracle = std::unique_ptr<VivaldiCoordinates>(new VivaldiCoordinates());
+  unsigned dim = 0;
+  // Embedding dimensions are single digits in practice; a huge value is
+  // corruption, not a workload — reject before allocating n*dim doubles.
+  if (!(in >> dim) || dim == 0 || dim > 4096) {
+    throw std::runtime_error("vivaldi payload: bad dimension");
+  }
+  oracle->dim_ = dim;
+  // Grow row by row (see ExactOracle::load_payload): truncation fails
+  // after at most one row's allocation.
+  for (NodeId u = 0; u < envelope.n; ++u) {
+    std::vector<double> c(dim);
+    for (double& x : c) {
+      std::uint64_t bits;
+      if (!(in >> bits)) {
+        throw std::runtime_error("vivaldi payload: coordinates truncated");
+      }
+      std::memcpy(&x, &bits, sizeof(x));
+    }
+    oracle->coords_.push_back(std::move(c));
+  }
+  return oracle;
+}
+
+void register_vivaldi_oracle(OracleRegistry& reg) {
+  OracleScheme s;
+  s.name = "vivaldi";
+  s.guarantee = "no guarantee (may underestimate)";
+  s.summary =
+      "Vivaldi spring-embedding coordinates [DCKM04]; flags: --dim (3) "
+      "--rounds (64) --samples (16) --seed";
+  s.caps = VivaldiCoordinates::static_capabilities();
+  s.k_flag = "dim";
+  s.build = [](const Graph& g, const FlagSet& flags) {
+    VivaldiConfig cfg;
+    cfg.dim = static_cast<unsigned>(flags.get("dim", std::int64_t{3}));
+    cfg.rounds =
+        static_cast<std::size_t>(flags.get("rounds", std::int64_t{64}));
+    cfg.samples_per_round =
+        static_cast<std::size_t>(flags.get("samples", std::int64_t{16}));
+    cfg.cc = flags.get("cc", 0.25);
+    cfg.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{11}));
+    return std::unique_ptr<DistanceOracle>(new VivaldiCoordinates(g, cfg));
+  };
+  s.load = [](std::istream& in, const OracleEnvelope& envelope) {
+    return std::unique_ptr<DistanceOracle>(
+        VivaldiCoordinates::load_payload(in, envelope));
+  };
+  reg.add(std::move(s));
 }
 
 }  // namespace dsketch

@@ -1,219 +1,50 @@
 #include "core/engine.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <istream>
-#include <ostream>
 #include <stdexcept>
 
-#include "core/serialization.hpp"
-
-#include "sketch/cdg_sketch.hpp"
-#include "sketch/graceful_sketch.hpp"
-#include "sketch/hierarchy.hpp"
-#include "sketch/slack_sketch.hpp"
-#include "sketch/tz_label.hpp"
-#include "util/assert.hpp"
+#include "core/oracle_registry.hpp"
+#include "core/sketch_oracle.hpp"
 
 namespace dsketch {
 
-struct SketchEngine::Impl {
-  NodeId n = 0;
-  SimStats cost;
-
-  // Exactly one of these is populated, per config.scheme.
-  std::vector<TzLabel> tz_labels;
-  SlackSketchSet slack;
-  CdgSketchSet cdg;
-  GracefulSketchSet graceful;
-};
-
 SketchEngine::SketchEngine(const Graph& g, const BuildConfig& config)
-    : config_(config), impl_(std::make_unique<Impl>()) {
-  impl_->n = g.num_nodes();
-  switch (config.scheme) {
-    case Scheme::kThorupZwick: {
-      // Resample until the top level is populated (whp on the first try).
-      Hierarchy h = Hierarchy::sample(g.num_nodes(), config.k, config.seed);
-      for (std::uint64_t bump = 1; !h.top_level_nonempty(); ++bump) {
-        h = Hierarchy::sample(g.num_nodes(), config.k, config.seed + bump);
-      }
-      TzDistributedResult r =
-          build_tz_distributed(g, h, config.termination, config.sim);
-      impl_->cost = r.stats;
-      impl_->cost += r.tree_stats;
-      impl_->tz_labels = std::move(r.labels);
-      break;
-    }
-    case Scheme::kSlack: {
-      SlackSketchResult r =
-          build_slack_sketches(g, config.epsilon, config.seed, config.sim);
-      impl_->cost = r.stats;
-      impl_->slack = std::move(r.sketches);
-      break;
-    }
-    case Scheme::kCdg: {
-      CdgConfig cdg;
-      cdg.epsilon = config.epsilon;
-      cdg.k = config.k;
-      cdg.seed = config.seed;
-      cdg.termination = config.termination;
-      CdgBuildResult r = build_cdg_sketches(g, cdg, config.sim);
-      impl_->cost = r.total();
-      impl_->cdg = std::move(r.sketches);
-      break;
-    }
-    case Scheme::kGraceful: {
-      GracefulConfig gc;
-      gc.seed = config.seed;
-      gc.termination = config.termination;
-      GracefulBuildResult r = build_graceful_sketches(g, gc, config.sim);
-      impl_->cost = r.total;
-      impl_->graceful = std::move(r.sketches);
-      break;
-    }
-  }
-}
+    : oracle_(std::make_unique<SketchOracle>(g, config)) {}
+
+SketchEngine::SketchEngine(std::unique_ptr<SketchOracle> oracle)
+    : oracle_(std::move(oracle)) {}
 
 SketchEngine::~SketchEngine() = default;
 SketchEngine::SketchEngine(SketchEngine&&) noexcept = default;
 SketchEngine& SketchEngine::operator=(SketchEngine&&) noexcept = default;
 
-NodeId SketchEngine::num_nodes() const { return impl_->n; }
-
 Dist SketchEngine::query(NodeId u, NodeId v) const {
-  DS_CHECK(u < impl_->n && v < impl_->n);
-  switch (config_.scheme) {
-    case Scheme::kThorupZwick:
-      return tz_query(impl_->tz_labels[u], impl_->tz_labels[v]);
-    case Scheme::kSlack:
-      return impl_->slack.query(u, v);
-    case Scheme::kCdg:
-      return impl_->cdg.query(u, v);
-    case Scheme::kGraceful:
-      return impl_->graceful.query(u, v);
-  }
-  return kInfDist;
+  return oracle_->query(u, v);
 }
 
+NodeId SketchEngine::num_nodes() const { return oracle_->num_nodes(); }
+
 std::size_t SketchEngine::size_words(NodeId u) const {
-  DS_CHECK(u < impl_->n);
-  switch (config_.scheme) {
-    case Scheme::kThorupZwick:
-      return impl_->tz_labels[u].size_words();
-    case Scheme::kSlack:
-      return impl_->slack.size_words(u);
-    case Scheme::kCdg:
-      return impl_->cdg.size_words(u);
-    case Scheme::kGraceful:
-      return impl_->graceful.size_words(u);
-  }
-  return 0;
+  return oracle_->size_words(u);
 }
 
 double SketchEngine::mean_size_words() const {
-  double total = 0;
-  for (NodeId u = 0; u < impl_->n; ++u) {
-    total += static_cast<double>(size_words(u));
-  }
-  return total / static_cast<double>(impl_->n);
+  return oracle_->mean_size_words();
 }
 
-const SimStats& SketchEngine::cost() const { return impl_->cost; }
+const SimStats& SketchEngine::cost() const { return oracle_->cost(); }
 
-void SketchEngine::save(std::ostream& out) const {
-  // Header carries the build parameters so a loader can reject queries
-  // against mismatched flags (see dsketch query --load).
-  char eps[40];
-  std::snprintf(eps, sizeof(eps), "%.17g", config_.epsilon);
-  out << "scheme " << scheme_name(config_.scheme) << " " << impl_->n << " "
-      << config_.k << " " << eps << "\n";
-  switch (config_.scheme) {
-    case Scheme::kThorupZwick:
-      write_tz_labels(out, impl_->tz_labels);
-      return;
-    case Scheme::kSlack:
-      write_slack_sketches(out, impl_->slack, impl_->n);
-      return;
-    case Scheme::kCdg:
-      write_cdg_sketches(out, impl_->cdg, impl_->n);
-      return;
-    case Scheme::kGraceful:
-      write_graceful_sketches(out, impl_->graceful, impl_->n);
-      return;
-  }
-}
+std::string SketchEngine::guarantee() const { return oracle_->guarantee(); }
+
+const BuildConfig& SketchEngine::config() const { return oracle_->config(); }
+
+void SketchEngine::save(std::ostream& out) const { oracle_->save(out); }
 
 SketchEngine SketchEngine::load(std::istream& in) {
-  std::string tag, scheme;
-  NodeId n = 0;
-  std::uint32_t k = 0;
-  if (!(in >> tag >> scheme >> n >> k) || tag != "scheme") {
-    throw std::runtime_error("bad sketch engine file header");
-  }
-  SketchEngine engine;
-  engine.impl_ = std::make_unique<Impl>();
-  engine.impl_->n = n;
-  engine.config_.k = k;
-  // The epsilon field was added to the header later; files written before
-  // it have the payload magic as the next token. Peek via getline so both
-  // vintages load.
-  std::string rest;
-  std::getline(in, rest);
-  if (const auto pos = rest.find_first_not_of(" \t\r");
-      pos != std::string::npos) {
-    try {
-      engine.config_.epsilon = std::stod(rest.substr(pos));
-    } catch (const std::exception&) {
-      throw std::runtime_error("bad epsilon in sketch engine header: " + rest);
-    }
-  } else {
-    engine.epsilon_known_ = false;
-  }
-  if (scheme == "tz") {
-    engine.config_.scheme = Scheme::kThorupZwick;
-    engine.impl_->tz_labels = read_tz_labels(in);
-  } else if (scheme == "slack") {
-    engine.config_.scheme = Scheme::kSlack;
-    engine.impl_->slack = read_slack_sketches(in);
-  } else if (scheme == "cdg") {
-    engine.config_.scheme = Scheme::kCdg;
-    engine.impl_->cdg = read_cdg_sketches(in);
-  } else if (scheme == "graceful") {
-    engine.config_.scheme = Scheme::kGraceful;
-    engine.impl_->graceful = read_graceful_sketches(in);
-  } else {
-    throw std::runtime_error("unknown scheme in sketch file: " + scheme);
-  }
-  return engine;
-}
-
-const std::vector<TzLabel>* SketchEngine::tz_payload() const {
-  return config_.scheme == Scheme::kThorupZwick ? &impl_->tz_labels : nullptr;
-}
-const SlackSketchSet* SketchEngine::slack_payload() const {
-  return config_.scheme == Scheme::kSlack ? &impl_->slack : nullptr;
-}
-const CdgSketchSet* SketchEngine::cdg_payload() const {
-  return config_.scheme == Scheme::kCdg ? &impl_->cdg : nullptr;
-}
-const GracefulSketchSet* SketchEngine::graceful_payload() const {
-  return config_.scheme == Scheme::kGraceful ? &impl_->graceful : nullptr;
-}
-
-std::string SketchEngine::guarantee() const {
-  switch (config_.scheme) {
-    case Scheme::kThorupZwick:
-      return "stretch " + std::to_string(2 * config_.k - 1) + " (all pairs)";
-    case Scheme::kSlack:
-      return "stretch 3 (eps=" + std::to_string(config_.epsilon) + "-slack)";
-    case Scheme::kCdg:
-      return "stretch " + std::to_string(8 * config_.k - 1) + " (eps=" +
-             std::to_string(config_.epsilon) + "-slack)";
-    case Scheme::kGraceful:
-      return "stretch O(log n), average O(1)";
-  }
-  return "";
+  const OracleEnvelope envelope = read_envelope_header(in);
+  // Dispatch through the same payload loader the registry uses; only the
+  // four sketch families have an engine representation.
+  return SketchEngine(SketchOracle::load_payload(in, envelope));
 }
 
 }  // namespace dsketch

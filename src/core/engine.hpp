@@ -1,4 +1,4 @@
-// Public entry point: build distance sketches for a network, then answer
+// Compat façade: build distance sketches for a network, then answer
 // pairwise distance queries from sketches alone.
 //
 //   Graph g = erdos_renyi(1024, 0.01, {1, 16}, /*seed=*/42);
@@ -8,16 +8,18 @@
 //   engine.cost().rounds;     // simulated CONGEST rounds spent building
 //   engine.size_words(3);     // sketch words stored at node 3
 //
-// The engine hides which concrete sketch family backs it; all families
-// share the guarantee estimate >= true distance. See core/config.hpp for
-// the per-scheme stretch guarantees.
+// SketchEngine is now a thin shim over core/oracle.hpp: the actual
+// polymorphic implementation is SketchOracle, resolved alongside the
+// baselines through the OracleRegistry ("tz", "slack", "cdg",
+// "graceful"). New code should program against DistanceOracle / the
+// registry; this class remains for callers that want the concrete
+// enum-typed build surface.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "congest/accounting.hpp"
 #include "core/config.hpp"
@@ -25,10 +27,7 @@
 
 namespace dsketch {
 
-class TzLabel;
-class SlackSketchSet;
-class CdgSketchSet;
-class GracefulSketchSet;
+class SketchOracle;
 
 class SketchEngine {
  public:
@@ -57,33 +56,22 @@ class SketchEngine {
   /// …) for reporting.
   std::string guarantee() const;
 
-  /// Persists the built sketches (scheme-tagged text format). A loaded
-  /// engine answers queries identically; construction cost is not
+  /// Persists the built sketches (the registry's scheme-tagged envelope).
+  /// A loaded engine answers queries identically; construction cost is not
   /// persisted (it was paid by whoever built).
   void save(std::ostream& out) const;
   static SketchEngine load(std::istream& in);
 
-  const BuildConfig& config() const { return config_; }
+  const BuildConfig& config() const;
 
-  /// False only for engines loaded from pre-epsilon text files, whose
-  /// config().epsilon is a default rather than the build value; flag
-  /// validation must not trust it then.
-  bool epsilon_known() const { return epsilon_known_; }
-
-  /// Binary-store hooks (serve/sketch_store): read-only access to the built
-  /// payload. Exactly the accessor matching config().scheme returns non-null;
-  /// the other three return nullptr.
-  const std::vector<TzLabel>* tz_payload() const;
-  const SlackSketchSet* slack_payload() const;
-  const CdgSketchSet* cdg_payload() const;
-  const GracefulSketchSet* graceful_payload() const;
+  /// The polymorphic oracle backing this engine — pass it anywhere a
+  /// DistanceOracle is expected (the query service, evaluate_stretch,
+  /// SketchStore::from_oracle).
+  const SketchOracle& oracle() const { return *oracle_; }
 
  private:
-  struct Impl;
-  SketchEngine() = default;  // used by load()
-  BuildConfig config_;
-  bool epsilon_known_ = true;
-  std::unique_ptr<Impl> impl_;
+  explicit SketchEngine(std::unique_ptr<SketchOracle> oracle);
+  std::unique_ptr<SketchOracle> oracle_;
 };
 
 }  // namespace dsketch

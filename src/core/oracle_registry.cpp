@@ -1,0 +1,130 @@
+#include "core/oracle_registry.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace dsketch {
+
+// Builtin registration hooks; each lives in the translation unit that
+// implements the scheme, so the scheme's code and its registry entry
+// stay together. (Function calls, not static initializers: static-library
+// linking would silently drop unreferenced registrar objects.)
+void register_sketch_oracles(OracleRegistry& reg);    // core/sketch_oracle.cpp
+void register_exact_oracle(OracleRegistry& reg);      // baselines/exact_oracle.cpp
+void register_landmark_oracle(OracleRegistry& reg);   // baselines/landmark.cpp
+void register_vivaldi_oracle(OracleRegistry& reg);    // baselines/vivaldi.cpp
+
+OracleEnvelope read_envelope_header(std::istream& in) {
+  std::string tag;
+  OracleEnvelope env;
+  if (!(in >> tag >> env.scheme >> env.n >> env.k) || tag != "scheme") {
+    throw std::runtime_error("bad oracle envelope header (want: scheme "
+                             "<name> <n> <k> [<epsilon>])");
+  }
+  // The epsilon field was added to the header later; files written before
+  // it have the payload magic as the next token. Peek via getline so both
+  // vintages load.
+  std::string rest;
+  std::getline(in, rest);
+  if (const auto pos = rest.find_first_not_of(" \t\r");
+      pos != std::string::npos) {
+    try {
+      env.epsilon = std::stod(rest.substr(pos));
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad epsilon in oracle envelope header: " +
+                               rest);
+    }
+  } else {
+    env.epsilon_recorded = false;
+  }
+  return env;
+}
+
+void write_envelope_header(std::ostream& out, const std::string& scheme,
+                           NodeId n, std::uint32_t k, double epsilon) {
+  char eps[40];
+  std::snprintf(eps, sizeof(eps), "%.17g", epsilon);
+  out << "scheme " << scheme << " " << n << " " << k << " " << eps << "\n";
+}
+
+OracleRegistry& OracleRegistry::instance() {
+  static OracleRegistry registry;
+  static std::once_flag builtins_once;
+  std::call_once(builtins_once, [] {
+    register_sketch_oracles(registry);
+    register_exact_oracle(registry);
+    register_landmark_oracle(registry);
+    register_vivaldi_oracle(registry);
+  });
+  return registry;
+}
+
+void OracleRegistry::add(OracleScheme scheme) {
+  if (scheme.name.empty() || !scheme.build) {
+    throw std::runtime_error("oracle scheme needs a name and a build factory");
+  }
+  if (scheme.caps.supports_save != static_cast<bool>(scheme.load)) {
+    throw std::runtime_error("oracle scheme '" + scheme.name +
+                             "': supports_save and a load factory must come "
+                             "together");
+  }
+  std::string name = scheme.name;  // keep valid across the move
+  const auto [it, inserted] =
+      schemes_.emplace(std::move(name), std::move(scheme));
+  if (!inserted) {
+    throw std::runtime_error("oracle scheme registered twice: " + it->first);
+  }
+}
+
+const OracleScheme* OracleRegistry::find(const std::string& name) const {
+  const auto it = schemes_.find(name);
+  return it == schemes_.end() ? nullptr : &it->second;
+}
+
+const OracleScheme& OracleRegistry::at(const std::string& name) const {
+  if (const OracleScheme* scheme = find(name)) return *scheme;
+  throw std::runtime_error("unknown oracle scheme '" + name +
+                           "' (registered: " + names_csv() + ")");
+}
+
+std::vector<const OracleScheme*> OracleRegistry::schemes() const {
+  std::vector<const OracleScheme*> out;
+  out.reserve(schemes_.size());
+  for (const auto& [name, scheme] : schemes_) out.push_back(&scheme);
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::string OracleRegistry::names_csv() const {
+  std::string csv;
+  for (const auto& [name, scheme] : schemes_) {
+    if (!csv.empty()) csv += ", ";
+    csv += name;
+  }
+  return csv;
+}
+
+std::unique_ptr<DistanceOracle> OracleRegistry::build(
+    const std::string& name, const Graph& g, const FlagSet& flags) const {
+  return at(name).build(g, flags);
+}
+
+LoadedOracle OracleRegistry::load(std::istream& in) const {
+  LoadedOracle loaded;
+  loaded.envelope = read_envelope_header(in);
+  const OracleScheme& scheme = at(loaded.envelope.scheme);
+  if (!scheme.load) {
+    throw std::runtime_error("oracle scheme '" + scheme.name +
+                             "' has no load support");
+  }
+  loaded.oracle = scheme.load(in, loaded.envelope);
+  if (!loaded.oracle) {
+    throw std::runtime_error("oracle scheme '" + scheme.name +
+                             "' loader returned nothing");
+  }
+  return loaded;
+}
+
+}  // namespace dsketch

@@ -7,8 +7,9 @@
 
 namespace dsketch {
 
-QueryService::QueryService(const SketchStore& store, QueryServiceConfig cfg)
-    : store_(&store), pool_(cfg.threads) {
+QueryService::QueryService(const DistanceOracle& oracle,
+                           QueryServiceConfig cfg)
+    : oracle_(&oracle), pool_(cfg.threads) {
   if (cfg.shards == 0) {
     // Enough shards that the pool's serial-fallback threshold
     // (count < 2 x lanes) never bites and slices stay balanced.
@@ -34,7 +35,7 @@ void QueryService::run_shard(Shard& shard, std::span<const Pair> pairs,
       out[i] = *hit;
       continue;
     }
-    const Dist d = store_->query(u, v);
+    const Dist d = oracle_->query(u, v);
     shard.cache.put(key, d);
     out[i] = d;
   }

@@ -1,23 +1,27 @@
 /// \file
-/// Sharded multi-threaded batch query engine over a SketchStore.
+/// Sharded multi-threaded batch query engine over any DistanceOracle.
 ///
 /// The serving tier's unit of work is a batch of (u, v) pairs. Pairs are
 /// hash-partitioned into shards by their canonical (min, max) key, so both
 /// orientations of a pair land on the same shard; shards then execute in
-/// parallel on a dedicated util/thread_pool. Because the store's query
-/// path is read-only and allocation-free, shards share the arena with no
-/// synchronization — the only mutable state (cache, stats) is
-/// shard-private. The LRU caches under the *ordered* (u, v) key: the TZ
-/// query procedure checks the two orientations in a fixed order, so
-/// query(u, v) and query(v, u) may settle on different (both valid)
-/// estimates, and the service must reproduce the store's answer for the
-/// orientation actually asked.
+/// parallel on a dedicated util/thread_pool. Every oracle's query path is
+/// a concurrent-safe pure read (the DistanceOracle contract), so shards
+/// share the backing structure with no synchronization — the only mutable
+/// state (cache, stats) is shard-private. The LRU caches under the
+/// *ordered* (u, v) key: the TZ query procedure checks the two
+/// orientations in a fixed order, so query(u, v) and query(v, u) may
+/// settle on different (both valid) estimates, and the service must
+/// reproduce the oracle's answer for the orientation actually asked.
+///
+/// The usual backing oracle is the packed SketchStore (the serving
+/// representation), but any registered scheme serves: a landmark table,
+/// the exact matrix, a freshly built sketch.
 ///
 /// \code
-///   SketchStore store = SketchStore::load_file("net.sketch");
-///   QueryService service(store, {.shards = 8, .threads = 8,
-///                                .cache_capacity = 4096});
-///   service.query_batch(pairs, answers);  // answers[i] == store.query(...)
+///   auto oracle = SketchStore::load_oracle("net.sketch");
+///   QueryService service(*oracle, {.shards = 8, .threads = 8,
+///                                  .cache_capacity = 4096});
+///   service.query_batch(pairs, answers);  // answers[i] == oracle->query(...)
 ///   service.stats().qps;
 /// \endcode
 #pragma once
@@ -27,7 +31,7 @@
 #include <utility>
 #include <vector>
 
-#include "serve/sketch_store.hpp"
+#include "core/oracle.hpp"
 #include "util/lru_cache.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -63,12 +67,13 @@ struct QueryServiceStats {
 class QueryService {
  public:
   /// A query: ordered (source, target) node pair.
-  using Pair = std::pair<NodeId, NodeId>;
+  using Pair = QueryPair;
 
-  /// The store must outlive the service.
-  explicit QueryService(const SketchStore& store, QueryServiceConfig cfg = {});
+  /// The oracle must outlive the service.
+  explicit QueryService(const DistanceOracle& oracle,
+                        QueryServiceConfig cfg = {});
 
-  /// Answers out[i] = store.query(pairs[i]) for every i; out.size() must
+  /// Answers out[i] = oracle.query(pairs[i]) for every i; out.size() must
   /// equal pairs.size(). Deterministic regardless of shard/thread count.
   void query_batch(std::span<const Pair> pairs, std::span<Dist> out);
 
@@ -115,7 +120,7 @@ class QueryService {
   void run_shard(Shard& shard, std::span<const Pair> pairs,
                  std::span<Dist> out);
 
-  const SketchStore* store_;
+  const DistanceOracle* oracle_;
   ThreadPool pool_;
   std::vector<Shard> shards_;
   std::uint64_t batches_ = 0;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/serialization.hpp"
+#include "core/sketch_oracle.hpp"
 #include "sketch/cdg_sketch.hpp"
 #include "sketch/graceful_sketch.hpp"
 #include "sketch/slack_sketch.hpp"
@@ -209,14 +210,29 @@ constexpr std::size_t kCdgPrefixWords = 4;
 
 // ---- packing from built sketches -------------------------------------------
 
-SketchStore SketchStore::from_engine(const SketchEngine& engine) {
+bool SketchStore::packable(const DistanceOracle& oracle) {
+  return dynamic_cast<const SketchStore*>(&oracle) != nullptr ||
+         dynamic_cast<const SketchOracle*>(&oracle) != nullptr;
+}
+
+SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
+  // Re-packing a store is a copy: it already is the packed representation.
+  if (const auto* packed = dynamic_cast<const SketchStore*>(&oracle)) {
+    return *packed;
+  }
+  const auto* sketch = dynamic_cast<const SketchOracle*>(&oracle);
+  if (sketch == nullptr) {
+    throw std::runtime_error("oracle scheme '" + oracle.scheme() +
+                             "' has no packed store representation");
+  }
+
   SketchStore store;
-  store.scheme_ = engine.config().scheme;
-  store.k_ = engine.config().k;
-  store.epsilon_ = engine.config().epsilon;
-  // Engines loaded from pre-epsilon text files carry a default, not the
+  store.scheme_ = sketch->config().scheme;
+  store.k_ = sketch->config().k;
+  store.epsilon_ = sketch->config().epsilon;
+  // Sketches loaded from pre-epsilon envelopes carry a default, not the
   // build value; the store must not launder it into a recorded one.
-  store.epsilon_known_ = engine.epsilon_known();
+  store.epsilon_known_ = sketch->epsilon_recorded_;
 
   const auto pack_cdg = [](const CdgSketchSet& set, NodeId n) {
     SketchStore::Segment seg;
@@ -235,7 +251,7 @@ SketchStore SketchStore::from_engine(const SketchEngine& engine) {
 
   switch (store.scheme_) {
     case Scheme::kThorupZwick: {
-      const auto& labels = *engine.tz_payload();
+      const auto& labels = sketch->tz_labels_;
       store.n_ = static_cast<NodeId>(labels.size());
       Segment seg;
       seg.offsets.reserve(store.n_ + 1);
@@ -248,8 +264,8 @@ SketchStore SketchStore::from_engine(const SketchEngine& engine) {
       break;
     }
     case Scheme::kSlack: {
-      const SlackSketchSet& set = *engine.slack_payload();
-      store.n_ = engine.num_nodes();
+      const SlackSketchSet& set = sketch->slack_;
+      store.n_ = sketch->num_nodes();
       Segment seg;
       seg.meta.push_back(set.net().size());
       for (const NodeId w : set.net()) seg.meta.push_back(w);
@@ -265,13 +281,13 @@ SketchStore SketchStore::from_engine(const SketchEngine& engine) {
       break;
     }
     case Scheme::kCdg: {
-      store.n_ = engine.num_nodes();
-      store.segments_.push_back(pack_cdg(*engine.cdg_payload(), store.n_));
+      store.n_ = sketch->num_nodes();
+      store.segments_.push_back(pack_cdg(sketch->cdg_, store.n_));
       break;
     }
     case Scheme::kGraceful: {
-      store.n_ = engine.num_nodes();
-      const GracefulSketchSet& set = *engine.graceful_payload();
+      store.n_ = sketch->num_nodes();
+      const GracefulSketchSet& set = sketch->graceful_;
       for (std::size_t i = 0; i < set.num_levels(); ++i) {
         store.segments_.push_back(pack_cdg(set.level(i), store.n_));
       }
@@ -281,8 +297,13 @@ SketchStore SketchStore::from_engine(const SketchEngine& engine) {
   return store;
 }
 
+SketchStore SketchStore::from_engine(const SketchEngine& engine) {
+  return from_oracle(engine.oracle());
+}
+
 SketchStore SketchStore::from_text(std::istream& in) {
-  return from_engine(SketchEngine::load(in));
+  const OracleEnvelope envelope = read_envelope_header(in);
+  return from_oracle(*SketchOracle::load_payload(in, envelope));
 }
 
 void SketchStore::to_text(std::ostream& out) const {
@@ -417,6 +438,27 @@ std::size_t SketchStore::node_record_words(NodeId u) const {
   DS_CHECK(u < n_ && !segments_.empty());
   const Segment& seg = segments_[0];
   return static_cast<std::size_t>(seg.offsets[u + 1] - seg.offsets[u]);
+}
+
+std::size_t SketchStore::size_words(NodeId u) const {
+  DS_CHECK(u < n_);
+  std::size_t words = 0;
+  for (const Segment& seg : segments_) {
+    words += static_cast<std::size_t>(seg.offsets[u + 1] - seg.offsets[u]);
+  }
+  return words;
+}
+
+std::string SketchStore::guarantee() const {
+  return sketch_guarantee(scheme_, k_, epsilon_);
+}
+
+Capabilities SketchStore::capabilities() const {
+  Capabilities caps = sketch_capabilities(scheme_, k_);
+  // The CONGEST cost was paid by whoever built; a packed store never
+  // carries it.
+  caps.build_cost_available = false;
+  return caps;
 }
 
 // ---- binary round trip ------------------------------------------------------
@@ -599,6 +641,11 @@ SketchStore SketchStore::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   return read(in);
+}
+
+std::unique_ptr<DistanceOracle> SketchStore::load_oracle(
+    const std::string& path) {
+  return std::make_unique<SketchStore>(load_file(path));
 }
 
 }  // namespace dsketch

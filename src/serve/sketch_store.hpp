@@ -34,23 +34,37 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/engine.hpp"
+#include "core/oracle.hpp"
 #include "graph/graph.hpp"
 
 namespace dsketch {
 
-/// Packed, checksummed, query-ready sketches for all four schemes.
-class SketchStore {
+/// Packed, checksummed, query-ready sketches for all four schemes. A
+/// SketchStore is itself a DistanceOracle — the serving-tier
+/// representation of one — so anything that takes an oracle (the query
+/// service, evaluate_stretch, the benches) serves straight from the
+/// packed arena; the inherited query_batch is the zero-alloc packed
+/// query path.
+class SketchStore final : public DistanceOracle {
  public:
-  /// An empty store (no nodes); fill via from_engine/from_text/read.
+  /// An empty store (no nodes); fill via from_oracle/from_text/read.
   SketchStore() = default;
 
-  /// Packs the engine's built sketches. The engine must hold a payload
-  /// (either constructed or loaded from text).
+  /// Packs a sketch-backed oracle's payload. Throws std::runtime_error
+  /// for oracles without a packed representation (the baselines).
+  static SketchStore from_oracle(const DistanceOracle& oracle);
+
+  /// Whether from_oracle(oracle) would succeed — the one predicate the
+  /// CLI and examples share to decide packed vs envelope shipping.
+  static bool packable(const DistanceOracle& oracle);
+
+  /// Compat shim over from_oracle for engine callers.
   static SketchStore from_engine(const SketchEngine& engine);
 
   /// Converters bridging the text format of core/serialization.
@@ -68,14 +82,31 @@ class SketchStore {
   void save_file(const std::string& path) const;
   static SketchStore load_file(const std::string& path);
 
+  /// Binary load straight to the polymorphic interface — what a serving
+  /// frontend hands to its QueryService.
+  static std::unique_ptr<DistanceOracle> load_oracle(const std::string& path);
+
   /// Distance estimate from the two packed sketches only; allocation-free
   /// and safe to call concurrently from any number of threads.
-  Dist query(NodeId u, NodeId v) const;
+  Dist query(NodeId u, NodeId v) const override;
+
+  /// Packed words stored for node u, summed across segments.
+  std::size_t size_words(NodeId u) const override;
+  /// Registry name of the packed family ("tz", "slack", ...).
+  std::string scheme() const override { return scheme_name(scheme_); }
+  /// Worst-case guarantee with the recorded k/epsilon filled in.
+  std::string guarantee() const override;
+  /// Capabilities of the packed family (no build cost: it was paid by
+  /// whoever built).
+  Capabilities capabilities() const override;
+  /// DistanceOracle::save: writes the text envelope (to_text); the binary
+  /// format keeps its own write()/read() pair.
+  void save(std::ostream& out) const override { to_text(out); }
 
   /// The sketch family the store holds.
-  Scheme scheme() const { return scheme_; }
+  Scheme store_scheme() const { return scheme_; }
   /// Nodes covered (valid query ids are [0, n)).
-  NodeId num_nodes() const { return n_; }
+  NodeId num_nodes() const override { return n_; }
   /// The TZ/CDG hierarchy depth recorded at build time.
   std::uint32_t k() const { return k_; }
   /// The slack/CDG epsilon recorded at build time (see epsilon_known()).

@@ -50,6 +50,8 @@ class CdgSketchSet {
       : sketches_(std::move(sketches)) {}
 
   Dist query(NodeId u, NodeId v) const;
+  /// Nodes covered (one sketch per node).
+  std::size_t num_nodes() const { return sketches_.size(); }
   std::size_t size_words(NodeId u) const {
     return 2 + sketches_[u].label.size_words();
   }

@@ -25,6 +25,9 @@ class SlackSketchSet {
 
   const std::vector<NodeId>& net() const { return net_; }
 
+  /// Nodes covered (rows of the distance table).
+  std::size_t num_nodes() const { return dist_.size(); }
+
   /// Estimate d(u,v) from the two stored sketches only.
   Dist query(NodeId u, NodeId v) const;
 

@@ -74,7 +74,13 @@ StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
 
     for (const NodeId v : targets[row]) {
       const Dist d = dist_row[v];
-      DS_CHECK(d != kInfDist && d > 0);
+      // No finite stretch exists for unreachable (or zero-distance)
+      // pairs; skip them consistently for every estimator rather than
+      // letting oracles without path support score est/∞ as stretch.
+      if (d == kInfDist || d == 0) {
+        ++report.skipped_no_ground_truth;
+        continue;
+      }
       const Dist e = est(s, v);
       if (e == kInfDist) {
         ++report.unreachable;
@@ -101,8 +107,17 @@ StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
     report.near_only.merge(r.near_only);
     report.underestimates += r.underestimates;
     report.unreachable += r.unreachable;
+    report.skipped_no_ground_truth += r.skipped_no_ground_truth;
   }
   return report;
+}
+
+StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
+                               const DistanceOracle& oracle,
+                               const EvalOptions& opts) {
+  return evaluate_stretch(
+      g, gt, [&oracle](NodeId u, NodeId v) { return oracle.query(u, v); },
+      opts);
 }
 
 }  // namespace dsketch

@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/oracle.hpp"
 #include "graph/graph.hpp"
 #include "graph/shortest_paths.hpp"
 #include "util/stats.hpp"
@@ -31,7 +32,14 @@ struct StretchReport {
   SampleSet near_only;  ///< the complement (no guarantee applies)
   std::size_t underestimates = 0;  ///< pairs with est < d (must be 0 for
                                    ///< the paper's schemes)
-  std::size_t unreachable = 0;     ///< estimator returned kInfDist
+  std::size_t unreachable = 0;     ///< estimator returned kInfDist on a
+                                   ///< reachable pair
+  /// Sampled pairs skipped because the ground truth itself is unreachable
+  /// (or zero-distance): no finite stretch exists there, so they must not
+  /// be scored — estimators without path support (Vivaldi) would
+  /// otherwise contribute bogus finite "stretch" over d = ∞, and path
+  /// estimators an infinite one.
+  std::size_t skipped_no_ground_truth = 0;
 
   double average_stretch() const { return all.mean(); }
   double max_stretch() const { return all.max(); }
@@ -47,6 +55,12 @@ struct EvalOptions {
 /// (possibly sampled) set of targets v != s.
 StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
                                const Estimator& est, const EvalOptions& opts);
+
+/// Same evaluation over any registered oracle (sketches, baselines, a
+/// packed store) — the scheme-agnostic path the benches and the CLI use.
+StretchReport evaluate_stretch(const Graph& g, const SampledGroundTruth& gt,
+                               const DistanceOracle& oracle,
+                               const EvalOptions& opts);
 
 /// Ranks targets by (dist, id) from the row source and returns, for each
 /// target, whether it is ε-far from the source.

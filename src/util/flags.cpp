@@ -95,4 +95,15 @@ std::vector<std::int64_t> parse_int_list(const std::string& csv) {
   return out;
 }
 
+std::vector<std::string> parse_name_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(csv);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  if (out.empty()) throw std::runtime_error("empty name list: " + csv);
+  return out;
+}
+
 }  // namespace dsketch

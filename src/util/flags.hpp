@@ -47,4 +47,8 @@ class FlagSet {
 /// Parses "1,2,4" into integers; throws on an empty list.
 std::vector<std::int64_t> parse_int_list(const std::string& csv);
 
+/// Parses "tz,landmark,exact" into names, skipping empty items; throws
+/// on an empty list (the sibling of parse_int_list for oracle sweeps).
+std::vector<std::string> parse_name_list(const std::string& csv);
+
 }  // namespace dsketch

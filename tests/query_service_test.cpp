@@ -7,6 +7,7 @@
 
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
+#include "serve/sketch_store.hpp"
 #include "serve/workload.hpp"
 #include "util/lru_cache.hpp"
 

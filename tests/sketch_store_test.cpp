@@ -190,7 +190,7 @@ TEST(SketchStoreProvenance, UnknownEpsilonSurvivesConversion) {
   std::getline(text2, first_line);
   EXPECT_EQ(first_line, header);
   std::stringstream full(text2.str());
-  EXPECT_FALSE(SketchEngine::load(full).epsilon_known());
+  EXPECT_FALSE(SketchStore::from_text(full).epsilon_known());
 
   // A normally saved sketch keeps its recorded epsilon through the same
   // trip.

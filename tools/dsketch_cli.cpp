@@ -11,21 +11,27 @@
 //   dsketch convert    --in text.sketch --out net.store
 //   dsketch serve-bench --store net.store --workload zipf --batch 1024
 //                 --threads 1,2,4 --shards 8 --cache 4096
+//   dsketch list-schemes
 //   dsketch repro --manifest bench/manifests/quick.toml [--out-dir DIR]
 //                 [--threads N] [--force] [--list] [--no-report]
 //
-// Schemes: tz | slack | cdg | graceful. See README for the guarantees.
+// Every --scheme is resolved through the OracleRegistry: the 4 sketch
+// families (tz | slack | cdg | graceful) and the 3 baselines
+// (exact | landmark | vivaldi) share one polymorphic query API. Run
+// `dsketch list-schemes` for the registered table and guarantees.
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "baselines/exact_oracle.hpp"
-#include "core/engine.hpp"
+#include "congest/accounting.hpp"
+#include "core/oracle.hpp"
+#include "core/oracle_registry.hpp"
 #include "exp/corpus_cache.hpp"
 #include "exp/manifest.hpp"
 #include "exp/report.hpp"
@@ -48,22 +54,25 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: dsketch "
-               "<gen|info|build|query|eval|convert|serve-bench|repro>"
+               "<gen|info|build|query|eval|convert|serve-bench|"
+               "list-schemes|repro>"
                " [--flags]\n"
                "  gen   --topology er|grid|ring|path|ba|ws|geometric|tree|"
                "isp|ring_chords --n N [--p P] [--m M] [--wmin W --wmax W] "
                "[--seed S] --out FILE\n"
                "  info  --graph FILE [--exact-diameters]\n"
-               "  build --graph FILE --scheme tz|slack|cdg|graceful [--k K] "
+               "  build --graph FILE --scheme NAME [--k K] "
                "[--epsilon E] [--echo|--known-s] [--async DMAX] [--seed S] "
-               "[--save FILE] [--store FILE]\n"
-               "  query --graph FILE --scheme ... --pairs u:v,u:v [--exact] "
+               "[--landmarks L] [--save FILE] [--store FILE]\n"
+               "  query --graph FILE --scheme NAME --pairs u:v,u:v [--exact] "
                "[--load FILE]\n"
-               "  eval  --graph FILE --scheme ... [--sources N] "
+               "  eval  --graph FILE --scheme NAME [--sources N] "
                "[--epsilon-far E]\n"
+               "  list-schemes   (every registered oracle scheme with its "
+               "guarantee and capabilities)\n"
                "  convert --in FILE --out FILE   (text <-> binary store, "
                "direction auto-detected from the input magic)\n"
-               "  serve-bench (--store FILE | --graph FILE --scheme ...) "
+               "  serve-bench (--store FILE | --graph FILE --scheme NAME) "
                "[--queries N] [--batch B,B,...] [--threads T,T,...] "
                "[--shards S] [--cache C] [--workload uniform|zipf] "
                "[--zipf-s S] [--hot-pairs H] [--seed S] [--verify N]\n"
@@ -73,28 +82,12 @@ int usage() {
   return 2;
 }
 
-BuildConfig parse_build_config(const FlagSet& flags) {
-  BuildConfig cfg;
+/// Resolves --scheme (default "tz") through the registry; the factory
+/// reads its own scheme flags (--k, --epsilon, --landmarks, ...).
+std::unique_ptr<DistanceOracle> build_oracle(const Graph& g,
+                                             const FlagSet& flags) {
   const std::string scheme = flags.get("scheme", std::string("tz"));
-  if (scheme == "tz") {
-    cfg.scheme = Scheme::kThorupZwick;
-  } else if (scheme == "slack") {
-    cfg.scheme = Scheme::kSlack;
-  } else if (scheme == "cdg") {
-    cfg.scheme = Scheme::kCdg;
-  } else if (scheme == "graceful") {
-    cfg.scheme = Scheme::kGraceful;
-  } else {
-    throw std::runtime_error("unknown scheme: " + scheme);
-  }
-  cfg.k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{3}));
-  cfg.epsilon = flags.get("epsilon", 0.1);
-  cfg.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{1}));
-  if (flags.get_bool("echo")) cfg.termination = TerminationMode::kEcho;
-  if (flags.get_bool("known-s")) cfg.termination = TerminationMode::kKnownS;
-  cfg.sim.async_max_delay =
-      static_cast<std::uint32_t>(flags.get("async", std::int64_t{1}));
-  return cfg;
+  return OracleRegistry::instance().build(scheme, g, flags);
 }
 
 int cmd_gen(const FlagSet& flags) {
@@ -132,87 +125,99 @@ int cmd_info(const FlagSet& flags) {
 
 int cmd_build(const FlagSet& flags) {
   const Graph g = read_graph_file(flags.require("graph"));
-  const BuildConfig cfg = parse_build_config(flags);
-  const SketchEngine engine(g, cfg);
+  const std::unique_ptr<DistanceOracle> oracle = build_oracle(g, flags);
   if (flags.has("save")) {
     std::ofstream out(flags.get("save", std::string{}));
     if (!out) throw std::runtime_error("cannot open --save file");
-    engine.save(out);
-    std::printf("sketches saved to %s\n",
+    oracle->save(out);
+    std::printf("oracle saved to %s\n",
                 flags.get("save", std::string{}).c_str());
   }
   if (flags.has("store")) {
     const std::string path = flags.get("store", std::string{});
-    const SketchStore store = SketchStore::from_engine(engine);
+    const SketchStore store = SketchStore::from_oracle(*oracle);
     store.save_file(path);
     std::printf("binary store saved to %s (%zu payload bytes)\n",
                 path.c_str(), store.payload_bytes());
   }
-  std::printf("scheme:     %s\n", engine.guarantee().c_str());
-  std::printf("rounds:     %llu\n",
-              static_cast<unsigned long long>(engine.cost().rounds));
-  std::printf("messages:   %llu\n",
-              static_cast<unsigned long long>(engine.cost().messages));
-  std::printf("words sent: %llu\n",
-              static_cast<unsigned long long>(engine.cost().words));
-  std::printf("mean sketch size: %.1f words/node\n", engine.mean_size_words());
+  std::printf("scheme:     %s (%s)\n", oracle->scheme().c_str(),
+              oracle->guarantee().c_str());
+  if (const SimStats* cost = oracle->build_cost()) {
+    std::printf("rounds:     %llu\n",
+                static_cast<unsigned long long>(cost->rounds));
+    std::printf("messages:   %llu\n",
+                static_cast<unsigned long long>(cost->messages));
+    std::printf("words sent: %llu\n",
+                static_cast<unsigned long long>(cost->words));
+  }
+  std::printf("mean sketch size: %.1f words/node\n",
+              oracle->mean_size_words());
   return 0;
 }
 
-/// A loaded sketch answers with whatever configuration it was built with;
+/// A loaded oracle answers with whatever configuration it was built with;
 /// silently ignoring contradicting flags would report estimates under the
-/// wrong guarantee. Reject explicit flags that disagree with the file.
-void check_loaded_config(const FlagSet& flags, const SketchEngine& engine,
+/// wrong guarantee. Reject explicit flags that disagree with the envelope.
+void check_loaded_config(const FlagSet& flags, const OracleEnvelope& envelope,
                          const std::string& path) {
-  const BuildConfig& loaded = engine.config();
   const auto fail = [&](const std::string& what, const std::string& have,
                         const std::string& want) {
-    throw std::runtime_error("--load " + path + ": sketch was built with " +
+    throw std::runtime_error("--load " + path + ": oracle was built with " +
                              what + " " + have + " but --" + what + " " +
                              want + " was requested; rebuild with `dsketch "
                              "build` or drop the flag");
   };
   if (flags.has("scheme")) {
-    const BuildConfig requested = parse_build_config(flags);
-    if (requested.scheme != loaded.scheme) {
-      fail("scheme", scheme_name(loaded.scheme),
-           scheme_name(requested.scheme));
+    const std::string requested = flags.get("scheme", std::string{});
+    OracleRegistry::instance().at(requested);  // typo check with name list
+    if (requested != envelope.scheme) {
+      fail("scheme", envelope.scheme, requested);
     }
   }
-  if (flags.has("k")) {
-    const auto k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{0}));
-    if (k != loaded.k) {
-      fail("k", std::to_string(loaded.k), std::to_string(k));
+  // The envelope's k slot records the scheme's size parameter under the
+  // flag name the registry declares (--k, --landmarks, --dim); schemes
+  // without one record 0 and there is nothing to check. Same for the
+  // pre-epsilon header vintage below.
+  const OracleScheme& scheme_entry =
+      OracleRegistry::instance().at(envelope.scheme);
+  const std::string& k_flag = scheme_entry.k_flag;
+  if (!k_flag.empty() && flags.has(k_flag) && envelope.k != 0) {
+    const auto k = static_cast<std::uint32_t>(
+        flags.get(k_flag, std::int64_t{0}));
+    if (k != envelope.k) {
+      fail(k_flag, std::to_string(envelope.k), std::to_string(k));
     }
   }
-  // Pre-epsilon files never recorded the build epsilon; nothing to check
-  // against then.
-  if (flags.has("epsilon") && engine.epsilon_known()) {
+  // Schemes without an epsilon parameter record a meaningless 0; a
+  // harmless --epsilon must not be rejected against it.
+  if (scheme_entry.uses_epsilon && flags.has("epsilon") &&
+      envelope.epsilon_recorded) {
     const double eps = flags.get("epsilon", 0.0);
-    if (eps != loaded.epsilon) {
-      fail("epsilon", std::to_string(loaded.epsilon), std::to_string(eps));
+    if (eps != envelope.epsilon) {
+      fail("epsilon", std::to_string(envelope.epsilon),
+           std::to_string(eps));
     }
   }
 }
 
 int cmd_query(const FlagSet& flags) {
   const Graph g = read_graph_file(flags.require("graph"));
-  const SketchEngine engine = [&] {
+  const std::unique_ptr<DistanceOracle> oracle = [&] {
     if (flags.has("load")) {
       const std::string path = flags.get("load", std::string{});
       std::ifstream in(path);
       if (!in) throw std::runtime_error("cannot open --load file");
-      SketchEngine loaded = SketchEngine::load(in);
-      check_loaded_config(flags, loaded, path);
-      if (loaded.num_nodes() != g.num_nodes()) {
+      LoadedOracle loaded = OracleRegistry::instance().load(in);
+      check_loaded_config(flags, loaded.envelope, path);
+      if (loaded.oracle->num_nodes() != g.num_nodes()) {
         throw std::runtime_error(
-            "--load " + path + ": sketch covers " +
-            std::to_string(loaded.num_nodes()) + " nodes but --graph has " +
-            std::to_string(g.num_nodes()));
+            "--load " + path + ": oracle covers " +
+            std::to_string(loaded.oracle->num_nodes()) +
+            " nodes but --graph has " + std::to_string(g.num_nodes()));
       }
-      return loaded;
+      return std::move(loaded.oracle);
     }
-    return SketchEngine(g, parse_build_config(flags));
+    return build_oracle(g, flags);
   }();
   const std::string pairs = flags.require("pairs");
   const bool exact = flags.get_bool("exact");
@@ -230,7 +235,13 @@ int cmd_query(const FlagSet& flags) {
     }
     const auto u = static_cast<NodeId>(std::stoul(pair.substr(0, colon)));
     const auto v = static_cast<NodeId>(std::stoul(pair.substr(colon + 1)));
-    const Dist est = engine.query(u, v);
+    // Validate here: not every oracle bounds-checks its own query path.
+    if (u >= oracle->num_nodes() || v >= oracle->num_nodes()) {
+      throw std::runtime_error("pair " + pair + " out of range (oracle "
+                               "covers nodes 0.." +
+                               std::to_string(oracle->num_nodes() - 1) + ")");
+    }
+    const Dist est = oracle->query(u, v);
     if (exact) {
       const Dist d = dijkstra(g, u)[v];
       std::printf("%-8u %-8u %-12llu %-10llu %.3f\n", u, v,
@@ -248,15 +259,13 @@ int cmd_query(const FlagSet& flags) {
 
 int cmd_eval(const FlagSet& flags) {
   const Graph g = read_graph_file(flags.require("graph"));
-  const BuildConfig cfg = parse_build_config(flags);
-  const SketchEngine engine(g, cfg);
+  const std::unique_ptr<DistanceOracle> oracle = build_oracle(g, flags);
   const auto sources =
       static_cast<std::size_t>(flags.get("sources", std::int64_t{16}));
   const SampledGroundTruth gt(g, sources, 7);
   EvalOptions opts;
   opts.epsilon = flags.get("epsilon-far", 0.0);
-  const auto report = evaluate_stretch(
-      g, gt, [&](NodeId u, NodeId v) { return engine.query(u, v); }, opts);
+  const auto report = evaluate_stretch(g, gt, *oracle, opts);
   std::printf("pairs evaluated: %zu\n", report.all.count());
   std::printf("stretch: mean %.3f  p50 %.3f  p95 %.3f  max %.3f\n",
               report.all.mean(), report.all.p(50), report.all.p(95),
@@ -267,12 +276,15 @@ int cmd_eval(const FlagSet& flags) {
                 report.far_only.mean(), report.far_only.max(),
                 report.near_only.mean(), report.near_only.max());
   }
-  std::printf("underestimates: %zu (must be 0)\n", report.underestimates);
-  std::printf("build cost: %llu rounds, %llu messages; mean sketch %.1f "
-              "words\n",
-              static_cast<unsigned long long>(engine.cost().rounds),
-              static_cast<unsigned long long>(engine.cost().messages),
-              engine.mean_size_words());
+  std::printf("underestimates: %zu (%s)\n", report.underestimates,
+              oracle->capabilities().supports_paths ? "must be 0"
+                                                    : "no guarantee");
+  if (const SimStats* cost = oracle->build_cost()) {
+    std::printf("build cost: %llu rounds, %llu messages; ",
+                static_cast<unsigned long long>(cost->rounds),
+                static_cast<unsigned long long>(cost->messages));
+  }
+  std::printf("mean sketch %.1f words\n", oracle->mean_size_words());
   return 0;
 }
 
@@ -303,14 +315,21 @@ int cmd_convert(const FlagSet& flags) {
 }
 
 int cmd_serve_bench(const FlagSet& flags) {
-  const SketchStore store = [&] {
+  const std::unique_ptr<DistanceOracle> oracle = [&] {
     if (flags.has("store")) {
-      return SketchStore::load_file(flags.get("store", std::string{}));
+      return SketchStore::load_oracle(flags.get("store", std::string{}));
     }
     // No store on disk: build in-process so one command covers the
-    // whole build-once/serve-many pipeline.
+    // whole build-once/serve-many pipeline — any registered scheme
+    // serves, baselines included. Sketch-backed oracles are packed into
+    // the store first so this path benches the serving representation
+    // (what a deployment ships), same as --store.
     const Graph g = read_graph_file(flags.require("graph"));
-    return SketchStore::from_engine(SketchEngine(g, parse_build_config(flags)));
+    std::unique_ptr<DistanceOracle> built = build_oracle(g, flags);
+    if (SketchStore::packable(*built)) {
+      built = std::make_unique<SketchStore>(SketchStore::from_oracle(*built));
+    }
+    return built;
   }();
 
   WorkloadConfig wl;
@@ -339,8 +358,8 @@ int cmd_serve_bench(const FlagSet& flags) {
       cfg.shards = static_cast<std::size_t>(shards);
       cfg.threads = static_cast<std::size_t>(threads);
       cfg.cache_capacity = static_cast<std::size_t>(cache);
-      QueryService service(store, cfg);
-      WorkloadGenerator gen(store.num_nodes(), wl);
+      QueryService service(*oracle, cfg);
+      WorkloadGenerator gen(oracle->num_nodes(), wl);
 
       std::vector<QueryService::Pair> pairs;
       std::vector<Dist> answers;
@@ -356,7 +375,8 @@ int cmd_serve_bench(const FlagSet& flags) {
         // answers; the service must be bit-identical.
         if (done == 0) {
           for (std::size_t i = 0; i < std::min(verify, count); ++i) {
-            if (answers[i] != store.query(pairs[i].first, pairs[i].second)) {
+            if (answers[i] !=
+                oracle->query(pairs[i].first, pairs[i].second)) {
               ++mismatches;
             }
           }
@@ -367,9 +387,9 @@ int cmd_serve_bench(const FlagSet& flags) {
       const QueryServiceStats stats = service.stats();
       dsketch::bench::JsonLine line;
       line.add("bench", "serve")
-          .add("scheme", scheme_name(store.scheme()))
-          .add("n", static_cast<std::uint64_t>(store.num_nodes()))
-          .add("k", store.k())
+          .add("scheme", oracle->scheme())
+          .add("n", static_cast<std::uint64_t>(oracle->num_nodes()))
+          .add("guarantee", oracle->guarantee())
           .add("workload",
                wl.kind == WorkloadConfig::Kind::kUniform ? "uniform" : "zipf")
           .add("threads", static_cast<std::uint64_t>(service.num_threads()))
@@ -385,9 +405,33 @@ int cmd_serve_bench(const FlagSet& flags) {
           .add("mismatches", static_cast<std::uint64_t>(mismatches))
           .emit();
       if (mismatches > 0) {
-        throw std::runtime_error("service answers diverged from the store");
+        throw std::runtime_error("service answers diverged from the oracle");
       }
     }
+  }
+  return 0;
+}
+
+/// Prints every registered oracle scheme with its capabilities — sourced
+/// from the registry, so a newly registered scheme shows up with no CLI
+/// change.
+int cmd_list_schemes() {
+  std::printf("%-10s %-38s %-28s %s\n", "scheme", "guarantee",
+              "capabilities", "summary");
+  for (const OracleScheme* s : OracleRegistry::instance().schemes()) {
+    std::string caps;
+    const auto mark = [&caps](bool on, const char* name) {
+      if (!on) return;
+      if (!caps.empty()) caps += ",";
+      caps += name;
+    };
+    mark(s->caps.exact, "exact");
+    mark(s->caps.slack_only, "slack");
+    mark(s->caps.supports_paths, "paths");
+    mark(s->caps.supports_save, "save");
+    mark(s->caps.build_cost_available, "cost");
+    std::printf("%-10s %-38s %-28s %s\n", s->name.c_str(),
+                s->guarantee.c_str(), caps.c_str(), s->summary.c_str());
   }
   return 0;
 }
@@ -465,6 +509,9 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(flags);
     if (cmd == "convert") return cmd_convert(flags);
     if (cmd == "serve-bench") return cmd_serve_bench(flags);
+    if (cmd == "list-schemes" || cmd == "--list-schemes") {
+      return cmd_list_schemes();
+    }
     if (cmd == "repro") return cmd_repro(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
