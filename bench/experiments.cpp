@@ -43,6 +43,10 @@ const std::vector<Experiment>& experiment_registry() {
        "Shortest-path kernel: bucket vs heap engines, serial vs parallel "
        "TZ construction",
        run_e13},
+      {"e14", "dynamic",
+       "Live sketch refresh: serving through churn with incremental "
+       "repair, rebuild policies, and zero-downtime hot-swap",
+       run_e14},
   };
   return registry;
 }

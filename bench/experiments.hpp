@@ -1,5 +1,6 @@
 // The experiment library: every paper experiment E1–E12 as a callable,
-// plus the E13 systems microbenchmark (shortest-path kernel).
+// plus the systems experiments E13 (shortest-path kernel) and E14 (live
+// sketch refresh under churn).
 //
 // Each `run_eN` reproduces one experiment grid from the paper (see
 // docs/BENCHMARKS.md for what each measures and its flags), reads scale
@@ -38,7 +39,7 @@ struct Experiment {
   ExperimentFn run;   ///< the entry point
 };
 
-/// All experiments, ordered e1..e13.
+/// All experiments, ordered e1..e14.
 const std::vector<Experiment>& experiment_registry();
 
 /// Looks an experiment up by id ("e7") or name ("query"); nullptr if
@@ -62,5 +63,6 @@ int run_e10(const FlagSet& flags, std::ostream& out);
 int run_e11(const FlagSet& flags, std::ostream& out);
 int run_e12(const FlagSet& flags, std::ostream& out);
 int run_e13(const FlagSet& flags, std::ostream& out);
+int run_e14(const FlagSet& flags, std::ostream& out);
 
 }  // namespace dsketch::bench

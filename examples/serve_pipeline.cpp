@@ -13,8 +13,11 @@
 // sketch schemes ship the packed binary store, baselines persist their
 // text envelope, and both serve through the same sharded service.
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "congest/accounting.hpp"
@@ -29,12 +32,21 @@ using namespace dsketch;
 namespace {
 
 constexpr const char* kScheme = "tz";  // any name from `dsketch list-schemes`
-constexpr const char* kStorePath = "serve_pipeline.store";
+
+/// Where the build phase ships the store: $DSKETCH_OUT_DIR if set, else
+/// the system temp dir — never the invoking directory.
+std::string store_path() {
+  const char* out_dir = std::getenv("DSKETCH_OUT_DIR");
+  const std::filesystem::path dir =
+      out_dir != nullptr ? std::filesystem::path(out_dir)
+                         : std::filesystem::temp_directory_path();
+  return (dir / "serve_pipeline.store").string();
+}
 
 /// Loads whatever the build phase shipped back to a DistanceOracle.
 std::unique_ptr<DistanceOracle> load_shipped(bool packed) {
-  if (packed) return SketchStore::load_oracle(kStorePath);
-  std::ifstream in(kStorePath);
+  if (packed) return SketchStore::load_oracle(store_path());
+  std::ifstream in(store_path());
   return OracleRegistry::instance().load(in).oracle;
 }
 
@@ -54,11 +66,11 @@ int main() {
     if (packed) {
       // Sketch schemes: pack the binary serving representation.
       const SketchStore store = SketchStore::from_oracle(*oracle);
-      store.save_file(kStorePath);
+      store.save_file(store_path());
       shipped_bytes = store.payload_bytes();
     } else {
       // Baselines: no packed form — ship the text envelope instead.
-      std::ofstream out(kStorePath);
+      std::ofstream out(store_path());
       oracle->save(out);
     }
     if (const SimStats* cost = oracle->build_cost()) {

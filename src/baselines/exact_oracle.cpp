@@ -27,6 +27,7 @@ Capabilities ExactOracle::static_capabilities() {
   caps.exact = true;
   caps.stretch_bound = 1.0;
   caps.supports_paths = true;
+  caps.symmetric = true;  // undirected distances
   caps.supports_save = true;
   return caps;
 }

@@ -55,6 +55,7 @@ std::string LandmarkSketchSet::guarantee() const {
 Capabilities LandmarkSketchSet::static_capabilities() {
   Capabilities caps;
   caps.supports_paths = true;  // estimates are real u->l->v path lengths
+  caps.symmetric = true;       // min over landmarks of d(u,l) + d(l,v)
   caps.supports_save = true;
   return caps;
 }

@@ -104,6 +104,7 @@ Capabilities VivaldiCoordinates::static_capabilities() {
   // Estimates come from an embedding, not witnessed paths: they can
   // undercut the true distance and never report unreachability.
   caps.supports_paths = false;
+  caps.symmetric = true;  // norm of the coordinate difference
   caps.supports_save = true;
   return caps;
 }

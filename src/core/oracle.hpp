@@ -51,6 +51,14 @@ struct Capabilities {
   /// distance, and kInfDist reliably means "no path found". False for
   /// embeddings (Vivaldi) which can under- or over-estimate arbitrarily.
   bool supports_paths = false;
+  /// query(u, v) == query(v, u) bit-for-bit, always. True for schemes
+  /// whose estimate is an orientation-free formula (the exact matrix,
+  /// landmark triangulation, coordinate embeddings, slack net minima);
+  /// false for the TZ-style pivot walk, which probes the two
+  /// orientations in a fixed order and may settle on different (both
+  /// valid) estimates. The query service keys its cache canonically
+  /// only when this is set.
+  bool symmetric = false;
   /// save() round-trips through the registry's envelope loader.
   bool supports_save = false;
   /// build_cost() reports the CONGEST construction cost (the distributed

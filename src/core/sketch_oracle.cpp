@@ -127,6 +127,8 @@ Capabilities sketch_capabilities(Scheme scheme, std::uint32_t k) {
     case Scheme::kSlack:
       caps.stretch_bound = 3.0;
       caps.slack_only = true;
+      // min over net nodes of d(u,w) + d(w,v): orientation-free.
+      caps.symmetric = true;
       break;
     case Scheme::kCdg:
       caps.stretch_bound = k > 0 ? static_cast<double>(8 * k - 1) : 0.0;

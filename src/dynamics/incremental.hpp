@@ -1,0 +1,182 @@
+// Incremental repair of Thorup–Zwick sketches under edge churn, plus the
+// policy that decides when repair is no longer enough.
+//
+// The paper's sketches are preprocessed for one fixed topology (§1, §5);
+// E11 quantifies how fast they rot under churn. This module is the other
+// half of the loop — it keeps a sketch *usable* while the graph moves:
+//
+//   - Distance-decreasing updates (edge inserts, weight decreases) are
+//     repaired in place: every label distance (pivot and bunch entries)
+//     stores an exact point-to-point distance, and after inserting
+//     (a, b, w) the new distance is
+//         d'(x, y) = min(d(x, y), Da(x) + w + Db(y), Db(x) + w + Da(y))
+//     with Da/Db one SSSP each from the endpoints on the updated graph.
+//     Both searches are *bounded* re-explorations through the shared
+//     sp_kernel workspaces: expansion stops beyond the largest distance
+//     any label stores, because a longer path can never improve a stored
+//     entry (shortest paths have monotone prefixes, so every entry with
+//     true distance inside the bound is still computed exactly). Repair
+//     preserves the one-sided guarantee (estimates never drop below the
+//     new true distance) and tightens estimates toward it.
+//
+//   - Distance-increasing updates (deletes, weight increases) cannot be
+//     repaired from the endpoints alone — stale entries may now
+//     *underestimate*, which is the guarantee violation E11 measures.
+//     RebuildPolicy watches the update stream (counts, unrepairable
+//     updates, and an optional sampled underestimate-rate probe) and
+//     fires a full background rebuild when a budget is exceeded; the
+//     serving tier swaps the rebuilt oracle in via serve/snapshot.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "dynamics/update_stream.hpp"
+#include "graph/graph.hpp"
+#include "graph/sp_kernel.hpp"
+#include "sketch/tz_label.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsketch {
+
+/// Immutable TZ-label oracle — what TzDynamicSketch publishes to the
+/// serving tier. A plain label vector with the Lemma 3.2 query; unlike
+/// SketchOracle it carries no build cost and no save path (a repaired
+/// sketch is a transient serving artifact, not a persisted one).
+class TzLabelOracle final : public DistanceOracle {
+ public:
+  TzLabelOracle(std::vector<TzLabel> labels, std::uint32_t k);
+
+  Dist query(NodeId u, NodeId v) const override;
+  NodeId num_nodes() const override {
+    return static_cast<NodeId>(labels_.size());
+  }
+  std::size_t size_words(NodeId u) const override {
+    return labels_[u].size_words();
+  }
+  std::string scheme() const override { return "tz"; }
+  std::string guarantee() const override;
+  Capabilities capabilities() const override;
+
+ private:
+  std::vector<TzLabel> labels_;
+  std::uint32_t k_;
+};
+
+/// Counters across the lifetime of one TzDynamicSketch.
+struct RepairStats {
+  std::uint64_t updates_seen = 0;     ///< apply() calls
+  std::uint64_t repaired = 0;         ///< repaired in place
+  std::uint64_t unrepairable = 0;     ///< needed a rebuild to fix
+  std::uint64_t nodes_explored = 0;   ///< bounded-search reach, summed
+  std::uint64_t entries_improved = 0; ///< label distances tightened
+  std::uint64_t rebuilds = 0;         ///< full rebuilds performed
+};
+
+/// A TZ sketch that tracks a changing graph: repair what can be repaired,
+/// rebuild when the policy says so, snapshot for serving at any point.
+class TzDynamicSketch {
+ public:
+  /// Builds the initial sketch (centralized construction — the fast
+  /// in-process path; the hierarchy is resampled until the top level is
+  /// nonempty). `pool == nullptr` uses the global pool.
+  TzDynamicSketch(const Graph& g, std::uint32_t k, std::uint64_t seed,
+                  ThreadPool* pool = nullptr);
+
+  /// Applies one update that has already happened to `updated` (the
+  /// graph AFTER the change). Returns true when the sketch was repaired
+  /// in place — inserts and weight decreases; the estimates then stay
+  /// >= the new true distances. Returns false for deletes and weight
+  /// increases: the sketch is left stale (it may underestimate) and
+  /// unrepaired_since_rebuild() grows until rebuild() resets it.
+  bool apply(const Graph& updated, const EdgeUpdate& update);
+
+  /// Full reconstruction on the current graph; clears the unrepaired
+  /// debt. This is the expensive step RebuildPolicy schedules.
+  void rebuild(const Graph& g, std::uint64_t seed,
+               ThreadPool* pool = nullptr);
+
+  /// An immutable copy of the current labels for the serving tier.
+  std::shared_ptr<const DistanceOracle> snapshot() const;
+
+  std::uint32_t k() const { return k_; }
+  const RepairStats& stats() const { return stats_; }
+  /// Distance-increasing updates absorbed since the last rebuild — the
+  /// count of latent guarantee violations repair could not prevent.
+  std::size_t unrepaired_since_rebuild() const { return unrepaired_; }
+  /// The current re-exploration bound (largest stored label distance).
+  Dist exploration_bound() const { return bound_; }
+  /// The live labels (test hook: repair exactness is checked entry by
+  /// entry against fresh ground truth).
+  const std::vector<TzLabel>& labels() const { return labels_; }
+
+ private:
+  void build_labels(const Graph& g, std::uint64_t seed, ThreadPool* pool);
+  void recompute_bound();
+  /// Bounded SSSP from `source` on `g` into `out` (kInfDist beyond the
+  /// bound); returns the number of nodes recorded.
+  std::size_t explore(const Graph& g, NodeId source, std::vector<Dist>& out);
+
+  std::uint32_t k_ = 0;
+  std::vector<TzLabel> labels_;
+  Dist bound_ = 0;
+  std::size_t unrepaired_ = 0;
+  RepairStats stats_;
+  // Re-exploration scratch, reused across apply() calls.
+  SpWorkspace ws_;
+  std::vector<Dist> dist_a_;
+  std::vector<Dist> dist_b_;
+};
+
+/// When to stop repairing and rebuild. All triggers are budgets; a zero
+/// budget disables that trigger.
+struct RebuildPolicyConfig {
+  /// Rebuild after this many updates since the last rebuild.
+  std::size_t max_updates = 0;
+  /// Rebuild after this many *unrepairable* (distance-increasing)
+  /// updates since the last rebuild.
+  std::size_t max_unrepaired = 0;
+  /// Rebuild when the probed underestimate rate exceeds this.
+  double max_underestimate_rate = 0.0;
+  /// Probe cadence: estimate the underestimate rate every N updates
+  /// (0 = never probe). Each probe costs `probe_sources` exact SSSPs.
+  std::size_t probe_every = 0;
+  std::size_t probe_sources = 2;
+  std::uint64_t probe_seed = 5;
+};
+
+/// Tracks churn against the budgets above. Drive it with one
+/// note_update() per applied update; it answers "rebuild now?" and
+/// remembers the last probed violation rate for reporting.
+class RebuildPolicy {
+ public:
+  explicit RebuildPolicy(const RebuildPolicyConfig& cfg) : cfg_(cfg) {}
+
+  /// Records one applied update (`repaired` = fixed in place) and
+  /// returns true when any budget is now exceeded. `current` and
+  /// `serving` feed the optional underestimate-rate probe — `serving`
+  /// is the oracle traffic is actually answered from.
+  bool note_update(const Graph& current, const DistanceOracle& serving,
+                   bool repaired);
+
+  /// Resets all budgets after the caller performed a rebuild.
+  void note_rebuilt();
+
+  std::size_t updates_since_rebuild() const { return updates_; }
+  std::size_t unrepaired_since_rebuild() const { return unrepaired_; }
+  /// Rate from the most recent probe (-1 before any probe ran).
+  double last_probed_rate() const { return last_rate_; }
+  std::size_t probes_run() const { return probes_; }
+
+ private:
+  RebuildPolicyConfig cfg_;
+  std::size_t updates_ = 0;
+  std::size_t unrepaired_ = 0;
+  std::size_t probes_ = 0;
+  double last_rate_ = -1.0;
+};
+
+}  // namespace dsketch

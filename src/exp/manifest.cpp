@@ -134,7 +134,11 @@ const std::set<std::string>& cell_keys() {
   // docs/BENCHMARKS.md); `graph` references the corpus by name.
   static const std::set<std::string> keys = {
       "graph", "n",      "nmax",   "p",     "k",     "kmax", "sources",
-      "pops",  "queries", "threads", "batch", "shards", "cache", "seed"};
+      "pops",  "queries", "threads", "batch", "shards", "cache", "seed",
+      // E14 (dynamic refresh) knobs — see bench_e14_dynamic.cpp.
+      "rounds", "updates", "policies", "budget", "unrepaired-budget",
+      "rate-threshold", "probe-every", "probe-sources", "round-ms",
+      "wmin", "wmax"};
   return keys;
 }
 
@@ -449,6 +453,15 @@ experiment = "e13"
 graph = "er512"
 sources = 8
 threads = "1,0"
+
+[[cell]]
+experiment = "e14"
+graph = "er512"
+rounds = 3
+updates = 6
+budget = 12
+unrepaired-budget = 4
+sources = 4
 )";
   return manifest;
 }

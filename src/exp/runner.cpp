@@ -180,7 +180,7 @@ RunSummary run_manifest(const Manifest& manifest, const RunOptions& options) {
     if (exp == nullptr) {
       throw std::runtime_error("manifest cell " + cell.id() +
                                ": unknown experiment `" + cell.experiment +
-                               "` (known: e1..e13)");
+                               "` (known: e1..e14)");
     }
     if (!options.force && options.resume &&
         cell_output_valid(result.out_path, cell.id())) {

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/pair_key.hpp"
+
 namespace dsketch {
 
 using NodeId = std::uint32_t;
@@ -108,8 +110,7 @@ class GraphBuilder {
 
  private:
   static std::uint64_t key(NodeId u, NodeId v) {
-    if (u > v) std::swap(u, v);
-    return (static_cast<std::uint64_t>(u) << 32) | v;
+    return canonical_pair_key(u, v);
   }
   NodeId n_;
   std::vector<Edge> edges_;

@@ -9,7 +9,13 @@ namespace dsketch {
 
 QueryService::QueryService(const DistanceOracle& oracle,
                            QueryServiceConfig cfg)
-    : oracle_(&oracle), pool_(cfg.threads) {
+    : QueryService(borrow_oracle(oracle), cfg) {}
+
+QueryService::QueryService(std::shared_ptr<const DistanceOracle> oracle,
+                           QueryServiceConfig cfg)
+    : slot_(std::move(oracle)),
+      force_ordered_keys_(cfg.force_ordered_keys),
+      pool_(cfg.threads) {
   if (cfg.shards == 0) {
     // Enough shards that the pool's serial-fallback threshold
     // (count < 2 x lanes) never bites and slices stay balanced.
@@ -22,30 +28,47 @@ QueryService::QueryService(const DistanceOracle& oracle,
   }
 }
 
-void QueryService::run_shard(Shard& shard, std::span<const Pair> pairs,
+void QueryService::run_shard(Shard& shard, const OracleSnapshot& snap,
+                             bool canonical_keys,
+                             std::span<const Pair> pairs,
                              std::span<Dist> out) {
   if (shard.slice.empty()) return;
+  if (shard.cache_generation != snap.generation) {
+    // The cache holds answers of an older oracle; generation tagging
+    // makes the drop a per-shard O(entries) clear on first use instead
+    // of a swap-time stall across all shards.
+    if (shard.cache.size() > 0) {
+      shard.cache.clear();
+      ++shard.invalidations;
+    }
+    shard.cache_generation = snap.generation;
+  }
   Timer timer;
   for (const std::uint32_t i : shard.slice) {
     const auto [u, v] = pairs[i];
-    const std::uint64_t key = pair_key(u, v);
+    const std::uint64_t key =
+        canonical_keys ? canonical_pair_key(u, v) : ordered_pair_key(u, v);
     ++shard.queries;
     if (const Dist* hit = shard.cache.get(key)) {
       ++shard.cache_hits;
       out[i] = *hit;
       continue;
     }
-    const Dist d = oracle_->query(u, v);
+    const Dist d = snap.oracle->query(u, v);
     shard.cache.put(key, d);
     out[i] = d;
   }
   shard.slice_latency_us.add(timer.seconds() * 1e6);
 }
 
-void QueryService::query_batch(std::span<const Pair> pairs,
-                               std::span<Dist> out) {
+std::uint64_t QueryService::query_batch(std::span<const Pair> pairs,
+                                        std::span<Dist> out) {
   DS_CHECK(pairs.size() == out.size());
   Timer timer;
+  // Pin one snapshot for the whole batch: every pair is answered by the
+  // same oracle generation even if swap() lands mid-batch.
+  const OracleSnapshot snap = slot_.load();
+  const bool canonical_keys = snap.symmetric && !force_ordered_keys_;
   // Scatter pair indices to their owning shards (single pass, reused
   // buffers), then execute each shard's slice on the pool. out[] is
   // indexed by the original position, so answers are order-stable and
@@ -53,14 +76,15 @@ void QueryService::query_batch(std::span<const Pair> pairs,
   for (Shard& shard : shards_) shard.slice.clear();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const std::size_t s =
-        shard_of(canonical_key(pairs[i].first, pairs[i].second));
+        shard_of(canonical_pair_key(pairs[i].first, pairs[i].second));
     shards_[s].slice.push_back(static_cast<std::uint32_t>(i));
   }
   pool_.parallel_for(shards_.size(), [&](std::size_t s) {
-    run_shard(shards_[s], pairs, out);
+    run_shard(shards_[s], snap, canonical_keys, pairs, out);
   });
   ++batches_;
   wall_seconds_ += timer.seconds();
+  return snap.generation;
 }
 
 Dist QueryService::query(NodeId u, NodeId v) {
@@ -70,16 +94,26 @@ Dist QueryService::query(NodeId u, NodeId v) {
   return answer;
 }
 
+std::uint64_t QueryService::swap(
+    std::shared_ptr<const DistanceOracle> next) {
+  const std::uint64_t generation = slot_.store(std::move(next));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return generation;
+}
+
 QueryServiceStats QueryService::stats() const {
   QueryServiceStats s;
   SampleSet latencies;
   for (const Shard& shard : shards_) {
     s.queries += shard.queries;
     s.cache_hits += shard.cache_hits;
+    s.cache_invalidations += shard.invalidations;
     s.shard_queries.push_back(shard.queries);
     latencies.merge(shard.slice_latency_us);
   }
   s.batches = batches_;
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.generation = slot_.generation();
   s.wall_seconds = wall_seconds_;
   s.qps = wall_seconds_ > 0 ? static_cast<double>(s.queries) / wall_seconds_
                             : 0;
@@ -97,9 +131,11 @@ void QueryService::reset_stats() {
   for (Shard& shard : shards_) {
     shard.queries = 0;
     shard.cache_hits = 0;
+    shard.invalidations = 0;
     shard.slice_latency_us = SampleSet();
   }
   batches_ = 0;
+  swaps_.store(0, std::memory_order_relaxed);
   wall_seconds_ = 0;
 }
 

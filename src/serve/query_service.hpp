@@ -1,5 +1,6 @@
 /// \file
-/// Sharded multi-threaded batch query engine over any DistanceOracle.
+/// Sharded multi-threaded batch query engine over any DistanceOracle,
+/// with zero-downtime oracle hot-swap.
 ///
 /// The serving tier's unit of work is a batch of (u, v) pairs. Pairs are
 /// hash-partitioned into shards by their canonical (min, max) key, so both
@@ -7,11 +8,24 @@
 /// parallel on a dedicated util/thread_pool. Every oracle's query path is
 /// a concurrent-safe pure read (the DistanceOracle contract), so shards
 /// share the backing structure with no synchronization — the only mutable
-/// state (cache, stats) is shard-private. The LRU caches under the
-/// *ordered* (u, v) key: the TZ query procedure checks the two
-/// orientations in a fixed order, so query(u, v) and query(v, u) may
-/// settle on different (both valid) estimates, and the service must
-/// reproduce the oracle's answer for the orientation actually asked.
+/// state (cache, stats) is shard-private.
+///
+/// Cache identity follows the oracle's Capabilities::symmetric bit: a
+/// symmetric oracle (exact, landmark, vivaldi, slack) caches under the
+/// canonical key, so query(u, v) warms query(v, u) — without this, the
+/// two orientations of one hot pair occupy two cache slots and the
+/// effective hit rate halves. Orientation-dependent oracles (the TZ
+/// pivot walk and its CDG/graceful derivatives) keep the ordered key,
+/// because query(u, v) and query(v, u) may settle on different (both
+/// valid) estimates and the service must reproduce the oracle's answer
+/// for the orientation actually asked.
+///
+/// The oracle lives behind a generation-tagged atomic snapshot
+/// (serve/snapshot.hpp). swap() publishes a replacement with one pointer
+/// flip: in-flight batches finish against the snapshot they pinned,
+/// later batches see the new oracle, and each shard drops its cache the
+/// first time it runs under a new generation — queries never block on a
+/// swap and never observe a torn oracle or a stale cached answer.
 ///
 /// The usual backing oracle is the packed SketchStore (the serving
 /// representation), but any registered scheme serves: a landmark table,
@@ -19,20 +33,24 @@
 ///
 /// \code
 ///   auto oracle = SketchStore::load_oracle("net.sketch");
-///   QueryService service(*oracle, {.shards = 8, .threads = 8,
-///                                  .cache_capacity = 4096});
+///   QueryService service(std::move(oracle), {.shards = 8, .threads = 8,
+///                                            .cache_capacity = 4096});
 ///   service.query_batch(pairs, answers);  // answers[i] == oracle->query(...)
+///   service.swap(rebuilt);                // hot-swap, readers never block
 ///   service.stats().qps;
 /// \endcode
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "core/oracle.hpp"
+#include "serve/snapshot.hpp"
 #include "util/lru_cache.hpp"
+#include "util/pair_key.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -48,6 +66,10 @@ struct QueryServiceConfig {
   std::size_t shards = 0;
   std::size_t threads = 0;         ///< pool lanes; 0 = hardware concurrency
   std::size_t cache_capacity = 0;  ///< per-shard LRU entries; 0 disables
+  /// Debug/benchmark override: key caches by the ordered pair even for
+  /// symmetric oracles (the pre-fix behavior; lets serve-bench measure
+  /// the canonical-key hit-rate delta).
+  bool force_ordered_keys = false;
 };
 
 /// Service-wide roll-up of per-shard counters (see QueryService::stats).
@@ -55,6 +77,9 @@ struct QueryServiceStats {
   std::uint64_t queries = 0;     ///< total pairs answered
   std::uint64_t cache_hits = 0;  ///< answered from a shard LRU
   std::uint64_t batches = 0;     ///< query_batch calls
+  std::uint64_t swaps = 0;       ///< oracles hot-swapped in
+  std::uint64_t generation = 0;  ///< current snapshot generation
+  std::uint64_t cache_invalidations = 0;  ///< shard caches dropped on swap
   double wall_seconds = 0;    ///< total query_batch wall time
   double qps = 0;             ///< queries / wall_seconds
   double hit_rate = 0;        ///< cache_hits / queries
@@ -64,21 +89,43 @@ struct QueryServiceStats {
 };
 
 /// The sharded batch query engine (see the file comment for the model).
+/// Thread model: any number of threads may call swap()/generation()/
+/// snapshot() concurrently with the batch driver, but batches themselves
+/// come from one driver thread at a time (shard state is unsynchronized).
 class QueryService {
  public:
   /// A query: ordered (source, target) node pair.
   using Pair = QueryPair;
 
-  /// The oracle must outlive the service.
+  /// Non-owning compat constructor: the oracle must outlive the service
+  /// (and any oracle later swap()ped in manages its own lifetime).
   explicit QueryService(const DistanceOracle& oracle,
                         QueryServiceConfig cfg = {});
 
-  /// Answers out[i] = oracle.query(pairs[i]) for every i; out.size() must
-  /// equal pairs.size(). Deterministic regardless of shard/thread count.
-  void query_batch(std::span<const Pair> pairs, std::span<Dist> out);
+  /// Owning constructor — the hot-swap pipeline's entry point.
+  explicit QueryService(std::shared_ptr<const DistanceOracle> oracle,
+                        QueryServiceConfig cfg = {});
+
+  /// Answers out[i] = oracle.query(pairs[i]) for every i against the
+  /// snapshot pinned at batch start; out.size() must equal pairs.size().
+  /// Deterministic regardless of shard/thread count. Returns the
+  /// generation of the snapshot that answered the batch.
+  std::uint64_t query_batch(std::span<const Pair> pairs,
+                            std::span<Dist> out);
 
   /// Single-pair convenience (routes through the owning shard's cache).
   Dist query(NodeId u, NodeId v);
+
+  /// Publishes `next` as the serving oracle and returns its generation.
+  /// One atomic pointer flip: concurrent query_batch calls never block
+  /// and never mix oracles within a batch; each shard's cache is dropped
+  /// the first time it serves under the new generation.
+  std::uint64_t swap(std::shared_ptr<const DistanceOracle> next);
+
+  /// The currently published snapshot (oracle + generation).
+  OracleSnapshot snapshot() const { return slot_.load(); }
+  /// Generation of the currently published oracle (0 until a swap).
+  std::uint64_t generation() const { return slot_.generation(); }
 
   /// Rolls the shard-private counters up into one service-wide view.
   QueryServiceStats stats() const;
@@ -93,22 +140,18 @@ class QueryService {
  private:
   struct Shard {
     LruCache<std::uint64_t, Dist> cache;
+    /// Generation whose answers the cache holds; a batch under a newer
+    /// snapshot clears the cache before serving from it.
+    std::uint64_t cache_generation = 0;
     std::uint64_t queries = 0;
     std::uint64_t cache_hits = 0;
+    std::uint64_t invalidations = 0;
     SampleSet slice_latency_us;  ///< latency of this shard's batch slices
     std::vector<std::uint32_t> slice;  ///< scratch: pair indices this batch
   };
 
-  /// Ordered key: the cache identity (query answers are orientation-
-  /// dependent, see the header comment).
-  static std::uint64_t pair_key(NodeId u, NodeId v) {
-    return (static_cast<std::uint64_t>(u) << 32) | v;
-  }
-  /// Canonical key: the routing identity (both orientations co-located).
-  static std::uint64_t canonical_key(NodeId u, NodeId v) {
-    if (u > v) std::swap(u, v);
-    return (static_cast<std::uint64_t>(u) << 32) | v;
-  }
+  // Cache identity: ordered_pair_key for orientation-dependent oracles,
+  // canonical_pair_key (also the routing identity) for symmetric ones.
   std::size_t shard_of(std::uint64_t key) const {
     // splitmix64 finalizer: spreads sequential ids across shards.
     std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
@@ -117,13 +160,16 @@ class QueryService {
     return static_cast<std::size_t>((z ^ (z >> 31)) % shards_.size());
   }
 
-  void run_shard(Shard& shard, std::span<const Pair> pairs,
+  void run_shard(Shard& shard, const OracleSnapshot& snap,
+                 bool canonical_keys, std::span<const Pair> pairs,
                  std::span<Dist> out);
 
-  const DistanceOracle* oracle_;
+  OracleSlot slot_;
+  bool force_ordered_keys_ = false;
   ThreadPool pool_;
   std::vector<Shard> shards_;
   std::uint64_t batches_ = 0;
+  std::atomic<std::uint64_t> swaps_{0};  ///< written by swapper threads
   double wall_seconds_ = 0;
 };
 

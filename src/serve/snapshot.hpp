@@ -1,0 +1,95 @@
+/// \file
+/// Generation-tagged atomic oracle snapshots — the hot-swap primitive of
+/// the serving tier.
+///
+/// A serving frontend holds its DistanceOracle behind an OracleSlot. The
+/// query path calls load() once per batch and works against the returned
+/// snapshot for the whole batch: oracle pointer, generation number, and
+/// the capability bits the cache policy needs are captured together, so a
+/// concurrent swap can never tear a batch across two oracles. Publishing
+/// a rebuilt oracle (store()) is one atomic pointer flip — readers never
+/// block on it, and the old oracle stays alive until the last in-flight
+/// batch drops its shared_ptr.
+///
+/// Generations are strictly increasing and identify which oracle answered
+/// a batch; the query service invalidates per-shard caches by comparing
+/// the shard's recorded generation against the pinned snapshot's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/oracle.hpp"
+#include "util/assert.hpp"
+
+namespace dsketch {
+
+/// One immutable published oracle: what a batch pins at its start.
+struct OracleSnapshot {
+  std::shared_ptr<const DistanceOracle> oracle;
+  std::uint64_t generation = 0;
+  /// Cached oracle->capabilities().symmetric: whether a cache in front
+  /// of this oracle may key the canonical (min, max) pair.
+  bool symmetric = false;
+};
+
+/// The swappable slot. load() is the wait-free reader side (one atomic
+/// shared_ptr load); store() serializes writers and bumps the generation.
+class OracleSlot {
+ public:
+  /// The slot always holds an oracle; generation starts at 0.
+  explicit OracleSlot(std::shared_ptr<const DistanceOracle> initial) {
+    DS_CHECK(initial != nullptr);
+    snap_.store(make_snapshot(std::move(initial), 0),
+                std::memory_order_release);
+  }
+
+  /// The current snapshot; safe from any thread, never blocks on store().
+  OracleSnapshot load() const {
+    return *snap_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes `next` under the next generation and returns it. The flip
+  /// itself is one atomic store; the mutex only serializes concurrent
+  /// publishers so generations stay monotonic.
+  std::uint64_t store(std::shared_ptr<const DistanceOracle> next) {
+    DS_CHECK(next != nullptr);
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const std::uint64_t generation =
+        snap_.load(std::memory_order_acquire)->generation + 1;
+    snap_.store(make_snapshot(std::move(next), generation),
+                std::memory_order_release);
+    return generation;
+  }
+
+  std::uint64_t generation() const {
+    return snap_.load(std::memory_order_acquire)->generation;
+  }
+
+ private:
+  static std::shared_ptr<const OracleSnapshot> make_snapshot(
+      std::shared_ptr<const DistanceOracle> oracle,
+      std::uint64_t generation) {
+    auto snap = std::make_shared<OracleSnapshot>();
+    snap->symmetric = oracle->capabilities().symmetric;
+    snap->oracle = std::move(oracle);
+    snap->generation = generation;
+    return snap;
+  }
+
+  std::atomic<std::shared_ptr<const OracleSnapshot>> snap_;
+  std::mutex writer_mu_;
+};
+
+/// Wraps a caller-owned oracle reference in a non-owning shared_ptr (the
+/// compat path for services constructed over a bare reference).
+inline std::shared_ptr<const DistanceOracle> borrow_oracle(
+    const DistanceOracle& oracle) {
+  return std::shared_ptr<const DistanceOracle>(
+      std::shared_ptr<const DistanceOracle>{}, &oracle);
+}
+
+}  // namespace dsketch

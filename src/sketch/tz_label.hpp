@@ -68,6 +68,11 @@ class TzLabel {
   }
   const std::vector<BunchEntry>& bunch() const { return bunch_; }
 
+  /// Dynamics hook: tightens the stored distance of bunch entry `i` in
+  /// place. Ids and levels never change — incremental repair only
+  /// improves distances — so the node index stays valid.
+  void set_bunch_dist(std::size_t i, Dist d) { bunch_[i].dist = d; }
+
   /// Distance to w if w is in the bunch, kInfDist otherwise.
   Dist bunch_dist(NodeId w) const {
     const auto it = index_.find(w);

@@ -1,0 +1,28 @@
+// The library-wide 64-bit packing of a node-id pair.
+//
+// One encoding, two identities: the ordered key distinguishes (u, v)
+// from (v, u) — the cache identity of orientation-dependent oracles —
+// and the canonical key maps both orientations to one value — shard
+// routing, symmetric-oracle caching, edge-set membership. Every
+// consumer (query service, workload universes, update streams, graph
+// builders) shares these two helpers so the packing can never diverge
+// between a writer and a reader of the same key space.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace dsketch {
+
+/// Ordered pair key: (u, v) != (v, u).
+inline std::uint64_t ordered_pair_key(std::uint32_t u, std::uint32_t v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Canonical pair key: both orientations map to (min, max).
+inline std::uint64_t canonical_pair_key(std::uint32_t u, std::uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return ordered_pair_key(u, v);
+}
+
+}  // namespace dsketch

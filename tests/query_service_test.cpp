@@ -3,8 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
+#include "baselines/exact_oracle.hpp"
+#include "baselines/landmark.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "serve/sketch_store.hpp"
@@ -13,6 +19,15 @@
 
 namespace dsketch {
 namespace {
+
+/// Path 0-1-...-(n-1), every edge weight `w`: exact distances are
+/// w * |u - v|, so two oracles with different `w` disagree on every
+/// non-trivial pair — ideal for detecting a torn or stale-cache answer.
+Graph path_graph(NodeId n, Weight w) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1, w});
+  return Graph::from_edges(n, edges);
+}
 
 SketchStore make_store(Scheme scheme, NodeId n = 90) {
   const Graph g = erdos_renyi(n, 0.08, {1, 9}, 23);
@@ -106,6 +121,132 @@ TEST(QueryService, CachedAnswersRespectPairOrientation) {
     }
   }
   EXPECT_GT(service.stats().cache_hits, 0u);
+}
+
+TEST(QueryService, SymmetricOracleCachesCanonically) {
+  // Regression: the LRU used the ordered (u, v) key while shard routing
+  // used the canonical one, so query(u, v) never warmed query(v, u) —
+  // for a symmetric oracle the two orientations are the same answer and
+  // must share one cache slot.
+  const Graph g = erdos_renyi(80, 0.1, {1, 9}, 23);
+  const LandmarkSketchSet oracle(g, 8, 5);
+  ASSERT_TRUE(oracle.capabilities().symmetric);
+  QueryService service(oracle,
+                       {.shards = 4, .threads = 1, .cache_capacity = 4096});
+  std::size_t pairs = 0;
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 5) {
+      EXPECT_EQ(service.query(u, v), oracle.query(u, v));
+      EXPECT_EQ(service.query(v, u), oracle.query(v, u));
+      ++pairs;
+    }
+  }
+  // Every reverse-orientation query must have hit the forward entry.
+  EXPECT_EQ(service.stats().cache_hits, pairs);
+
+  // The pre-fix behavior (ordered keys) misses every reverse query —
+  // kept reachable via force_ordered_keys so the delta stays measurable.
+  QueryService ordered(oracle, {.shards = 4,
+                                .threads = 1,
+                                .cache_capacity = 4096,
+                                .force_ordered_keys = true});
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 5) {
+      ordered.query(u, v);
+      ordered.query(v, u);
+    }
+  }
+  EXPECT_EQ(ordered.stats().cache_hits, 0u);
+}
+
+TEST(QueryService, AsymmetricOracleKeepsOrderedKeys) {
+  // The TZ pivot walk is orientation-dependent: caching canonically
+  // would serve one orientation's answer for the other. The service
+  // must keep ordered keys (reverse orientation = cache miss) and stay
+  // bit-identical to the store.
+  const SketchStore store = make_store(Scheme::kThorupZwick);
+  ASSERT_FALSE(store.capabilities().symmetric);
+  QueryService service(store,
+                       {.shards = 4, .threads = 1, .cache_capacity = 4096});
+  for (NodeId u = 0; u < store.num_nodes(); u += 4) {
+    for (NodeId v = u + 1; v < store.num_nodes(); v += 5) {
+      EXPECT_EQ(service.query(u, v), store.query(u, v));
+      EXPECT_EQ(service.query(v, u), store.query(v, u));
+    }
+  }
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(QueryService, SwapServesTheNewOracleAndInvalidatesCaches) {
+  const auto o1 = std::make_shared<ExactOracle>(path_graph(64, 1));
+  const auto o2 = std::make_shared<ExactOracle>(path_graph(64, 2));
+  QueryService service(
+      std::shared_ptr<const DistanceOracle>(o1),
+      {.shards = 4, .threads = 1, .cache_capacity = 1024});
+  EXPECT_EQ(service.generation(), 0u);
+  EXPECT_EQ(service.query(0, 63), 63u);
+  EXPECT_EQ(service.query(10, 20), 10u);
+
+  const std::uint64_t generation =
+      service.swap(std::shared_ptr<const DistanceOracle>(o2));
+  EXPECT_EQ(generation, 1u);
+  EXPECT_EQ(service.generation(), 1u);
+  // The same pairs again: a stale cache would answer 63/10.
+  EXPECT_EQ(service.query(0, 63), 126u);
+  EXPECT_EQ(service.query(10, 20), 20u);
+
+  const QueryServiceStats stats = service.stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_GE(stats.cache_invalidations, 1u);
+
+  // Swapping back re-serves o1's answers (no resurrected cache entries).
+  service.swap(std::shared_ptr<const DistanceOracle>(o1));
+  EXPECT_EQ(service.query(0, 63), 63u);
+}
+
+TEST(QueryService, ConcurrentSwapsNeverTearABatch) {
+  // One serving thread streams batches while another hot-swaps between
+  // two oracles that disagree on every pair. Invariants: every batch's
+  // answers match exactly the oracle of the generation that served it
+  // (generation parity identifies the oracle), and no slot is left
+  // unwritten. Caches stay on, so generation invalidation is exercised
+  // under fire too.
+  const NodeId n = 128;
+  const auto o1 = std::make_shared<ExactOracle>(path_graph(n, 1));
+  const auto o2 = std::make_shared<ExactOracle>(path_graph(n, 2));
+  QueryService service(
+      std::shared_ptr<const DistanceOracle>(o1),
+      {.shards = 8, .threads = 2, .cache_capacity = 512});
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    for (int i = 1; i <= 400 && !stop.load(); ++i) {
+      service.swap(std::shared_ptr<const DistanceOracle>(
+          i % 2 == 1 ? o2 : o1));
+    }
+  });
+
+  WorkloadConfig wl;
+  wl.seed = 3;
+  WorkloadGenerator gen(n, wl);
+  std::size_t torn = 0;
+  for (int b = 0; b < 300; ++b) {
+    const auto pairs = gen.batch(64);
+    std::vector<Dist> answers(pairs.size(), static_cast<Dist>(-2));
+    const std::uint64_t generation = service.query_batch(pairs, answers);
+    const DistanceOracle& oracle =
+        generation % 2 == 0 ? static_cast<const DistanceOracle&>(*o1)
+                            : static_cast<const DistanceOracle&>(*o2);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (answers[i] != oracle.query(pairs[i].first, pairs[i].second)) {
+        ++torn;
+      }
+    }
+  }
+  stop.store(true);
+  swapper.join();
+  EXPECT_EQ(torn, 0u);
 }
 
 TEST(QueryService, AutoShardCountScalesWithThreads) {

@@ -1,0 +1,167 @@
+#include "dynamics/update_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "graph/generators.hpp"
+
+namespace dsketch {
+namespace {
+
+Graph base_graph(NodeId n = 64) { return erdos_renyi(n, 0.1, {1, 9}, 11); }
+
+std::uint64_t pair_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+TEST(UpdateStream, SameSeedSameStream) {
+  const Graph g = base_graph();
+  UpdateStreamConfig cfg;
+  cfg.seed = 42;
+  UpdateStream a(g, cfg);
+  UpdateStream b(g, cfg);
+  for (int i = 0; i < 50; ++i) {
+    const EdgeUpdate ua = a.next();
+    const EdgeUpdate ub = b.next();
+    EXPECT_EQ(ua.kind, ub.kind);
+    EXPECT_EQ(ua.u, ub.u);
+    EXPECT_EQ(ua.v, ub.v);
+    EXPECT_EQ(ua.weight, ub.weight);
+    EXPECT_EQ(ua.old_weight, ub.old_weight);
+  }
+  EXPECT_EQ(a.graph().num_edges(), b.graph().num_edges());
+
+  cfg.seed = 43;
+  UpdateStream c(g, cfg);
+  bool any_different = false;
+  UpdateStream a2(g, UpdateStreamConfig{.seed = 42});
+  for (int i = 0; i < 50 && !any_different; ++i) {
+    const EdgeUpdate uc = c.next();
+    const EdgeUpdate ua = a2.next();
+    any_different = uc.kind != ua.kind || uc.u != ua.u || uc.v != ua.v ||
+                    uc.weight != ua.weight;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(UpdateStream, UpdatesAreConsistentWithTheTrackedEdgeSet) {
+  const Graph g = base_graph();
+  std::set<std::uint64_t> edges;
+  std::map<std::uint64_t, Weight> weight;
+  for (const Edge& e : g.edges()) {
+    edges.insert(pair_key(e.u, e.v));
+    weight[pair_key(e.u, e.v)] = e.weight;
+  }
+  UpdateStream stream(g, {.wmin = 1, .wmax = 9, .seed = 3});
+  for (int i = 0; i < 200; ++i) {
+    const EdgeUpdate up = stream.next();
+    const std::uint64_t key = pair_key(up.u, up.v);
+    switch (up.kind) {
+      case UpdateKind::kInsert:
+        EXPECT_EQ(edges.count(key), 0u) << "inserted an existing edge";
+        EXPECT_NE(up.u, up.v);
+        EXPECT_GE(up.weight, 1u);
+        EXPECT_LE(up.weight, 9u);
+        edges.insert(key);
+        weight[key] = up.weight;
+        break;
+      case UpdateKind::kDelete:
+        EXPECT_EQ(edges.count(key), 1u) << "deleted a missing edge";
+        EXPECT_EQ(up.old_weight, weight[key]);
+        edges.erase(key);
+        weight.erase(key);
+        break;
+      case UpdateKind::kReweight:
+        EXPECT_EQ(edges.count(key), 1u) << "reweighted a missing edge";
+        EXPECT_EQ(up.old_weight, weight[key]);
+        EXPECT_NE(up.weight, up.old_weight);
+        weight[key] = up.weight;
+        break;
+    }
+  }
+  // The stream's graph mirrors the tracked set exactly.
+  EXPECT_EQ(stream.graph().num_edges(), edges.size());
+  for (const Edge& e : stream.graph().edges()) {
+    const auto it = weight.find(pair_key(e.u, e.v));
+    ASSERT_NE(it, weight.end());
+    EXPECT_EQ(e.weight, it->second);
+  }
+  EXPECT_EQ(stream.applied(), 200u);
+}
+
+TEST(UpdateStream, GraphStaysConnectedUnderHeavyDeletes) {
+  const Graph g = base_graph(48);
+  UpdateStreamConfig cfg;
+  cfg.insert_weight = 0.1;
+  cfg.delete_weight = 2.0;
+  cfg.reweight_weight = 0.1;
+  cfg.seed = 5;
+  UpdateStream stream(g, cfg);
+  for (int i = 0; i < 100; ++i) {
+    stream.next();
+    if (i % 20 == 19) EXPECT_TRUE(stream.graph().connected());
+  }
+  EXPECT_TRUE(stream.graph().connected());
+}
+
+TEST(UpdateStream, PureMixesProduceOnlyThatKind) {
+  const Graph g = base_graph();
+  UpdateStreamConfig inserts_only;
+  inserts_only.delete_weight = 0;
+  inserts_only.reweight_weight = 0;
+  UpdateStream ins(g, inserts_only);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(ins.next().kind, UpdateKind::kInsert);
+  }
+
+  UpdateStreamConfig reweight_only;
+  reweight_only.insert_weight = 0;
+  reweight_only.delete_weight = 0;
+  UpdateStream rw(g, reweight_only);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(rw.next().kind, UpdateKind::kReweight);
+  }
+}
+
+TEST(UpdateStream, InfeasibleKindFallsThrough) {
+  // A triangle where every edge is load-bearing after one delete: a
+  // delete-only stream must still produce *something* (falling through
+  // to insert/reweight) rather than stalling.
+  const Graph tri = Graph::from_edges(
+      3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}});
+  UpdateStreamConfig cfg;
+  cfg.insert_weight = 0;
+  cfg.delete_weight = 1;
+  cfg.reweight_weight = 0;
+  cfg.wmin = 1;
+  cfg.wmax = 4;
+  UpdateStream stream(tri, cfg);
+  // First delete turns the triangle into a path (both remaining edges
+  // bridges); subsequent updates must fall through, and the graph must
+  // stay connected throughout.
+  for (int i = 0; i < 10; ++i) {
+    stream.next();
+    EXPECT_TRUE(stream.graph().connected());
+  }
+}
+
+TEST(UpdateStream, DistanceDecreaseClassification) {
+  EdgeUpdate insert{UpdateKind::kInsert, 0, 1, 5, 0};
+  EdgeUpdate del{UpdateKind::kDelete, 0, 1, 0, 5};
+  EdgeUpdate down{UpdateKind::kReweight, 0, 1, 2, 5};
+  EdgeUpdate up{UpdateKind::kReweight, 0, 1, 7, 5};
+  EXPECT_TRUE(is_distance_decrease(insert));
+  EXPECT_FALSE(is_distance_decrease(del));
+  EXPECT_TRUE(is_distance_decrease(down));
+  EXPECT_FALSE(is_distance_decrease(up));
+  EXPECT_STREQ(update_kind_name(UpdateKind::kInsert), "insert");
+  EXPECT_STREQ(update_kind_name(UpdateKind::kDelete), "delete");
+  EXPECT_STREQ(update_kind_name(UpdateKind::kReweight), "reweight");
+}
+
+}  // namespace
+}  // namespace dsketch

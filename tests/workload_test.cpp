@@ -101,6 +101,59 @@ TEST(Workload, ZipfHeadDominatesTheStream) {
   EXPECT_GT(counts.front(), 10 * counts[counts.size() / 2]);
 }
 
+TEST(Workload, ZipfUniverseIsDistinctAndSelfPairFree) {
+  // Regression: duplicate draws used to alias two ranks onto one pair
+  // (inflating its mass beyond the configured Zipf) and self pairs
+  // (u, u) could enter the universe.
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadConfig::Kind::kZipf;
+  cfg.hot_pairs = 512;
+  cfg.seed = 77;
+  WorkloadGenerator gen(40, cfg);  // small n forces heavy collision rates
+  const auto& universe = gen.universe();
+  // 40 * 39 = 1560 distinct ordered non-self pairs exist, so the full
+  // request is satisfiable — and must be satisfied exactly.
+  EXPECT_EQ(universe.size(), 512u);
+  std::set<std::pair<NodeId, NodeId>> distinct;
+  for (const auto& [u, v] : universe) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, 40u);
+    EXPECT_LT(v, 40u);
+    distinct.insert({u, v});
+  }
+  EXPECT_EQ(distinct.size(), universe.size());
+
+  // A request beyond the pair space clamps instead of spinning forever.
+  cfg.hot_pairs = 100000;
+  WorkloadGenerator clamped(12, cfg);
+  EXPECT_EQ(clamped.universe().size(), 12u * 11u);
+
+  // Draws stay confined to the universe and never produce self pairs.
+  for (const auto& [u, v] : gen.batch(5000)) EXPECT_NE(u, v);
+}
+
+TEST(Workload, MirrorEmitsBothOrientationsOfHotPairs) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadConfig::Kind::kZipf;
+  cfg.hot_pairs = 16;
+  cfg.mirror = true;
+  cfg.seed = 5;
+  WorkloadGenerator gen(256, cfg);
+  const auto head = gen.universe().front();
+  bool forward = false, reverse = false;
+  for (const auto& p : gen.batch(4000)) {
+    if (p == head) forward = true;
+    if (p.first == head.second && p.second == head.first) reverse = true;
+  }
+  EXPECT_TRUE(forward);
+  EXPECT_TRUE(reverse);
+
+  // Mirroring stays deterministic in the seed.
+  WorkloadGenerator a(256, cfg);
+  WorkloadGenerator b(256, cfg);
+  EXPECT_EQ(a.batch(1000), b.batch(1000));
+}
+
 TEST(Workload, ZipfUniverseIsSeedStable) {
   WorkloadConfig cfg;
   cfg.kind = WorkloadConfig::Kind::kZipf;

@@ -11,6 +11,8 @@
 //   dsketch convert    --in text.sketch --out net.store
 //   dsketch serve-bench --store net.store --workload zipf --batch 1024
 //                 --threads 1,2,4 --shards 8 --cache 4096
+//   dsketch dynamic-bench --n 512 --rounds 6 --updates 8
+//                 --policies stale,count,adaptive,repair
 //   dsketch list-schemes
 //   dsketch repro --manifest bench/manifests/quick.toml [--out-dir DIR]
 //                 [--threads N] [--force] [--list] [--no-report]
@@ -31,6 +33,7 @@
 
 #include "congest/accounting.hpp"
 #include "core/oracle.hpp"
+#include "experiments.hpp"
 #include "core/oracle_registry.hpp"
 #include "exp/corpus_cache.hpp"
 #include "exp/manifest.hpp"
@@ -55,7 +58,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: dsketch "
                "<gen|info|build|query|eval|convert|serve-bench|"
-               "list-schemes|repro>"
+               "dynamic-bench|list-schemes|repro>"
                " [--flags]\n"
                "  gen   --topology er|grid|ring|path|ba|ws|geometric|tree|"
                "isp|ring_chords --n N [--p P] [--m M] [--wmin W --wmax W] "
@@ -75,7 +78,13 @@ int usage() {
                "  serve-bench (--store FILE | --graph FILE --scheme NAME) "
                "[--queries N] [--batch B,B,...] [--threads T,T,...] "
                "[--shards S] [--cache C] [--workload uniform|zipf] "
-               "[--zipf-s S] [--hot-pairs H] [--seed S] [--verify N]\n"
+               "[--zipf-s S] [--hot-pairs H] [--mirror] [--ordered-keys] "
+               "[--seed S] [--verify N]\n"
+               "  dynamic-bench (--graph FILE | --n N) [--k K] [--rounds R] "
+               "[--updates U] [--policies stale,count,adaptive,repair] "
+               "[--budget B] [--unrepaired-budget B] [--rate-threshold T] "
+               "[--batch B] [--cache C] [--seed S]   "
+               "(E14: live refresh under churn, JSON lines)\n"
                "  repro (--manifest FILE | --quick) [--out-dir DIR] "
                "[--corpus-dir DIR] [--threads N] [--force] [--list] "
                "[--no-report] [--report FILE]\n");
@@ -337,6 +346,7 @@ int cmd_serve_bench(const FlagSet& flags) {
   wl.hot_pairs =
       static_cast<std::size_t>(flags.get("hot-pairs", std::int64_t{4096}));
   wl.zipf_s = flags.get("zipf-s", 1.2);
+  wl.mirror = flags.get_bool("mirror");
   wl.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{7}));
 
   const auto queries =
@@ -358,6 +368,9 @@ int cmd_serve_bench(const FlagSet& flags) {
       cfg.shards = static_cast<std::size_t>(shards);
       cfg.threads = static_cast<std::size_t>(threads);
       cfg.cache_capacity = static_cast<std::size_t>(cache);
+      // Debug A/B: measure the hit-rate cost of ordered cache keys on a
+      // symmetric oracle (the pre-canonical-key behavior).
+      cfg.force_ordered_keys = flags.get_bool("ordered-keys");
       QueryService service(*oracle, cfg);
       WorkloadGenerator gen(oracle->num_nodes(), wl);
 
@@ -428,6 +441,7 @@ int cmd_list_schemes() {
     mark(s->caps.exact, "exact");
     mark(s->caps.slack_only, "slack");
     mark(s->caps.supports_paths, "paths");
+    mark(s->caps.symmetric, "sym");
     mark(s->caps.supports_save, "save");
     mark(s->caps.build_cost_available, "cost");
     std::printf("%-10s %-38s %-28s %s\n", s->name.c_str(),
@@ -509,6 +523,9 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(flags);
     if (cmd == "convert") return cmd_convert(flags);
     if (cmd == "serve-bench") return cmd_serve_bench(flags);
+    if (cmd == "dynamic-bench") {
+      return dsketch::bench::run_e14(flags, std::cout);
+    }
     if (cmd == "list-schemes" || cmd == "--list-schemes") {
       return cmd_list_schemes();
     }
