@@ -28,6 +28,7 @@
 #include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "core/oracle_registry.hpp"
+#include "obs_overhead.hpp"
 #include "serve/query_service.hpp"
 #include "serve/sketch_store.hpp"
 #include "serve/workload.hpp"
@@ -223,7 +224,11 @@ int run_e12(const FlagSet& flags, std::ostream& out) {
     }
   }
 
-  // 6. Scaling summary (acceptance: >= 2x on a >= 4-core host when the
+  // 6. Observability cost on this store (see bench/obs_overhead.hpp).
+  emit_obs_overhead_row("e12", store, std::min<std::size_t>(queries, 50000),
+                        out);
+
+  // 7. Scaling summary (acceptance: >= 2x on a >= 4-core host when the
   // sweep spans 1 -> 4 threads).
   row("e12", "thread_scaling")
       .add("threads_lo", static_cast<std::uint64_t>(threads_lo))

@@ -32,8 +32,10 @@
 // --seed.
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +45,9 @@
 #include "dynamics/failure_model.hpp"
 #include "dynamics/incremental.hpp"
 #include "dynamics/update_stream.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+#include "obs_overhead.hpp"
 #include "serve/query_service.hpp"
 #include "serve/workload.hpp"
 
@@ -375,6 +380,15 @@ int run_e14(const FlagSet& flags, std::ostream& out) {
   std::uint64_t torn = 0, unwritten = 0;
   double stale_rate = -1;
   double best_managed_rate = -1;
+  // The whole policy sweep runs under a trace session: the resulting
+  // Chrome trace holds serve_batch / shard_slice / oracle_query spans on
+  // the serving thread interleaved with sketch_rebuild / oracle_swap on
+  // the controller — the hot-swap concurrency, visible. The trace is
+  // then re-parsed and span nesting verified per thread: an overlapping
+  // (non-nested) pair of spans on one thread would mean broken RAII
+  // scopes or a torn timestamp, and fails the run like a torn answer.
+  const std::shared_ptr<obs::TraceSession> trace =
+      obs::TraceSession::start(std::size_t{1} << 19);
   for (const std::string& policy : parse_name_list(flags.get(
            "policies", std::string("stale,count,adaptive,repair")))) {
     const PolicyOutcome outcome =
@@ -388,6 +402,40 @@ int run_e14(const FlagSet& flags, std::ostream& out) {
       best_managed_rate = outcome.mean_violation_rate;
     }
   }
+
+  obs::TraceSession::stop();
+  bool nesting_ok = false;
+  std::string trace_error;
+  std::size_t trace_events = 0;
+  {
+    std::ostringstream trace_json;
+    trace->write_chrome_trace(trace_json);
+    if (flags.has("trace-out")) {
+      const std::string path = flags.get("trace-out", std::string{});
+      std::ofstream f(path);
+      if (!f) throw std::runtime_error("cannot open --trace-out: " + path);
+      f << trace_json.str();
+    }
+    try {
+      const std::vector<obs::ParsedEvent> events =
+          obs::parse_chrome_trace(trace_json.str());
+      trace_events = events.size();
+      trace_error = obs::check_span_nesting(events);
+      nesting_ok = trace_error.empty();
+    } catch (const std::exception& e) {
+      trace_error = e.what();
+    }
+  }
+  row("e14", "trace_check")
+      .add("events", static_cast<std::uint64_t>(trace_events))
+      .add("dropped", trace->dropped())
+      .add("nesting_ok", nesting_ok)
+      .add("error", trace_error)
+      .emit(out);
+
+  // Observability cost under this experiment's oracle (single-threaded
+  // service, no churn — the steady-state floor the policies serve from).
+  emit_obs_overhead_row("e14", *initial, 50000, out);
 
   if (stale_rate >= 0 && best_managed_rate >= 0) {
     row("e14", "policy_comparison")
@@ -403,7 +451,7 @@ int run_e14(const FlagSet& flags, std::ostream& out) {
        "with churn while rebuild/repair policies pull it back after each "
        "refresh; swap latency stays in microseconds, and QPS during a "
        "background rebuild stays within the same order as steady-state.");
-  return torn == 0 && unwritten == 0 ? 0 : 1;
+  return torn == 0 && unwritten == 0 && nesting_ok ? 0 : 1;
 }
 
 }  // namespace dsketch::bench

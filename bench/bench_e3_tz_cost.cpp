@@ -20,6 +20,7 @@ int run_e3(const FlagSet& flags, std::ostream& out) {
   const auto nmax = static_cast<NodeId>(flags.get("nmax", std::int64_t{1024}));
   const auto k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{3}));
 
+  const NodeId breakdown_n = nmax >= 1024 ? 1024 : nmax >= 512 ? 512 : 256;
   for (const NodeId n : {256u, 512u, 1024u}) {
     if (n > nmax) continue;
     const Graph g = erdos_renyi(n, 8.0 / n, {1, 12}, 5);
@@ -45,6 +46,24 @@ int run_e3(const FlagSet& flags, std::ostream& out) {
         .add("rounds_normalized",
              static_cast<double>(oracle.stats.rounds) / denom)
         .emit(out);
+
+    // Labeled per-phase cost of the echo build at the largest n that ran:
+    // termination detection's constant factor, phase by phase.
+    if (n == breakdown_n) {
+      SimStats combined = echo.tree_stats;
+      combined += echo.stats;
+      for (const SimPhase& p : combined.breakdown()) {
+        row("e3", "phase_breakdown")
+            .add("n", static_cast<std::uint64_t>(n))
+            .add("phase", p.label)
+            .add("rounds", p.rounds)
+            .add("messages", p.messages)
+            .add("words", p.words)
+            .add("max_outbox", p.max_outbox)
+            .add("hit_round_limit", p.hit_round_limit)
+            .emit(out);
+      }
+    }
   }
 
   const NodeId nf = std::min<NodeId>(512, nmax);

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "obs/round_log.hpp"
 #include "sketch/density_net.hpp"
 #include "sketch/slack_sketch.hpp"
 
@@ -37,7 +38,16 @@ int run_e4(const FlagSet& flags, std::ostream& out) {
   }
 
   for (const double eps : {0.02, 0.05, 0.1, 0.2, 0.4}) {
-    const auto r = build_slack_sketches(g, eps, 9);
+    // One representative construction (eps = 0.1) streams its per-round
+    // CONGEST telemetry into the row stream: same JSON-lines schema as
+    // every other table, rendered as `congest_rounds` in the report.
+    SimConfig sim_cfg;
+    obs::RoundLog::Options log_opts;
+    log_opts.experiment = "e4";
+    obs::RoundLog round_log(out, log_opts);
+    if (eps == 0.1) sim_cfg.round_log = &round_log;
+    const auto r = build_slack_sketches(g, eps, 9, sim_cfg);
+    round_log.flush();
     const auto report = eval(
         g, gt, [&](NodeId u, NodeId v) { return r.sketches.query(u, v); },
         eps);

@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "core/oracle_registry.hpp"
+#include "obs_overhead.hpp"
 #include "serve/sketch_store.hpp"
 #include "util/rng.hpp"
 
@@ -125,10 +126,21 @@ int run_e7(const FlagSet& flags, std::ostream& out) {
           .emit(out);
     }
   }
+  // Observability cost on the serving path, measured on the packed TZ
+  // store (the representation a deployment queries).
+  {
+    std::unique_ptr<DistanceOracle> oracle =
+        OracleRegistry::instance().build("tz", g, flags);
+    if (SketchStore::packable(*oracle)) {
+      oracle = std::make_unique<SketchStore>(SketchStore::from_oracle(*oracle));
+    }
+    emit_obs_overhead_row("e7", *oracle, queries, out);
+  }
   note(out, "e7",
        "Expected shape: TZ ns/query grows (sub-)linearly in k and stays in "
        "the tens-to-hundreds of ns; the packed store is at least as fast "
-       "as the engine representation.");
+       "as the engine representation. obs_overhead: metrics off vs on vs "
+       "on+tracing should differ by low single-digit percent.");
   return 0;
 }
 

@@ -15,6 +15,7 @@
 #include "congest/bellman_ford.hpp"
 #include "congest/sketch_exchange.hpp"
 #include "core/engine.hpp"
+#include "obs/round_log.hpp"
 #include "sketch/cdg_sketch.hpp"
 #include "sketch/tz_distributed.hpp"
 
@@ -40,11 +41,21 @@ int run_e8(const FlagSet& flags, std::ostream& out) {
                      ring_with_chords(2048, 6144, 1, 60000, 7)});
   }
 
+  // Per-round telemetry of the online BF runs, one phase per topology:
+  // the round count alone hides that message traffic collapses long
+  // before the last (heavy-path) distance settles.
+  obs::RoundLog::Options log_opts;
+  log_opts.experiment = "e8";
+  obs::RoundLog round_log(out, log_opts);
+
   for (auto& t : topos) {
     if (t.g.num_nodes() > nmax) continue;
     const std::uint32_t D = hop_diameter_auto(t.g, 6, 3);
     const std::uint32_t S = sp_diameter_auto(t.g, 6, 3);
-    const SimStats online = online_distance_rounds(t.g, 0);
+    SimConfig online_cfg;
+    online_cfg.phase = "online_bf_" + t.name;
+    online_cfg.round_log = &round_log;
+    const SimStats online = online_distance_rounds(t.g, 0, online_cfg);
 
     // Build labels directly so we can serialize one for the exchange.
     const Hierarchy h = sampled_hierarchy(t.g.num_nodes(), 4, 19);
@@ -74,6 +85,7 @@ int run_e8(const FlagSet& flags, std::ostream& out) {
                                          exchange.stats.rounds))
         .emit(out);
   }
+  round_log.flush();
 
   {
     const Graph g = ring_with_chords(512, 1024, 1, 60000, 7);

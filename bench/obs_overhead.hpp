@@ -1,0 +1,96 @@
+// Shared `obs_overhead` rows: what does observability cost on the
+// serving path?
+//
+// Runs the same pre-generated workload through a QueryService three
+// times — metrics disabled, metrics on (the default), metrics + an
+// active trace session — and reports ns/query for each plus the
+// relative overheads. E7, E12, and E14 each emit one row from their
+// own instance so the claim "observability disabled costs < 1%, enabled
+// stays low single digits" is re-measured wherever latency is the
+// subject. Kept out of bench_common.hpp so the experiments that never
+// touch the serving tier don't pull in its headers.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "obs/trace.hpp"
+#include "serve/query_service.hpp"
+#include "serve/workload.hpp"
+#include "util/json_lines.hpp"
+#include "util/timer.hpp"
+
+namespace dsketch::bench {
+
+/// Best-of-`reps` wall time for one full pass over the batches, in
+/// ns/query. Best-of (not mean) because the question is the code path's
+/// cost, not scheduler noise.
+template <typename RunPass>
+double obs_best_ns_per_query(std::size_t queries, int reps,
+                             const RunPass& run_pass) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    run_pass();
+    const double ns = timer.seconds() * 1e9 / static_cast<double>(queries);
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Emits one `obs_overhead` row for `experiment`, measuring `oracle`
+/// behind a single-threaded, cache-less QueryService (so the timed work
+/// is the instrumented slice path itself, not cache luck or pool
+/// scheduling).
+inline void emit_obs_overhead_row(const std::string& experiment,
+                                  const DistanceOracle& oracle,
+                                  std::size_t queries, std::ostream& out) {
+  WorkloadConfig wl;
+  wl.seed = 23;
+  WorkloadGenerator gen(oracle.num_nodes(), wl);
+  constexpr std::size_t kBatch = 1024;
+  std::vector<std::vector<QueryService::Pair>> batches;
+  for (std::size_t done = 0; done < queries; done += kBatch) {
+    batches.push_back(gen.batch(std::min(kBatch, queries - done)));
+  }
+  std::vector<Dist> answers;
+  const auto pass = [&](QueryService& service) {
+    for (const auto& batch : batches) {
+      answers.assign(batch.size(), 0);
+      service.query_batch(batch, answers);
+    }
+  };
+  const auto measure = [&](bool collect_metrics) {
+    QueryServiceConfig cfg;
+    cfg.threads = 1;
+    cfg.cache_capacity = 0;
+    cfg.collect_metrics = collect_metrics;
+    QueryService service(oracle, cfg);
+    return obs_best_ns_per_query(queries, 3, [&] { pass(service); });
+  };
+
+  const double off_ns = measure(false);
+  const double metrics_ns = measure(true);
+  obs::TraceSession::start(std::size_t{1} << 16);
+  const double trace_ns = measure(true);
+  obs::TraceSession::stop();
+
+  const auto pct = [](double base, double with) {
+    return base <= 0 ? 0.0 : (with - base) / base * 100.0;
+  };
+  JsonLine line;
+  line.add("experiment", experiment)
+      .add("table", "obs_overhead")
+      .add("queries", static_cast<std::uint64_t>(queries))
+      .add("ns_per_query_off", off_ns)
+      .add("ns_per_query_metrics", metrics_ns)
+      .add("ns_per_query_trace", trace_ns)
+      .add("metrics_overhead_pct", pct(off_ns, metrics_ns))
+      .add("trace_overhead_pct", pct(off_ns, trace_ns))
+      .emit(out);
+}
+
+}  // namespace dsketch::bench

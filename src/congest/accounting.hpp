@@ -2,8 +2,24 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace dsketch {
+
+/// One labeled constituent of a merged SimStats. Kept when stats are
+/// summed so composite builds (BFS tree + main run, Voronoi + TZ +
+/// dissemination, ...) can still report which phase cost what — and,
+/// critically, which phase hit the round limit.
+struct SimPhase {
+  std::string label;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  std::uint64_t node_steps = 0;
+  std::uint64_t max_outbox = 0;
+  bool hit_round_limit = false;
+};
 
 struct SimStats {
   std::uint64_t rounds = 0;        ///< synchronous rounds elapsed
@@ -13,7 +29,59 @@ struct SimStats {
   std::uint64_t max_outbox = 0;    ///< peak per-edge queue depth observed
   bool hit_round_limit = false;    ///< run stopped by max_rounds, not quiescence
 
+  /// Phase label of a single run (SimConfig::phase); empty when unset.
+  std::string label;
+  /// Per-phase breakdown accumulated by operator+=. Empty for a single
+  /// un-merged run (use breakdown() for a uniform view).
+  std::vector<SimPhase> phases;
+
+  /// This stats object's own aggregate counters as one phase entry
+  /// (ignores any nested phases).
+  SimPhase as_phase() const {
+    return SimPhase{label.empty() ? "unlabeled" : label,
+                    rounds,
+                    messages,
+                    words,
+                    node_steps,
+                    max_outbox,
+                    hit_round_limit};
+  }
+
+  /// Uniform per-phase view: the recorded breakdown, or this run as a
+  /// single phase.
+  std::vector<SimPhase> breakdown() const {
+    if (!phases.empty()) return phases;
+    return {as_phase()};
+  }
+
+  /// Comma-joined labels of phases that stopped at the round limit
+  /// ("" when none did) — the loud-warning payload for bench output.
+  std::string limited_phases() const {
+    std::string out;
+    for (const SimPhase& p : breakdown()) {
+      if (!p.hit_round_limit) continue;
+      if (!out.empty()) out += ",";
+      out += p.label;
+    }
+    return out;
+  }
+
+  /// True when nothing ran: merging such a stats object must not leave
+  /// an all-zero "unlabeled" entry in the phase breakdown.
+  bool empty() const {
+    return rounds == 0 && messages == 0 && words == 0 && node_steps == 0 &&
+           phases.empty();
+  }
+
   SimStats& operator+=(const SimStats& o) {
+    // Preserve the labeled breakdown before summing the aggregates.
+    // (The copy also makes self-addition safe.)
+    const std::vector<SimPhase> add = o.empty() ? std::vector<SimPhase>{}
+                                                : o.breakdown();
+    if (phases.empty() && !add.empty() && !empty()) {
+      phases.push_back(as_phase());
+    }
+    phases.insert(phases.end(), add.begin(), add.end());
     rounds += o.rounds;
     messages += o.messages;
     words += o.words;

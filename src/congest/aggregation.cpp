@@ -105,6 +105,7 @@ AggregateResult tree_aggregate(const Graph& g, const BfsTree& tree,
                                const std::vector<Word>& values,
                                AggregateOp op, SimConfig cfg) {
   DS_CHECK(op == AggregateOp::kCount || values.size() == g.num_nodes());
+  if (cfg.phase.empty()) cfg.phase = "aggregation";
   std::vector<Word> padded = values;
   if (op == AggregateOp::kCount) padded.assign(g.num_nodes(), 1);
   AggregateProtocol protocol(tree, padded, op);

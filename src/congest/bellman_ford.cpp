@@ -163,6 +163,7 @@ class SuperSourceBfProtocol : public Protocol {
 MultiSourceBfResult run_multi_source_bf(const Graph& g,
                                         const std::vector<NodeId>& sources,
                                         SimConfig cfg) {
+  if (cfg.phase.empty()) cfg.phase = "bf_multi_source";
   MultiSourceBfProtocol protocol(g.num_nodes(), sources);
   Simulator sim(g, protocol, cfg);
   MultiSourceBfResult result;
@@ -175,6 +176,7 @@ MultiSourceBfResult run_multi_source_bf(const Graph& g,
 SuperSourceBfResult run_super_source_bf(const Graph& g,
                                         const std::vector<NodeId>& sources,
                                         SimConfig cfg) {
+  if (cfg.phase.empty()) cfg.phase = "bellman_ford";
   SuperSourceBfProtocol protocol(g.num_nodes(), sources);
   Simulator sim(g, protocol, cfg);
   const SimStats stats = sim.run();

@@ -98,6 +98,7 @@ BfsTree BfsTreeProtocol::take_result() {
 }
 
 BfsTreeRun build_bfs_tree(const Graph& g, SimConfig cfg) {
+  if (cfg.phase.empty()) cfg.phase = "bfs_tree";
   BfsTreeProtocol protocol(g.num_nodes());
   Simulator sim(g, protocol, cfg);
   BfsTreeRun run;

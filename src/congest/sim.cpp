@@ -45,6 +45,8 @@ Simulator::Simulator(const Graph& graph, Protocol& protocol, SimConfig cfg)
   start_pending_.assign(n, 0);
   in_active_list_.assign(n, 0);
   edge_busy_flag_.assign(half_edges, 0);
+  stats_.label = cfg_.phase;
+  if (cfg_.round_log != nullptr) cfg_.round_log->begin_phase(cfg_.phase);
 
   // Twin resolution: half-edge (u, s) with neighbor v maps to the matching
   // slot of u in v's adjacency. Adjacencies are sorted by (to, weight), so
@@ -134,11 +136,20 @@ SimStats Simulator::run() {
       stats_.hit_round_limit = true;
       break;
     }
+    const std::uint64_t active_nodes = active_.size();
+    const std::uint64_t prev_messages = stats_.messages;
+    const std::uint64_t prev_words = stats_.words;
     step_active_nodes();
     deliver();
+    if (cfg_.round_log != nullptr) {
+      cfg_.round_log->record(obs::RoundSample{
+          round_, stats_.messages - prev_messages, stats_.words - prev_words,
+          active_nodes, stats_.max_outbox});
+    }
     ++round_;
     stats_.rounds = round_;
   }
+  if (cfg_.round_log != nullptr) cfg_.round_log->flush();
   return stats_;
 }
 

@@ -22,8 +22,10 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/round_log.hpp"
 #include "util/rng.hpp"
 
 #include "congest/accounting.hpp"
@@ -46,6 +48,15 @@ struct SimConfig {
   /// Deterministic for a fixed seed and protocol.
   std::uint32_t async_max_delay = 1;
   std::uint64_t async_seed = 0x5eedULL;
+
+  /// Observability: labels this run in SimStats (phase breakdowns,
+  /// round-limit warnings) and in per-round telemetry. Builders set a
+  /// default when the caller left it empty.
+  std::string phase;
+  /// When non-null, the simulator reports one RoundSample per executed
+  /// round (fast-forwarded idle rounds emit nothing). Not owned; must
+  /// outlive run().
+  obs::RoundLog* round_log = nullptr;
 };
 
 class Simulator {

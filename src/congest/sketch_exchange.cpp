@@ -124,6 +124,7 @@ SketchExchangeResult exchange_sketch(const Graph& g, NodeId requester,
                                      const std::vector<Word>& payload,
                                      SimConfig cfg) {
   DS_CHECK(requester < g.num_nodes() && responder < g.num_nodes());
+  if (cfg.phase.empty()) cfg.phase = "sketch_exchange";
   ExchangeProtocol protocol(g.num_nodes(), requester, responder, payload);
   Simulator sim(g, protocol, cfg);
   SketchExchangeResult result;

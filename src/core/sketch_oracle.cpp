@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/serialization.hpp"
+#include "obs/trace.hpp"
 #include "sketch/hierarchy.hpp"
 #include "util/assert.hpp"
 
@@ -25,8 +26,11 @@ BuildConfig sketch_build_config(Scheme scheme, const FlagSet& flags) {
 
 SketchOracle::SketchOracle(const Graph& g, const BuildConfig& config)
     : config_(config), n_(g.num_nodes()) {
+  const obs::Span build_span("sketch_oracle_build",
+                             static_cast<std::uint64_t>(n_));
   switch (config.scheme) {
     case Scheme::kThorupZwick: {
+      const obs::Span span("build_tz_distributed");
       // Resample until the top level is populated (whp on the first try).
       Hierarchy h = Hierarchy::sample(g.num_nodes(), config.k, config.seed);
       for (std::uint64_t bump = 1; !h.top_level_nonempty(); ++bump) {
@@ -40,6 +44,7 @@ SketchOracle::SketchOracle(const Graph& g, const BuildConfig& config)
       break;
     }
     case Scheme::kSlack: {
+      const obs::Span span("build_slack_sketches");
       SlackSketchResult r =
           build_slack_sketches(g, config.epsilon, config.seed, config.sim);
       cost_ = r.stats;
@@ -47,6 +52,7 @@ SketchOracle::SketchOracle(const Graph& g, const BuildConfig& config)
       break;
     }
     case Scheme::kCdg: {
+      const obs::Span span("build_cdg_sketches");
       CdgConfig cdg;
       cdg.epsilon = config.epsilon;
       cdg.k = config.k;
@@ -58,6 +64,7 @@ SketchOracle::SketchOracle(const Graph& g, const BuildConfig& config)
       break;
     }
     case Scheme::kGraceful: {
+      const obs::Span span("build_graceful_sketches");
       GracefulConfig gc;
       gc.seed = config.seed;
       gc.termination = config.termination;

@@ -5,6 +5,7 @@
 
 #include "core/sketch_oracle.hpp"
 #include "dynamics/failure_model.hpp"
+#include "obs/trace.hpp"
 #include "sketch/hierarchy.hpp"
 #include "sketch/tz_centralized.hpp"
 #include "util/assert.hpp"
@@ -89,12 +90,14 @@ std::size_t TzDynamicSketch::explore(const Graph& g, NodeId source,
 }
 
 bool TzDynamicSketch::apply(const Graph& updated, const EdgeUpdate& update) {
+  const obs::Span apply_span("churn_apply");
   ++stats_.updates_seen;
   if (!is_distance_decrease(update)) {
     ++stats_.unrepairable;
     ++unrepaired_;
     return false;
   }
+  const obs::Span repair_span("incremental_repair");
   DS_CHECK(updated.num_nodes() == labels_.size());
   const Dist we = update.weight;
   stats_.nodes_explored += explore(updated, update.u, dist_a_);
@@ -140,6 +143,7 @@ bool TzDynamicSketch::apply(const Graph& updated, const EdgeUpdate& update) {
 
 void TzDynamicSketch::rebuild(const Graph& g, std::uint64_t seed,
                               ThreadPool* pool) {
+  const obs::Span span("sketch_rebuild");
   build_labels(g, seed, pool);
   unrepaired_ = 0;
   ++stats_.rebuilds;

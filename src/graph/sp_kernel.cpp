@@ -1,5 +1,7 @@
 #include "graph/sp_kernel.hpp"
 
+#include "obs/trace.hpp"
+
 namespace dsketch {
 namespace {
 
@@ -96,6 +98,7 @@ SpWorkspace& thread_workspace() {
 
 void sp_dijkstra(const Graph& g, NodeId source, SpWorkspace& ws,
                  SpEngine engine) {
+  const obs::Span span("sp_dijkstra");
   ws.prepare(g.num_nodes());
   DistPolicy policy{ws};
   const NodeId src[1] = {source};
@@ -104,6 +107,8 @@ void sp_dijkstra(const Graph& g, NodeId source, SpWorkspace& ws,
 
 void sp_multi_source(const Graph& g, std::span<const NodeId> sources,
                      SpWorkspace& ws, SpEngine engine) {
+  const obs::Span span("sp_multi_source",
+                       static_cast<std::uint64_t>(sources.size()));
   ws.prepare(g.num_nodes());
   ws.ensure_owner();
   OwnerPolicy policy{ws};

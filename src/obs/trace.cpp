@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace dsketch::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The installed session, behind a plain mutex. A mutex (rather than
+// std::atomic<shared_ptr>) because libstdc++'s atomic shared_ptr guards
+// its pointer with an embedded spinlock TSan cannot see through, so the
+// sanitizer job would flag every start()/active() pair; the lock is only
+// taken when tracing is enabled (the disabled fast path never gets
+// here), and enabled spans already serialize on the event-buffer mutex.
+// Function-local static so instrumented code in other translation units
+// is safe during static init/teardown.
+struct ActiveSlot {
+  std::mutex mu;
+  std::shared_ptr<TraceSession> session;
+};
+
+ActiveSlot& active_slot() {
+  static ActiveSlot slot;
+  return slot;
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::atomic<bool> TraceSession::enabled_flag_{false};
+
+TraceSession::TraceSession(std::size_t max_events)
+    : max_events_(max_events), epoch_ns_(steady_ns()) {
+  events_.reserve(max_events_ < 4096 ? max_events_ : 4096);
+}
+
+std::shared_ptr<TraceSession> TraceSession::start(std::size_t max_events) {
+  auto session = std::make_shared<TraceSession>(max_events);
+  ActiveSlot& slot = active_slot();
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.session = session;
+  }
+  enabled_flag_.store(true, std::memory_order_relaxed);
+  return session;
+}
+
+std::shared_ptr<TraceSession> TraceSession::stop() {
+  enabled_flag_.store(false, std::memory_order_relaxed);
+  ActiveSlot& slot = active_slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return std::move(slot.session);
+}
+
+std::shared_ptr<TraceSession> TraceSession::active() {
+  if (!enabled()) return nullptr;
+  ActiveSlot& slot = active_slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.session;
+}
+
+std::uint64_t TraceSession::now_ns() const {
+  const std::uint64_t now = steady_ns();
+  return now > epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+std::uint32_t TraceSession::thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceSession::add_event(const Event& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(ev);
+}
+
+void TraceSession::add_complete(const char* name, std::uint64_t start_ns,
+                                std::uint64_t dur_ns, std::uint64_t value,
+                                bool has_value) {
+  add_event(Event{name, start_ns, dur_ns, value, thread_id(), 'X',
+                  has_value});
+}
+
+void TraceSession::add_counter(const char* name, std::uint64_t value) {
+  add_event(Event{name, now_ns(), 0, value, thread_id(), 'C', true});
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSession::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const Event& ev : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json_escape(ev.name)
+        << "\",\"cat\":\"dsketch\",\"ph\":\"" << ev.phase
+        << "\",\"pid\":1,\"tid\":" << ev.tid;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ev.start_ns) / 1000.0);
+    out << ",\"ts\":" << buf;
+    if (ev.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(ev.dur_ns) / 1000.0);
+      out << ",\"dur\":" << buf;
+    }
+    if (ev.phase == 'C') {
+      out << ",\"args\":{\"value\":" << ev.value << "}";
+    } else if (ev.has_value) {
+      out << ",\"args\":{\"v\":" << ev.value << "}";
+    }
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+void Span::open(const char* name, std::uint64_t value, bool has_value) {
+  session_ = TraceSession::active();
+  if (!session_) return;
+  name_ = name;
+  value_ = value;
+  has_value_ = has_value;
+  start_ns_ = session_->now_ns();
+}
+
+void Span::close() {
+  const std::uint64_t end = session_->now_ns();
+  session_->add_complete(name_, start_ns_,
+                         end > start_ns_ ? end - start_ns_ : 0, value_,
+                         has_value_);
+  session_.reset();
+}
+
+void trace_counter(const char* name, std::uint64_t value) {
+  if (!TraceSession::enabled()) return;
+  const std::shared_ptr<TraceSession> s = TraceSession::active();
+  if (s) s->add_counter(name, value);
+}
+
+}  // namespace dsketch::obs

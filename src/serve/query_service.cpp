@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -15,6 +16,7 @@ QueryService::QueryService(std::shared_ptr<const DistanceOracle> oracle,
                            QueryServiceConfig cfg)
     : slot_(std::move(oracle)),
       force_ordered_keys_(cfg.force_ordered_keys),
+      collect_metrics_(cfg.collect_metrics),
       pool_(cfg.threads) {
   if (cfg.shards == 0) {
     // Enough shards that the pool's serial-fallback threshold
@@ -43,6 +45,8 @@ void QueryService::run_shard(Shard& shard, const OracleSnapshot& snap,
     }
     shard.cache_generation = snap.generation;
   }
+  const obs::Span slice_span("shard_slice",
+                             static_cast<std::uint64_t>(shard.slice.size()));
   Timer timer;
   for (const std::uint32_t i : shard.slice) {
     const auto [u, v] = pairs[i];
@@ -54,16 +58,19 @@ void QueryService::run_shard(Shard& shard, const OracleSnapshot& snap,
       out[i] = *hit;
       continue;
     }
+    const obs::Span query_span("oracle_query");
     const Dist d = snap.oracle->query(u, v);
     shard.cache.put(key, d);
     out[i] = d;
   }
-  shard.slice_latency_us.add(timer.seconds() * 1e6);
+  if (collect_metrics_) shard.slice_latency_us.record(timer.seconds() * 1e6);
 }
 
 std::uint64_t QueryService::query_batch(std::span<const Pair> pairs,
                                         std::span<Dist> out) {
   DS_CHECK(pairs.size() == out.size());
+  const obs::Span batch_span("serve_batch",
+                             static_cast<std::uint64_t>(pairs.size()));
   Timer timer;
   // Pin one snapshot for the whole batch: every pair is answered by the
   // same oracle generation even if swap() lands mid-batch.
@@ -96,6 +103,7 @@ Dist QueryService::query(NodeId u, NodeId v) {
 
 std::uint64_t QueryService::swap(
     std::shared_ptr<const DistanceOracle> next) {
+  const obs::Span swap_span("oracle_swap");
   const std::uint64_t generation = slot_.store(std::move(next));
   swaps_.fetch_add(1, std::memory_order_relaxed);
   return generation;
@@ -103,7 +111,7 @@ std::uint64_t QueryService::swap(
 
 QueryServiceStats QueryService::stats() const {
   QueryServiceStats s;
-  SampleSet latencies;
+  obs::LatencyHistogram latencies;
   for (const Shard& shard : shards_) {
     s.queries += shard.queries;
     s.cache_hits += shard.cache_hits;
@@ -121,9 +129,9 @@ QueryServiceStats QueryService::stats() const {
                    ? static_cast<double>(s.cache_hits) /
                          static_cast<double>(s.queries)
                    : 0;
-  const Summary latency = latencies.summary();
-  s.p50_shard_batch_us = latency.p50;
-  s.p99_shard_batch_us = latency.p99;
+  s.slice_latency_us = latencies.summary();
+  s.p50_shard_batch_us = s.slice_latency_us.p50;
+  s.p99_shard_batch_us = s.slice_latency_us.p99;
   return s;
 }
 
@@ -132,11 +140,28 @@ void QueryService::reset_stats() {
     shard.queries = 0;
     shard.cache_hits = 0;
     shard.invalidations = 0;
-    shard.slice_latency_us = SampleSet();
+    shard.slice_latency_us.reset();
   }
   batches_ = 0;
   swaps_.store(0, std::memory_order_relaxed);
   wall_seconds_ = 0;
+}
+
+void QueryService::export_metrics(obs::MetricsRegistry& registry) const {
+  const QueryServiceStats s = stats();
+  registry.counter("serve_queries_total").set(s.queries);
+  registry.counter("serve_cache_hits_total").set(s.cache_hits);
+  registry.counter("serve_batches_total").set(s.batches);
+  registry.counter("serve_swaps_total").set(s.swaps);
+  registry.counter("serve_cache_invalidations_total")
+      .set(s.cache_invalidations);
+  registry.gauge("serve_generation").set(static_cast<double>(s.generation));
+  registry.gauge("serve_wall_seconds").set(s.wall_seconds);
+  registry.gauge("serve_qps").set(s.qps);
+  registry.gauge("serve_hit_rate").set(s.hit_rate);
+  obs::LatencyHistogram& h = registry.histogram("serve_shard_slice_us");
+  h.reset();
+  for (const Shard& shard : shards_) h.merge(shard.slice_latency_us);
 }
 
 }  // namespace dsketch

@@ -10,6 +10,7 @@
 
 #include "core/serialization.hpp"
 #include "core/sketch_oracle.hpp"
+#include "obs/trace.hpp"
 #include "sketch/cdg_sketch.hpp"
 #include "sketch/graceful_sketch.hpp"
 #include "sketch/slack_sketch.hpp"
@@ -216,6 +217,7 @@ bool SketchStore::packable(const DistanceOracle& oracle) {
 }
 
 SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
+  const obs::Span span("store_from_oracle");
   // Re-packing a store is a copy: it already is the packed representation.
   if (const auto* packed = dynamic_cast<const SketchStore*>(&oracle)) {
     return *packed;
@@ -464,6 +466,7 @@ Capabilities SketchStore::capabilities() const {
 // ---- binary round trip ------------------------------------------------------
 
 void SketchStore::write(std::ostream& out) const {
+  const obs::Span span("store_write");
   ByteWriter payload;
   for (const Segment& seg : segments_) {
     payload.u64(seg.meta.size());
@@ -494,6 +497,7 @@ void SketchStore::write(std::ostream& out) const {
 }
 
 SketchStore SketchStore::read(std::istream& in) {
+  const obs::Span span("store_read");
   char magic[8];
   if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
     throw std::runtime_error("sketch store: bad magic");

@@ -167,7 +167,11 @@ CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
   result.net = sample_density_net(n, config.epsilon, config.seed);
 
   // Step 2: Voronoi decomposition around the net.
-  SuperSourceBfResult voronoi = run_super_source_bf(g, result.net, sim_cfg);
+  // Per-step phase labels (kept if the caller supplied one of its own).
+  const bool custom_phase = !sim_cfg.phase.empty();
+  SimConfig step_cfg = sim_cfg;
+  if (!custom_phase) step_cfg.phase = "cdg_voronoi";
+  SuperSourceBfResult voronoi = run_super_source_bf(g, result.net, step_cfg);
   result.voronoi_stats = voronoi.stats;
 
   // Step 3: Thorup-Zwick on the net. The level-sampling probability is
@@ -195,8 +199,9 @@ CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
     }
   }
   result.k_used = k;
+  if (!custom_phase) step_cfg.phase = "cdg_tz";
   TzDistributedResult tz =
-      build_tz_distributed(g, hierarchy, config.termination, sim_cfg);
+      build_tz_distributed(g, hierarchy, config.termination, step_cfg);
   result.tz_stats = tz.stats;
   result.tz_stats += tz.tree_stats;
 
@@ -206,7 +211,8 @@ CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
     payloads[w] = serialize_label(tz.labels[w]);
   }
   LabelDisseminationProtocol dissemination(voronoi, payloads);
-  Simulator sim(g, dissemination, sim_cfg);
+  if (!custom_phase) step_cfg.phase = "cdg_dissemination";
+  Simulator sim(g, dissemination, step_cfg);
   result.dissemination_stats = sim.run();
   DS_CHECK(!result.dissemination_stats.hit_round_limit);
   DS_CHECK_MSG(dissemination.complete(),

@@ -22,6 +22,7 @@ SlackSketchResult build_slack_sketches(const Graph& g, double epsilon,
                                        std::uint64_t seed, SimConfig cfg) {
   const NodeId n = g.num_nodes();
   std::vector<NodeId> net = sample_density_net(n, epsilon, seed);
+  if (cfg.phase.empty()) cfg.phase = "slack_net_bf";
   MultiSourceBfResult bf = run_multi_source_bf(g, net, cfg);
 
   std::vector<std::vector<Dist>> dist(n, std::vector<Dist>(net.size(), kInfDist));

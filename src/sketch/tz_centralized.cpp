@@ -3,12 +3,14 @@
 #include <utility>
 
 #include "graph/sp_kernel.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace dsketch {
 
 LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy,
                                ThreadPool* pool) {
+  const obs::Span span("tz_level_gates");
   ThreadPool& tp = pool != nullptr ? *pool : global_pool();
   const std::uint32_t k = hierarchy.k();
   LevelGates out;
@@ -32,6 +34,7 @@ LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy,
 std::vector<TzLabel> build_tz_centralized(const Graph& g,
                                           const Hierarchy& hierarchy,
                                           ThreadPool* pool) {
+  const obs::Span build_span("tz_centralized_build");
   ThreadPool& tp = pool != nullptr ? *pool : global_pool();
   const std::uint32_t k = hierarchy.k();
   const NodeId n = g.num_nodes();
@@ -66,19 +69,24 @@ std::vector<TzLabel> build_tz_centralized(const Graph& g,
     }
   }
   std::vector<std::vector<std::pair<NodeId, Dist>>> grown(jobs.size());
-  tp.for_each_dynamic(jobs.size(), [&](std::size_t, std::size_t j) {
-    const auto [level, w] = jobs[j];
-    const std::vector<DistKey>* next_gate =
-        level + 1 < k ? &gates.gate[level + 1] : nullptr;
-    std::vector<std::pair<NodeId, Dist>>& members = grown[j];
-    sp_pruned_dijkstra(g, w, thread_workspace(), [&](NodeId x, Dist d) {
-      if (next_gate != nullptr && !(DistKey{d, w} < (*next_gate)[x])) {
-        return false;
-      }
-      members.emplace_back(x, d);
-      return true;
+  {
+    const obs::Span grow_span("tz_cluster_growth",
+                              static_cast<std::uint64_t>(jobs.size()));
+    tp.for_each_dynamic(jobs.size(), [&](std::size_t, std::size_t j) {
+      const auto [level, w] = jobs[j];
+      const std::vector<DistKey>* next_gate =
+          level + 1 < k ? &gates.gate[level + 1] : nullptr;
+      std::vector<std::pair<NodeId, Dist>>& members = grown[j];
+      sp_pruned_dijkstra(g, w, thread_workspace(), [&](NodeId x, Dist d) {
+        if (next_gate != nullptr && !(DistKey{d, w} < (*next_gate)[x])) {
+          return false;
+        }
+        members.emplace_back(x, d);
+        return true;
+      });
     });
-  });
+  }
+  const obs::Span merge_span("tz_bunch_merge");
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     for (const auto& [x, d] : grown[j]) {
       labels[x].add_bunch_entry(BunchEntry{jobs[j].source, jobs[j].level, d});

@@ -418,6 +418,7 @@ TzDistributedResult build_tz_distributed(const Graph& g,
   TzProtocol protocol(g, hierarchy, mode,
                       mode == TerminationMode::kEcho ? &tree : nullptr,
                       eager_send, phase_len);
+  if (cfg.phase.empty()) cfg.phase = "tz_construction";
   Simulator sim(g, protocol, cfg);
   result.stats = sim.run();
   DS_CHECK_MSG(!result.stats.hit_round_limit,

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "congest/bellman_ford.hpp"
+#include "graph/generators.hpp"
+#include "obs/round_log.hpp"
+#include "sketch/cdg_sketch.hpp"
+
+namespace dsketch {
+namespace {
+
+using obs::RoundLog;
+using obs::RoundSample;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Extracts an integer field from a JSON line ("key":123).
+std::uint64_t field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+  if (pos == std::string::npos) return 0;
+  return std::stoull(line.substr(pos + needle.size()));
+}
+
+TEST(RoundLog, OneLinePerRoundUnderBudget) {
+  std::ostringstream out;
+  RoundLog log(out);
+  log.begin_phase("p");
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    log.record(RoundSample{r, 10 * (r + 1), 30 * (r + 1), 100 - r, r});
+  }
+  log.flush();
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(log.lines_emitted(), 5u);
+  EXPECT_NE(lines[0].find("\"experiment\":\"congest\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"table\":\"congest_rounds\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"phase\":\"p\""), std::string::npos);
+  EXPECT_EQ(field(lines[2], "round"), 2u);
+  EXPECT_EQ(field(lines[2], "messages"), 30u);
+  EXPECT_EQ(field(lines[2], "rounds_in_window"), 1u);
+}
+
+TEST(RoundLog, StrideDoublingBoundsLinesWithoutLosingTotals) {
+  std::ostringstream out;
+  RoundLog::Options opts;
+  opts.max_lines_per_phase = 8;
+  RoundLog log(out, opts);
+  log.begin_phase("long");
+  constexpr std::uint64_t kRounds = 10000;
+  std::uint64_t sent_messages = 0;
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    log.record(RoundSample{r, r % 7, 3 * (r % 7), 1, 1});
+    sent_messages += r % 7;
+  }
+  log.flush();
+  const auto lines = lines_of(out.str());
+  // Budget 8 with doubling stride: O(budget * log(rounds)) lines, far
+  // below one per round but never zero.
+  EXPECT_LE(lines.size(), 8u * 15u);
+  EXPECT_GE(lines.size(), 8u);
+  // No data loss: window sums cover every round and every message.
+  std::uint64_t covered_rounds = 0;
+  std::uint64_t covered_messages = 0;
+  std::uint64_t next_round = 0;
+  for (const std::string& line : lines) {
+    EXPECT_EQ(field(line, "round"), next_round) << "gap before " << line;
+    next_round = field(line, "round_end") + 1;
+    covered_rounds += field(line, "rounds_in_window");
+    covered_messages += field(line, "messages");
+  }
+  EXPECT_EQ(covered_rounds, kRounds);
+  EXPECT_EQ(covered_messages, sent_messages);
+}
+
+TEST(RoundLog, BeginPhaseResetsStrideAndFlushesWindow) {
+  std::ostringstream out;
+  RoundLog::Options opts;
+  opts.experiment = "e99";
+  opts.table = "rounds";
+  opts.max_lines_per_phase = 4;
+  RoundLog log(out, opts);
+  log.begin_phase("a");
+  for (std::uint64_t r = 0; r < 32; ++r) {
+    log.record(RoundSample{r, 1, 1, 1, 1});
+  }
+  log.begin_phase("b");  // implicit flush of a's partial window
+  log.record(RoundSample{0, 5, 5, 5, 5});
+  log.flush();
+  const auto lines = lines_of(out.str());
+  ASSERT_GE(lines.size(), 2u);
+  // Phase b starts back at stride 1: its first line is a 1-round window.
+  const std::string& last = lines.back();
+  EXPECT_NE(last.find("\"phase\":\"b\""), std::string::npos);
+  EXPECT_NE(last.find("\"experiment\":\"e99\""), std::string::npos);
+  EXPECT_NE(last.find("\"table\":\"rounds\""), std::string::npos);
+  EXPECT_EQ(field(last, "rounds_in_window"), 1u);
+  EXPECT_EQ(field(last, "messages"), 5u);
+  // Every phase-a round is covered despite the phase switch.
+  std::uint64_t a_rounds = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"phase\":\"a\"") != std::string::npos) {
+      a_rounds += field(line, "rounds_in_window");
+    }
+  }
+  EXPECT_EQ(a_rounds, 32u);
+}
+
+TEST(RoundLog, SimulatorStreamsRealRoundsThatSumToStats) {
+  // A real CONGEST run: per-round message deltas must sum to the run's
+  // aggregate SimStats, and the phase label must flow from SimConfig.
+  const Graph g = erdos_renyi(128, 0.05, {1, 8}, 11);
+  std::ostringstream out;
+  RoundLog log(out);
+  SimConfig cfg;
+  cfg.phase = "bf_test";
+  cfg.round_log = &log;
+  const SuperSourceBfResult bf = run_super_source_bf(g, {0, 5, 9}, cfg);
+  log.flush();
+
+  const auto lines = lines_of(out.str());
+  ASSERT_FALSE(lines.empty());
+  std::uint64_t messages = 0, words = 0, rounds = 0;
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"phase\":\"bf_test\""), std::string::npos);
+    messages += field(line, "messages");
+    words += field(line, "words");
+    rounds += field(line, "rounds_in_window");
+  }
+  EXPECT_EQ(messages, bf.stats.messages);
+  EXPECT_EQ(words, bf.stats.words);
+  EXPECT_EQ(rounds, bf.stats.rounds);
+}
+
+TEST(SimStats, PhaseBreakdownSurvivesMerging) {
+  SimStats a;
+  a.label = "first";
+  a.rounds = 10;
+  a.messages = 100;
+  a.words = 300;
+  SimStats b;
+  b.label = "second";
+  b.rounds = 4;
+  b.messages = 40;
+  b.words = 120;
+  b.hit_round_limit = true;
+  SimStats total = a;
+  total += b;
+  EXPECT_EQ(total.rounds, 14u);
+  EXPECT_TRUE(total.hit_round_limit);
+  const std::vector<SimPhase> phases = total.breakdown();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].label, "first");
+  EXPECT_EQ(phases[1].label, "second");
+  EXPECT_FALSE(phases[0].hit_round_limit);
+  EXPECT_TRUE(phases[1].hit_round_limit);
+  EXPECT_EQ(total.limited_phases(), "second");
+
+  // Merging an empty stats object must not pollute the breakdown.
+  total += SimStats{};
+  EXPECT_EQ(total.breakdown().size(), 2u);
+
+  // Self-addition stays safe and doubles every phase.
+  SimStats doubled = total;
+  doubled += doubled;
+  EXPECT_EQ(doubled.rounds, 28u);
+  EXPECT_EQ(doubled.breakdown().size(), 4u);
+}
+
+TEST(SimStats, CdgBuildCarriesLabeledPhases) {
+  // The CDG pipeline labels its three sub-runs; summing them yields a
+  // breakdown with each phase present exactly once.
+  const Graph g = erdos_renyi(96, 0.06, {1, 6}, 13);
+  CdgConfig config;
+  config.k = 2;
+  config.epsilon = 0.3;
+  config.seed = 5;
+  const CdgBuildResult r = build_cdg_sketches(g, config);
+  SimStats total = r.voronoi_stats;
+  total += r.tz_stats;
+  total += r.dissemination_stats;
+  std::vector<std::string> labels;
+  for (const SimPhase& p : total.breakdown()) labels.push_back(p.label);
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "cdg_voronoi"),
+            labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "cdg_dissemination"),
+            labels.end());
+  for (const std::string& l : labels) {
+    EXPECT_NE(l, "unlabeled") << "an empty-label phase leaked through";
+  }
+}
+
+}  // namespace
+}  // namespace dsketch

@@ -11,6 +11,8 @@
 //   dsketch convert    --in text.sketch --out net.store
 //   dsketch serve-bench --store net.store --workload zipf --batch 1024
 //                 --threads 1,2,4 --shards 8 --cache 4096
+//                 [--metrics-out m.json] [--trace-out t.json]
+//   dsketch metrics-dump --store net.store --format prom
 //   dsketch dynamic-bench --n 512 --rounds 6 --updates 8
 //                 --policies stale,count,adaptive,repair
 //   dsketch list-schemes
@@ -35,6 +37,10 @@
 #include "core/oracle.hpp"
 #include "experiments.hpp"
 #include "core/oracle_registry.hpp"
+#include "core/sketch_oracle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/round_log.hpp"
+#include "obs/trace.hpp"
 #include "exp/corpus_cache.hpp"
 #include "exp/manifest.hpp"
 #include "exp/report.hpp"
@@ -66,7 +72,8 @@ int usage() {
                "  info  --graph FILE [--exact-diameters]\n"
                "  build --graph FILE --scheme NAME [--k K] "
                "[--epsilon E] [--echo|--known-s] [--async DMAX] [--seed S] "
-               "[--landmarks L] [--save FILE] [--store FILE]\n"
+               "[--landmarks L] [--save FILE] [--store FILE] "
+               "[--round-log FILE]\n"
                "  query --graph FILE --scheme NAME --pairs u:v,u:v [--exact] "
                "[--load FILE]\n"
                "  eval  --graph FILE --scheme NAME [--sources N] "
@@ -79,7 +86,11 @@ int usage() {
                "[--queries N] [--batch B,B,...] [--threads T,T,...] "
                "[--shards S] [--cache C] [--workload uniform|zipf] "
                "[--zipf-s S] [--hot-pairs H] [--mirror] [--ordered-keys] "
-               "[--seed S] [--verify N]\n"
+               "[--seed S] [--verify N] [--metrics-out FILE] "
+               "[--trace-out FILE]\n"
+               "  metrics-dump (--store FILE | --graph FILE --scheme NAME) "
+               "[--queries N] [--batch B] [--format prom|json]   "
+               "(runs a short workload, prints the metrics registry)\n"
                "  dynamic-bench (--graph FILE | --n N) [--k K] [--rounds R] "
                "[--updates U] [--policies stale,count,adaptive,repair] "
                "[--budget B] [--unrepaired-budget B] [--rate-threshold T] "
@@ -132,36 +143,104 @@ int cmd_info(const FlagSet& flags) {
   return 0;
 }
 
-int cmd_build(const FlagSet& flags) {
-  const Graph g = read_graph_file(flags.require("graph"));
-  const std::unique_ptr<DistanceOracle> oracle = build_oracle(g, flags);
+/// Prints a loud, unmissable warning when a CONGEST run was truncated by
+/// the round budget: every cost figure below it is a lower bound, not the
+/// real cost. Shared by build and eval.
+void warn_round_limit(const SimStats& cost) {
+  if (!cost.hit_round_limit) return;
+  std::fprintf(stderr,
+               "WARNING: CONGEST round limit hit in phase(s): %s\n"
+               "WARNING: rounds/messages/words below are TRUNCATED lower "
+               "bounds; rerun with a larger sim round budget\n",
+               cost.limited_phases().c_str());
+}
+
+/// Shared tail of `dsketch build`: save/store/report for a built oracle.
+int finish_build(const FlagSet& flags, const DistanceOracle& oracle) {
   if (flags.has("save")) {
     std::ofstream out(flags.get("save", std::string{}));
     if (!out) throw std::runtime_error("cannot open --save file");
-    oracle->save(out);
+    oracle.save(out);
     std::printf("oracle saved to %s\n",
                 flags.get("save", std::string{}).c_str());
   }
   if (flags.has("store")) {
     const std::string path = flags.get("store", std::string{});
-    const SketchStore store = SketchStore::from_oracle(*oracle);
+    const SketchStore store = SketchStore::from_oracle(oracle);
     store.save_file(path);
     std::printf("binary store saved to %s (%zu payload bytes)\n",
                 path.c_str(), store.payload_bytes());
   }
-  std::printf("scheme:     %s (%s)\n", oracle->scheme().c_str(),
-              oracle->guarantee().c_str());
-  if (const SimStats* cost = oracle->build_cost()) {
+  std::printf("scheme:     %s (%s)\n", oracle.scheme().c_str(),
+              oracle.guarantee().c_str());
+  if (const SimStats* cost = oracle.build_cost()) {
+    warn_round_limit(*cost);
     std::printf("rounds:     %llu\n",
                 static_cast<unsigned long long>(cost->rounds));
     std::printf("messages:   %llu\n",
                 static_cast<unsigned long long>(cost->messages));
     std::printf("words sent: %llu\n",
                 static_cast<unsigned long long>(cost->words));
+    const std::vector<SimPhase> phases = cost->breakdown();
+    if (phases.size() > 1) {
+      std::printf("phases:\n");
+      for (const SimPhase& p : phases) {
+        std::printf("  %-20s rounds %-8llu messages %-10llu words %llu%s\n",
+                    p.label.c_str(),
+                    static_cast<unsigned long long>(p.rounds),
+                    static_cast<unsigned long long>(p.messages),
+                    static_cast<unsigned long long>(p.words),
+                    p.hit_round_limit ? "  [ROUND LIMIT]" : "");
+      }
+    }
   }
   std::printf("mean sketch size: %.1f words/node\n",
-              oracle->mean_size_words());
+              oracle.mean_size_words());
   return 0;
+}
+
+int cmd_build(const FlagSet& flags) {
+  const Graph g = read_graph_file(flags.require("graph"));
+
+  // --round-log FILE: stream per-round CONGEST telemetry (JSON lines)
+  // while the construction runs. Only the four sketch families execute a
+  // simulator, so the flag builds through BuildConfig directly; baseline
+  // schemes have no rounds to log.
+  std::ofstream round_log_out;
+  std::unique_ptr<obs::RoundLog> round_log;
+  const std::string scheme_name_flag = flags.get("scheme", std::string("tz"));
+  if (flags.has("round-log")) {
+    const auto scheme_of = [](const std::string& name, Scheme& out) {
+      if (name == "tz") out = Scheme::kThorupZwick;
+      else if (name == "slack") out = Scheme::kSlack;
+      else if (name == "cdg") out = Scheme::kCdg;
+      else if (name == "graceful") out = Scheme::kGraceful;
+      else return false;
+      return true;
+    };
+    Scheme scheme;
+    if (!scheme_of(scheme_name_flag, scheme)) {
+      throw std::runtime_error("--round-log only applies to the sketch "
+                               "schemes (tz|slack|cdg|graceful); scheme " +
+                               scheme_name_flag + " runs no CONGEST rounds");
+    }
+    const std::string path = flags.get("round-log", std::string{});
+    round_log_out.open(path);
+    if (!round_log_out) {
+      throw std::runtime_error("cannot open --round-log file: " + path);
+    }
+    round_log = std::make_unique<obs::RoundLog>(round_log_out);
+    BuildConfig cfg = sketch_build_config(scheme, flags);
+    cfg.sim.round_log = round_log.get();
+    std::unique_ptr<DistanceOracle> oracle =
+        std::make_unique<SketchOracle>(g, cfg);
+    round_log->flush();
+    std::printf("round log written to %s (%zu line(s))\n", path.c_str(),
+                round_log->lines_emitted());
+    return finish_build(flags, *oracle);
+  }
+  const std::unique_ptr<DistanceOracle> oracle = build_oracle(g, flags);
+  return finish_build(flags, *oracle);
 }
 
 /// A loaded oracle answers with whatever configuration it was built with;
@@ -289,6 +368,7 @@ int cmd_eval(const FlagSet& flags) {
               oracle->capabilities().supports_paths ? "must be 0"
                                                     : "no guarantee");
   if (const SimStats* cost = oracle->build_cost()) {
+    warn_round_limit(*cost);
     std::printf("build cost: %llu rounds, %llu messages; ",
                 static_cast<unsigned long long>(cost->rounds),
                 static_cast<unsigned long long>(cost->messages));
@@ -358,6 +438,18 @@ int cmd_serve_bench(const FlagSet& flags) {
   if (shards < 0) throw std::runtime_error("--shards must be >= 0");
   if (cache < 0) throw std::runtime_error("--cache must be >= 0");
 
+  // --metrics-out: collect a registry snapshot across the whole sweep.
+  // Batch latencies are recorded into both the log-bucketed histogram
+  // and an exact sample set, so the output file carries its own
+  // accuracy cross-check (histogram percentiles vs exact ones).
+  const std::string metrics_out = flags.get("metrics-out", std::string{});
+  const std::string trace_out = flags.get("trace-out", std::string{});
+  obs::MetricsRegistry registry;
+  obs::LatencyHistogram* batch_hist =
+      metrics_out.empty() ? nullptr : &registry.histogram("serve_batch_us");
+  SampleSet exact_batch_us;
+  if (!trace_out.empty()) obs::TraceSession::start(1 << 19);
+
   for (const std::int64_t threads :
        parse_int_list(flags.get("threads", std::string("0")))) {
     if (threads < 0) throw std::runtime_error("--threads must be >= 0");
@@ -383,7 +475,15 @@ int cmd_serve_bench(const FlagSet& flags) {
             std::min(static_cast<std::size_t>(batch), queries - done);
         pairs = gen.batch(count);
         answers.assign(count, 0);
-        service.query_batch(pairs, answers);
+        if (batch_hist != nullptr) {
+          Timer batch_timer;
+          service.query_batch(pairs, answers);
+          const double us = batch_timer.seconds() * 1e6;
+          batch_hist->record(us);
+          exact_batch_us.add(us);
+        } else {
+          service.query_batch(pairs, answers);
+        }
         // Spot-check the first batch against the store's single-threaded
         // answers; the service must be bit-identical.
         if (done == 0) {
@@ -398,6 +498,7 @@ int cmd_serve_bench(const FlagSet& flags) {
       }
 
       const QueryServiceStats stats = service.stats();
+      if (!metrics_out.empty()) service.export_metrics(registry);
       dsketch::bench::JsonLine line;
       line.add("bench", "serve")
           .add("scheme", oracle->scheme())
@@ -421,6 +522,100 @@ int cmd_serve_bench(const FlagSet& flags) {
         throw std::runtime_error("service answers diverged from the oracle");
       }
     }
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      throw std::runtime_error("cannot open --metrics-out file: " +
+                               metrics_out);
+    }
+    registry.write_json(out);
+    // Exact-sample twin of the "serve_batch_us" histogram line above it:
+    // readers can diff the two to bound the log-bucket error in situ.
+    const Summary exact = exact_batch_us.summary();
+    dsketch::bench::JsonLine line;
+    line.add("metric", "serve_batch_us_exact")
+        .add("kind", "summary")
+        .add("count", static_cast<std::uint64_t>(exact.count))
+        .add("mean", exact.mean)
+        .add("min", exact.min)
+        .add("p50", exact.p50)
+        .add("p95", exact.p95)
+        .add("p99", exact.p99)
+        .add("max", exact.max)
+        .emit(out);
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const std::shared_ptr<obs::TraceSession> session =
+        obs::TraceSession::stop();
+    if (session != nullptr) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        throw std::runtime_error("cannot open --trace-out file: " +
+                                 trace_out);
+      }
+      session->write_chrome_trace(out);
+      std::fprintf(stderr,
+                   "chrome trace written to %s (%llu event(s), %llu "
+                   "dropped) — load in chrome://tracing or ui.perfetto.dev\n",
+                   trace_out.c_str(),
+                   static_cast<unsigned long long>(session->event_count()),
+                   static_cast<unsigned long long>(session->dropped()));
+    }
+  }
+  return 0;
+}
+
+/// Runs a short workload through a QueryService and prints the metrics
+/// registry — the quickest way to see what the serving metrics look like
+/// (and the format a scrape endpoint would expose).
+int cmd_metrics_dump(const FlagSet& flags) {
+  const std::unique_ptr<DistanceOracle> oracle = [&] {
+    if (flags.has("store")) {
+      return SketchStore::load_oracle(flags.get("store", std::string{}));
+    }
+    const Graph g = read_graph_file(flags.require("graph"));
+    std::unique_ptr<DistanceOracle> built = build_oracle(g, flags);
+    if (SketchStore::packable(*built)) {
+      built = std::make_unique<SketchStore>(SketchStore::from_oracle(*built));
+    }
+    return built;
+  }();
+  const std::string format = flags.get("format", std::string("prom"));
+  if (format != "prom" && format != "json") {
+    throw std::runtime_error("--format must be prom or json");
+  }
+  const auto queries =
+      static_cast<std::size_t>(flags.get("queries", std::int64_t{20000}));
+  const auto batch =
+      static_cast<std::size_t>(flags.get("batch", std::int64_t{1024}));
+  if (batch == 0) throw std::runtime_error("--batch must be positive");
+
+  QueryServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 4096;
+  QueryService service(*oracle, cfg);
+  WorkloadConfig wl;
+  wl.kind = WorkloadConfig::Kind::kZipf;
+  wl.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{7}));
+  WorkloadGenerator gen(oracle->num_nodes(), wl);
+  std::vector<Dist> answers;
+  for (std::size_t done = 0; done < queries; done += batch) {
+    const std::vector<QueryService::Pair> pairs =
+        gen.batch(std::min(batch, queries - done));
+    answers.assign(pairs.size(), 0);
+    service.query_batch(pairs, answers);
+  }
+
+  obs::MetricsRegistry registry;
+  service.export_metrics(registry);
+  if (format == "prom") {
+    registry.write_prometheus(std::cout);
+  } else {
+    registry.write_json(std::cout);
   }
   return 0;
 }
@@ -523,6 +718,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(flags);
     if (cmd == "convert") return cmd_convert(flags);
     if (cmd == "serve-bench") return cmd_serve_bench(flags);
+    if (cmd == "metrics-dump") return cmd_metrics_dump(flags);
     if (cmd == "dynamic-bench") {
       return dsketch::bench::run_e14(flags, std::cout);
     }
