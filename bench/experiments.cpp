@@ -47,6 +47,11 @@ const std::vector<Experiment>& experiment_registry() {
        "Live sketch refresh: serving through churn with incremental "
        "repair, rebuild policies, and zero-downtime hot-swap",
        run_e14},
+      {"e15", "congest",
+       "End-to-end CONGEST pipeline at scale: in-network build, Theorem "
+       "1.1 round/message bound ratios, pack + serve verified against "
+       "the centralized construction",
+       run_e15},
   };
   return registry;
 }

@@ -81,7 +81,32 @@ struct SimStats {
     if (phases.empty() && !add.empty() && !empty()) {
       phases.push_back(as_phase());
     }
-    phases.insert(phases.end(), add.begin(), add.end());
+    // Coalesce by label so merging runs with differing phase sets (e.g.
+    // per-topology sweeps, repeated builds) keeps one entry per phase
+    // instead of accumulating duplicates. First appearance fixes a
+    // label's position; later contributions fold into it.
+    for (const SimPhase& p : add) {
+      SimPhase* existing = nullptr;
+      for (SimPhase& mine : phases) {
+        if (mine.label == p.label) {
+          existing = &mine;
+          break;
+        }
+      }
+      if (existing == nullptr) {
+        phases.push_back(p);
+        continue;
+      }
+      existing->rounds += p.rounds;
+      existing->messages += p.messages;
+      existing->words += p.words;
+      existing->node_steps += p.node_steps;
+      if (p.max_outbox > existing->max_outbox) {
+        existing->max_outbox = p.max_outbox;
+      }
+      existing->hit_round_limit = existing->hit_round_limit ||
+                                  p.hit_round_limit;
+    }
     rounds += o.rounds;
     messages += o.messages;
     words += o.words;

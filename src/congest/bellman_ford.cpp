@@ -13,13 +13,11 @@ namespace {
 class MultiSourceBfProtocol : public Protocol {
  public:
   MultiSourceBfProtocol(NodeId n, const std::vector<NodeId>& sources)
-      : nodes_(n) {
+      : nodes_(n), is_source_(n, 0) {
     for (const NodeId s : sources) {
       DS_CHECK(s < n);
-      is_source_.assign(n, 0);
+      is_source_[s] = 1;
     }
-    is_source_.assign(n, 0);
-    for (const NodeId s : sources) is_source_[s] = 1;
   }
 
   void on_start(NodeCtx& ctx) override {

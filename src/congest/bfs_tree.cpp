@@ -84,16 +84,16 @@ BfsTree BfsTreeProtocol::take_result() {
   for (NodeId u = 0; u < n; ++u) {
     const NodeState& s = nodes_[u];
     DS_CHECK(s.best_leader != kInvalidNode);
-    if (s.best_leader == u) {
-      DS_CHECK(t.root == kInvalidNode);  // unique leader on connected input
-      t.root = u;
-    }
+    // One leader per connected component (the max id in it); on connected
+    // input this fires exactly once.
+    if (s.best_leader == u) t.roots.push_back(u);
     t.parent[u] = s.parent_id;
     t.parent_edge[u] = s.parent_edge;
     t.child_edges[u] = s.child_edges;
     t.hops[u] = s.best_hops;
   }
-  DS_CHECK(t.root != kInvalidNode);
+  DS_CHECK(!t.roots.empty() || n == 0);
+  if (!t.roots.empty()) t.root = t.roots.front();
   return t;
 }
 

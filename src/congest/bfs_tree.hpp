@@ -20,13 +20,19 @@
 
 namespace dsketch {
 
-/// Result of tree construction, indexed by node.
+/// Result of tree construction, indexed by node. On a disconnected graph
+/// the flood elects one leader per connected component, yielding a BFS
+/// *forest*: `roots` lists every component root (ascending node id) and
+/// `root` is the first of them — the unique tree root on connected input.
 struct BfsTree {
   NodeId root = kInvalidNode;
-  std::vector<NodeId> parent;                ///< kInvalidNode at the root
+  std::vector<NodeId> roots;                 ///< one per component
+  std::vector<NodeId> parent;                ///< kInvalidNode at a root
   std::vector<std::uint32_t> parent_edge;    ///< local edge to parent
   std::vector<std::vector<std::uint32_t>> child_edges;  ///< local edges
-  std::vector<std::uint32_t> hops;           ///< BFS depth
+  std::vector<std::uint32_t> hops;           ///< BFS depth within component
+
+  bool is_root(NodeId u) const { return parent[u] == kInvalidNode; }
 
   std::uint32_t depth() const {
     std::uint32_t d = 0;

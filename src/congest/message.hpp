@@ -1,4 +1,4 @@
-// CONGEST messages: word-counted payloads.
+// CONGEST messages: word-counted payloads with inline storage.
 //
 // The model (§2.2) allows one message of O(log n) bits per edge per direction
 // per round. A *word* is a block of O(log n) bits holding one node ID or one
@@ -6,10 +6,17 @@
 // constant number of words (data = <source, dist> = 2 words, ECHO = 3,
 // control = <=2); the simulator enforces a configurable cap so no protocol
 // can smuggle super-constant payloads through an edge in one round.
+//
+// Messages are trivially copyable: the payload lives in a fixed inline
+// array (capacity kMaxMessageCapacity, a compile-time ceiling above every
+// runtime cap the simulator accepts). Queuing a message is a plain copy
+// into a flat buffer — no per-message heap allocation — which is what lets
+// the event-driven simulator move hundreds of millions of messages at
+// 100k+-node scale.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
 
 #include "util/assert.hpp"
 
@@ -17,22 +24,31 @@ namespace dsketch {
 
 using Word = std::uint64_t;
 
+/// Compile-time ceiling on words per message. SimConfig::max_message_words
+/// (the model's O(log n) budget, default 4) must stay at or below this.
+inline constexpr std::size_t kMaxMessageCapacity = 8;
+
 struct Message {
-  std::vector<Word> words;
-
   Message() = default;
-  explicit Message(std::initializer_list<Word> ws) : words(ws) {}
+  Message(std::initializer_list<Word> ws) {
+    for (const Word w : ws) push(w);
+  }
 
-  std::size_t size_words() const { return words.size(); }
+  std::size_t size_words() const { return size_; }
 
   Message& push(Word w) {
-    words.push_back(w);
+    DS_CHECK(size_ < kMaxMessageCapacity);
+    words_[size_++] = w;
     return *this;
   }
   Word at(std::size_t i) const {
-    DS_CHECK(i < words.size());
-    return words[i];
+    DS_CHECK(i < size_);
+    return words_[i];
   }
+
+ private:
+  Word words_[kMaxMessageCapacity];
+  std::uint32_t size_ = 0;
 };
 
 /// A message delivered to a node this round, tagged with the local index of

@@ -1,7 +1,6 @@
 #include "congest/sim.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
@@ -20,7 +19,7 @@ std::span<const Inbound> NodeCtx::inbox() const {
   return sim_.inbox_of(node_);
 }
 void NodeCtx::send(std::uint32_t local_edge, Message m) {
-  sim_.enqueue(node_, local_edge, std::move(m));
+  sim_.enqueue(node_, local_edge, m);
 }
 void NodeCtx::broadcast(const Message& m) {
   const std::uint32_t deg = degree();
@@ -35,6 +34,7 @@ std::size_t NodeCtx::outbox_depth(std::uint32_t local_edge) const {
 Simulator::Simulator(const Graph& graph, Protocol& protocol, SimConfig cfg)
     : graph_(graph), protocol_(protocol), cfg_(cfg),
       delay_rng_(cfg.async_seed) {
+  DS_CHECK(cfg_.max_message_words <= kMaxMessageCapacity);
   const NodeId n = graph_.num_nodes();
   const std::size_t half_edges = 2 * graph_.num_edges();
   outbox_.resize(half_edges);
@@ -42,40 +42,57 @@ Simulator::Simulator(const Graph& graph, Protocol& protocol, SimConfig cfg)
   head_local_.resize(half_edges);
   inbox_.resize(n);
   wake_flag_.assign(n, 0);
+  wake_at_scratch_.resize(n);
+  dirty_local_.resize(n);
   start_pending_.assign(n, 0);
   in_active_list_.assign(n, 0);
   edge_busy_flag_.assign(half_edges, 0);
+  ready_flag_.assign(n, 0);
+  pull_count_.assign(n, 0);
   stats_.label = cfg_.phase;
   if (cfg_.round_log != nullptr) cfg_.round_log->begin_phase(cfg_.phase);
+  resolve_twins();
+  activate_all();
+}
 
+Simulator::~Simulator() = default;
+
+ThreadPool* Simulator::pool() {
+  if (cfg_.threads == 0) return &global_pool();
+  if (own_pool_ == nullptr) {
+    own_pool_ = std::make_unique<ThreadPool>(cfg_.threads - 1);
+  }
+  return own_pool_.get();
+}
+
+void Simulator::resolve_twins() {
   // Twin resolution: half-edge (u, s) with neighbor v maps to the matching
   // slot of u in v's adjacency. Adjacencies are sorted by (to, weight), so
-  // the i-th parallel (u,v) slot on u's side pairs with the i-th (v,u) slot
-  // on v's side.
-  std::unordered_map<std::uint64_t, std::uint32_t> occurrence;
-  occurrence.reserve(half_edges);
+  // parallel (u,v) edges form contiguous runs on both sides and the i-th
+  // slot of u's run pairs with the i-th slot of v's run — no hashing needed.
+  const NodeId n = graph_.num_nodes();
   for (NodeId u = 0; u < n; ++u) {
     const auto adj = graph_.neighbors(u);
-    for (std::uint32_t s = 0; s < adj.size(); ++s) {
+    std::uint32_t s = 0;
+    while (s < adj.size()) {
       const NodeId v = adj[s].to;
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(u) << 32) | v;
-      const std::uint32_t occ = occurrence[key]++;
-      // Find occ-th slot of v's adjacency pointing back at u.
+      const std::uint32_t run_start = s;
+      while (s < adj.size() && adj[s].to == v) ++s;
       const auto vadj = graph_.neighbors(v);
       const auto it = std::lower_bound(
           vadj.begin(), vadj.end(), u,
           [](const HalfEdge& he, NodeId target) { return he.to < target; });
       const std::uint32_t base =
           static_cast<std::uint32_t>(it - vadj.begin());
-      const std::uint32_t slot = base + occ;
-      DS_CHECK(slot < vadj.size() && vadj[slot].to == u);
-      const std::size_t h = graph_.half_edge_index(u, s);
-      head_[h] = v;
-      head_local_[h] = slot;
+      for (std::uint32_t i = run_start; i < s; ++i) {
+        const std::uint32_t slot = base + (i - run_start);
+        DS_CHECK(slot < vadj.size() && vadj[slot].to == u);
+        const std::size_t h = graph_.half_edge_index(u, i);
+        head_[h] = v;
+        head_local_[h] = slot;
+      }
     }
   }
-  activate_all();
 }
 
 void Simulator::activate_all() {
@@ -102,11 +119,14 @@ void Simulator::activate(const std::vector<NodeId>& nodes) {
   std::sort(active_.begin(), active_.end());
 }
 
-void Simulator::enqueue(NodeId u, std::uint32_t local, Message m) {
+void Simulator::enqueue(NodeId u, std::uint32_t local, const Message& m) {
   DS_CHECK(m.size_words() <= cfg_.max_message_words);
   auto& box = outbox_[graph_.half_edge_index(u, local)];
-  box.push_back(std::move(m));
-  if (box.size() > stats_.max_outbox) stats_.max_outbox = box.size();
+  // A box can go empty→nonempty at most once per step (pops happen only at
+  // delivery), so this records each newly busy half-edge exactly once. The
+  // dirty list is node-owned: only u's own step enqueues on u's half-edges.
+  if (box.empty()) dirty_local_[u].push_back(local);
+  box.push(m);
 }
 
 SimStats Simulator::run() {
@@ -140,6 +160,7 @@ SimStats Simulator::run() {
     const std::uint64_t prev_messages = stats_.messages;
     const std::uint64_t prev_words = stats_.words;
     step_active_nodes();
+    splice_new_work();
     deliver();
     if (cfg_.round_log != nullptr) {
       cfg_.round_log->record(obs::RoundSample{
@@ -173,19 +194,23 @@ void Simulator::flush_future() {
         in_active_list_[d.to] = 1;
         active_.push_back(d.to);
       }
-      inbox_[d.to].push_back(Inbound{d.to_local, std::move(d.msg)});
+      inbox_[d.to].push_back(Inbound{d.to_local, d.msg});
       touched = true;
     }
     future_.erase(it);
   }
   if (touched) std::sort(active_.begin(), active_.end());
-  // Canonical per-round inbox order: by arrival edge (stable so queued
-  // order on an edge is preserved in the synchronous case).
-  for (const NodeId u : active_) {
-    std::stable_sort(inbox_[u].begin(), inbox_[u].end(),
-                     [](const Inbound& a, const Inbound& b) {
-                       return a.local_edge < b.local_edge;
-                     });
+  if (cfg_.async_max_delay > 1) {
+    // Canonical per-round inbox order: by arrival edge (stable so queued
+    // order on an edge is preserved). Asynchronous delivery appends in
+    // transmission order; synchronous receiver-pull delivery builds
+    // inboxes already canonical, so this pass is skipped then.
+    for (const NodeId u : active_) {
+      std::stable_sort(inbox_[u].begin(), inbox_[u].end(),
+                       [](const Inbound& a, const Inbound& b) {
+                         return a.local_edge < b.local_edge;
+                       });
+    }
   }
 }
 
@@ -205,17 +230,30 @@ void Simulator::step_active_nodes() {
   if (cfg_.threads == 1 || active_.size() < 64) {
     for (std::size_t i = 0; i < active_.size(); ++i) step_one(i);
   } else {
-    global_pool().parallel_for(active_.size(), step_one);
+    pool()->for_each_dynamic(
+        active_.size(),
+        [&step_one](std::size_t /*lane*/, std::size_t i) { step_one(i); });
   }
-  // Collect newly busy half-edges in deterministic (node, local) order.
+}
+
+void Simulator::splice_new_work() {
+  // Fold node-owned scratch produced by the (possibly parallel) step into
+  // the shared schedules, in sorted active-node order so busy_edges_ and
+  // wake_schedule_ contents are independent of thread count.
   for (const NodeId u : active_) {
-    const std::uint32_t deg = degree_of(u);
-    for (std::uint32_t s = 0; s < deg; ++s) {
-      const std::size_t h = graph_.half_edge_index(u, s);
-      if (!outbox_[h].empty() && !edge_busy_flag_[h]) {
+    for (const std::uint32_t local : dirty_local_[u]) {
+      const std::size_t h = graph_.half_edge_index(u, local);
+      if (!edge_busy_flag_[h]) {
         edge_busy_flag_[h] = 1;
         busy_edges_.push_back(h);
       }
+    }
+    dirty_local_[u].clear();
+    if (!wake_at_scratch_[u].empty()) {
+      for (const std::uint64_t at : wake_at_scratch_[u]) {
+        wake_schedule_[at].push_back(u);
+      }
+      wake_at_scratch_[u].clear();
     }
   }
 }
@@ -229,31 +267,48 @@ void Simulator::deliver() {
       next_active.push_back(u);
     }
   }
-  // Transmit one message per busy half-edge (or the whole queue when the
-  // capacity ablation is on). In async mode the arrival round is drawn
-  // uniformly from [round+1, round+async_max_delay].
+  if (cfg_.async_max_delay > 1) {
+    deliver_serial(next_active);
+  } else {
+    deliver_parallel(next_active);
+  }
+
+  // De-duplicate and order the next active set.
+  std::sort(next_active.begin(), next_active.end());
+  next_active.erase(std::unique(next_active.begin(), next_active.end()),
+                    next_active.end());
+  for (const NodeId u : active_) in_active_list_[u] = 0;
+  for (const NodeId u : next_active) in_active_list_[u] = 1;
+  active_.swap(next_active);
+}
+
+void Simulator::deliver_serial(std::vector<NodeId>& next_active) {
+  // Asynchronous-mode delivery: one message per busy half-edge (or the
+  // whole queue when the capacity ablation is on), each with an arrival
+  // round drawn uniformly from [round+1, round+async_max_delay]. Serial so
+  // the delay RNG consumes draws in transmission order; inboxes are
+  // canonicalized by the sort in flush_future.
   std::vector<std::size_t> still_busy;
   still_busy.reserve(busy_edges_.size());
   for (const std::size_t h : busy_edges_) {
     auto& box = outbox_[h];
     DS_CHECK(!box.empty());
+    if (box.size() > stats_.max_outbox) stats_.max_outbox = box.size();
     const NodeId to = head_[h];
     const std::uint32_t to_local = head_local_[h];
     std::size_t ship = cfg_.enforce_capacity ? 1 : box.size();
     while (ship-- > 0) {
-      Message m = std::move(box.front());
-      box.pop_front();
+      const Message m = box.front();
+      box.pop();
       stats_.messages += 1;
       stats_.words += m.size_words();
       const std::uint64_t arrival =
-          round_ + 1 +
-          (cfg_.async_max_delay > 1 ? delay_rng_.below(cfg_.async_max_delay)
-                                    : 0);
+          round_ + 1 + delay_rng_.below(cfg_.async_max_delay);
       if (arrival == round_ + 1) {
         if (inbox_[to].empty()) next_active.push_back(to);
-        inbox_[to].push_back(Inbound{to_local, std::move(m)});
+        inbox_[to].push_back(Inbound{to_local, m});
       } else {
-        future_[arrival].push_back(PendingDelivery{to, to_local, std::move(m)});
+        future_[arrival].push_back(PendingDelivery{to, to_local, m});
       }
     }
     if (!box.empty()) {
@@ -263,15 +318,99 @@ void Simulator::deliver() {
     }
   }
   busy_edges_.swap(still_busy);
+}
 
-  // De-duplicate and order the next active set; inbox ordering is
-  // canonicalized in flush_future at the top of the next round.
-  std::sort(next_active.begin(), next_active.end());
-  next_active.erase(std::unique(next_active.begin(), next_active.end()),
-                    next_active.end());
-  for (const NodeId u : active_) in_active_list_[u] = 0;
-  for (const NodeId u : next_active) in_active_list_[u] = 1;
-  active_.swap(next_active);
+void Simulator::deliver_parallel(std::vector<NodeId>& next_active) {
+  // Synchronous receiver-pull delivery. Group busy half-edges by their
+  // receiving node; each receiver then drains its busy inbound edges in
+  // local-edge order. Every half-edge has exactly one receiver, so the
+  // pulls are data-race-free and parallelize over receivers, and each
+  // inbox comes out already in canonical (local_edge, FIFO) order.
+  ready_.clear();
+  for (const std::size_t h : busy_edges_) {
+    const NodeId to = head_[h];
+    if (!ready_flag_[to]) {
+      ready_flag_[to] = 1;
+      pull_count_[to] = 0;
+      ready_.push_back(to);
+    }
+    ++pull_count_[to];
+  }
+  std::sort(ready_.begin(), ready_.end());
+  pull_offset_.resize(ready_.size());
+  std::uint32_t start = 0;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    const NodeId to = ready_[i];
+    pull_offset_[i] = start;
+    const std::uint32_t count = pull_count_[to];
+    pull_count_[to] = start;  // becomes the scatter cursor
+    start += count;
+  }
+  pull_edges_.resize(start);
+  for (const std::size_t h : busy_edges_) {
+    pull_edges_[pull_count_[head_[h]]++] = h;
+  }
+
+  deltas_.assign(ready_.size(), ReceiverDelta{});
+  auto pull_one = [this](std::size_t i) {
+    const NodeId to = ready_[i];
+    const std::uint32_t begin = pull_offset_[i];
+    const std::uint32_t end = i + 1 < ready_.size()
+                                  ? pull_offset_[i + 1]
+                                  : static_cast<std::uint32_t>(
+                                        pull_edges_.size());
+    std::sort(pull_edges_.begin() + begin, pull_edges_.begin() + end,
+              [this](std::size_t a, std::size_t b) {
+                return head_local_[a] < head_local_[b];
+              });
+    ReceiverDelta& delta = deltas_[i];
+    auto& in = inbox_[to];
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::size_t h = pull_edges_[e];
+      auto& box = outbox_[h];
+      if (box.size() > delta.max_depth) delta.max_depth = box.size();
+      std::size_t ship = cfg_.enforce_capacity ? 1 : box.size();
+      delta.messages += ship;
+      const std::uint32_t to_local = head_local_[h];
+      while (ship-- > 0) {
+        const Message m = box.front();
+        box.pop();
+        delta.words += m.size_words();
+        in.push_back(Inbound{to_local, m});
+      }
+    }
+  };
+  if (cfg_.threads == 1 || ready_.size() < 64) {
+    for (std::size_t i = 0; i < ready_.size(); ++i) pull_one(i);
+  } else {
+    pool()->for_each_dynamic(
+        ready_.size(),
+        [&pull_one](std::size_t /*lane*/, std::size_t i) { pull_one(i); });
+  }
+
+  // Serial reduction in receiver order; every receiver got >= 1 message.
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    stats_.messages += deltas_[i].messages;
+    stats_.words += deltas_[i].words;
+    if (deltas_[i].max_depth > stats_.max_outbox) {
+      stats_.max_outbox = deltas_[i].max_depth;
+    }
+    next_active.push_back(ready_[i]);
+    ready_flag_[ready_[i]] = 0;
+  }
+
+  // Rebuild the busy list in its previous order so edge retirement is
+  // independent of the receiver grouping above.
+  std::vector<std::size_t> still_busy;
+  still_busy.reserve(busy_edges_.size());
+  for (const std::size_t h : busy_edges_) {
+    if (!outbox_[h].empty()) {
+      still_busy.push_back(h);
+    } else {
+      edge_busy_flag_[h] = 0;
+    }
+  }
+  busy_edges_.swap(still_busy);
 }
 
 }  // namespace dsketch

@@ -1,4 +1,4 @@
-// Synchronous CONGEST-model simulator.
+// Event-driven CONGEST-model simulator.
 //
 // Faithful to §2.2 of the paper:
 //   - rounds are synchronous; messages sent in round r arrive in round r+1;
@@ -6,20 +6,37 @@
 //     (enforced by per-half-edge FIFO outboxes drained at rate 1/round);
 //   - messages are word-counted and capped at `max_message_words`.
 //
-// Efficiency: the simulator is event-driven over an *active set*. A node is
-// stepped only in rounds where it received a message, was just activated, or
-// requested a wake; edges are touched only while their outbox is nonempty.
-// Cost per round is therefore proportional to actual traffic, while the
-// round counter still advances exactly once per simulated round.
+// Scheduling is event-driven over an *activation set*: a node is stepped
+// only in rounds where it received a message, was just activated, or
+// requested a wake; edges are touched only while their outbox is nonempty;
+// idle stretches (timer-only waits) fast-forward the round counter without
+// executing anything. Cost per simulated round is proportional to actual
+// traffic, never to n or |E|.
 //
-// Determinism: node steps may run on a thread pool (cfg.threads != 1) —
-// hooks only mutate node-owned state and node-owned outboxes. Delivery is
-// performed serially and inboxes are sorted by receiving edge index, so the
-// execution is bit-identical across thread counts.
+// Each round runs three phases:
+//   1. step    — every active node runs its protocol hook. Hooks touch only
+//                node-owned state (inbox, outboxes of outgoing half-edges,
+//                per-node wake scratch), so the step fans out over
+//                ThreadPool::for_each_dynamic when cfg.threads != 1.
+//   2. splice  — half-edges that became busy are appended to the busy list
+//                in (active-node, send) order; node-owned wake-at requests
+//                are folded into the shared timer wheel. Serial, O(new work).
+//   3. deliver — one message per busy half-edge ships (the CONGEST capacity;
+//                all of them under the E3 ablation). Synchronous delivery is
+//                receiver-pull: each receiving node drains its busy inbound
+//                half-edges in local-edge order, so delivery parallelizes
+//                over receivers and inbox order is canonical by construction.
+//                Asynchronous runs (async_max_delay > 1) deliver serially so
+//                the delay RNG consumes draws in transmission order.
+//
+// Determinism contract: for a fixed graph, protocol, and SimConfig (minus
+// `threads`), execution is byte-identical across thread counts and reruns —
+// message order, round counts, stats, and round-log samples all match.
+// Upheld by: sorted activation sets, sender-ordered busy-edge splice,
+// receiver-local-edge inbox order, and fixed-order stat reduction.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,9 +52,16 @@
 
 namespace dsketch {
 
+class ThreadPool;
+
 struct SimConfig {
   std::size_t max_message_words = 4;  ///< CONGEST O(log n)-bit budget
-  unsigned threads = 1;               ///< 0 = hardware concurrency
+  unsigned threads = 1;               ///< worker lanes for node stepping and
+                                      ///< delivery: 1 = serial, 0 = the
+                                      ///< process-wide pool (hardware
+                                      ///< concurrency), N = a private pool
+                                      ///< of N lanes. Results are identical
+                                      ///< for every value.
   std::uint64_t max_rounds = 200'000'000;
   bool enforce_capacity = true;       ///< ablation switch (E3): when false,
                                       ///< all queued messages ship each round
@@ -62,6 +86,7 @@ struct SimConfig {
 class Simulator {
  public:
   Simulator(const Graph& graph, Protocol& protocol, SimConfig cfg = {});
+  ~Simulator();
 
   /// Runs until quiescence (and until on_quiescent returns false) or until
   /// max_rounds. Returns cumulative stats.
@@ -91,13 +116,15 @@ class Simulator {
   std::span<const Inbound> inbox_of(NodeId u) const {
     return {inbox_[u].data(), inbox_[u].size()};
   }
-  void enqueue(NodeId u, std::uint32_t local, Message m);
+  void enqueue(NodeId u, std::uint32_t local, const Message& m);
   void wake(NodeId u) { wake_flag_[u] = 1; }
+  /// Node-owned: requests are banked per node during the (possibly
+  /// parallel) step and folded into the shared timer wheel at splice time.
   void schedule_wake(NodeId u, std::uint64_t at_round) {
     if (at_round <= round_) {
       wake_flag_[u] = 1;
     } else {
-      wake_schedule_[at_round].push_back(u);
+      wake_at_scratch_[u].push_back(at_round);
     }
   }
   std::size_t outbox_depth(NodeId u, std::uint32_t local) const {
@@ -105,8 +132,34 @@ class Simulator {
   }
 
  private:
+  /// Flat FIFO replacing std::deque: contiguous storage, O(1) amortized
+  /// pop via a head cursor, storage reclaimed when drained.
+  struct Outbox {
+    std::vector<Message> q;
+    std::uint32_t head = 0;
+
+    bool empty() const { return head == q.size(); }
+    std::size_t size() const { return q.size() - head; }
+    void push(const Message& m) { q.push_back(m); }
+    Message& front() { return q[head]; }
+    void pop() {
+      if (++head == q.size()) {
+        q.clear();
+        head = 0;
+      } else if (head >= 64 && head * 2 >= q.size()) {
+        q.erase(q.begin(), q.begin() + head);
+        head = 0;
+      }
+    }
+  };
+
+  ThreadPool* pool();
+  void resolve_twins();
   void step_active_nodes();
+  void splice_new_work();
   void deliver();
+  void deliver_serial(std::vector<NodeId>& next_active);
+  void deliver_parallel(std::vector<NodeId>& next_active);
   void flush_future();
 
   const Graph& graph_;
@@ -118,7 +171,7 @@ class Simulator {
 
   // Per half-edge h = (u, local): FIFO of queued messages, plus the twin
   // half-edge's (receiver, receiver-local) coordinates.
-  std::vector<std::deque<Message>> outbox_;
+  std::vector<Outbox> outbox_;
   std::vector<NodeId> head_;                  // receiver node of half-edge
   std::vector<std::uint32_t> head_local_;     // receiver's local edge index
 
@@ -133,11 +186,29 @@ class Simulator {
   std::map<std::uint64_t, std::vector<NodeId>> wake_schedule_;
   Rng delay_rng_{0};
   std::vector<char> wake_flag_;               // set via NodeCtx::wake
+  // Node-owned scratch filled during the parallel step, folded serially.
+  std::vector<std::vector<std::uint64_t>> wake_at_scratch_;
+  std::vector<std::vector<std::uint32_t>> dirty_local_;  // newly busy sends
   std::vector<char> start_pending_;           // on_start owed to node
   std::vector<char> in_active_list_;
   std::vector<NodeId> active_;                // nodes to step this round
   std::vector<std::size_t> busy_edges_;       // half-edges with queued msgs
   std::vector<char> edge_busy_flag_;
+
+  // Receiver-pull delivery scratch (reused across rounds).
+  std::vector<NodeId> ready_;                 // receivers with busy inbound
+  std::vector<char> ready_flag_;
+  std::vector<std::uint32_t> pull_count_;     // busy inbound edges per rcvr
+  std::vector<std::size_t> pull_edges_;       // grouped by receiver
+  std::vector<std::uint32_t> pull_offset_;    // group starts, aligned w/ ready_
+  struct ReceiverDelta {
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::uint64_t max_depth = 0;
+  };
+  std::vector<ReceiverDelta> deltas_;
+
+  std::unique_ptr<ThreadPool> own_pool_;      // cfg.threads not in {0, 1}
 };
 
 }  // namespace dsketch

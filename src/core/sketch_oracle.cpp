@@ -21,6 +21,11 @@ BuildConfig sketch_build_config(Scheme scheme, const FlagSet& flags) {
   if (flags.get_bool("known-s")) cfg.termination = TerminationMode::kKnownS;
   cfg.sim.async_max_delay =
       static_cast<std::uint32_t>(flags.get("async", std::int64_t{1}));
+  // Worker lanes for the event-driven simulator: 1 = serial (default),
+  // 0 = all hardware threads, N = a dedicated pool of N lanes. Results
+  // are byte-identical across settings; this is purely a wall-clock knob.
+  cfg.sim.threads =
+      static_cast<unsigned>(flags.get("sim-threads", std::int64_t{1}));
   return cfg;
 }
 

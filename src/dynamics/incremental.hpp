@@ -61,6 +61,9 @@ class TzLabelOracle final : public DistanceOracle {
   std::string guarantee() const override;
   Capabilities capabilities() const override;
 
+  const std::vector<TzLabel>& labels() const { return labels_; }
+  std::uint32_t k() const { return k_; }
+
  private:
   std::vector<TzLabel> labels_;
   std::uint32_t k_;

@@ -138,7 +138,10 @@ const std::set<std::string>& cell_keys() {
       // E14 (dynamic refresh) knobs — see bench_e14_dynamic.cpp.
       "rounds", "updates", "policies", "budget", "unrepaired-budget",
       "rate-threshold", "probe-every", "probe-sources", "round-ms",
-      "wmin", "wmax"};
+      "wmin", "wmax",
+      // E15 (congest pipeline): simulator worker lanes — see
+      // bench_e15_congest.cpp.
+      "sim-threads"};
   return keys;
 }
 
@@ -462,6 +465,13 @@ updates = 6
 budget = 12
 unrepaired-budget = 4
 sources = 4
+
+[[cell]]
+experiment = "e15"
+graph = "er512"
+k = 3
+sim-threads = 0
+queries = 2000
 )";
   return manifest;
 }

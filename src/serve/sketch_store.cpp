@@ -10,6 +10,7 @@
 
 #include "core/serialization.hpp"
 #include "core/sketch_oracle.hpp"
+#include "dynamics/incremental.hpp"
 #include "obs/trace.hpp"
 #include "sketch/cdg_sketch.hpp"
 #include "sketch/graceful_sketch.hpp"
@@ -213,7 +214,8 @@ constexpr std::size_t kCdgPrefixWords = 4;
 
 bool SketchStore::packable(const DistanceOracle& oracle) {
   return dynamic_cast<const SketchStore*>(&oracle) != nullptr ||
-         dynamic_cast<const SketchOracle*>(&oracle) != nullptr;
+         dynamic_cast<const SketchOracle*>(&oracle) != nullptr ||
+         dynamic_cast<const TzLabelOracle*>(&oracle) != nullptr;
 }
 
 SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
@@ -221,6 +223,25 @@ SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
   // Re-packing a store is a copy: it already is the packed representation.
   if (const auto* packed = dynamic_cast<const SketchStore*>(&oracle)) {
     return *packed;
+  }
+  // A bare TZ label set (distributed build, dynamic-sketch snapshot) packs
+  // through the same segment layout as a tz-scheme SketchOracle; it carries
+  // no recorded epsilon.
+  if (const auto* tz = dynamic_cast<const TzLabelOracle*>(&oracle)) {
+    SketchStore store;
+    store.scheme_ = Scheme::kThorupZwick;
+    store.k_ = tz->k();
+    store.epsilon_known_ = false;
+    store.n_ = tz->num_nodes();
+    Segment seg;
+    seg.offsets.reserve(store.n_ + 1);
+    for (const TzLabel& label : tz->labels()) {
+      seg.offsets.push_back(seg.arena.size());
+      pack_label(seg.arena, label);
+    }
+    seg.offsets.push_back(seg.arena.size());
+    store.segments_.push_back(std::move(seg));
+    return store;
   }
   const auto* sketch = dynamic_cast<const SketchOracle*>(&oracle);
   if (sketch == nullptr) {

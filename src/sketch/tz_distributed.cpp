@@ -1,5 +1,6 @@
 #include "sketch/tz_distributed.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <unordered_map>
@@ -58,9 +59,10 @@ class TzProtocol : public Protocol {
       pump(ctx);
       return;
     }
-    // Echo mode: only the root acts spontaneously; everyone else waits for
-    // START or early data.
-    if (tree_->root == u) {
+    // Echo mode: only roots act spontaneously; everyone else waits for
+    // START or early data. On a disconnected graph each component root
+    // drives its own phase cascade independently.
+    if (tree_->is_root(u)) {
       advance_to(ctx, static_cast<int>(hier_.k()) - 1);
       forward_start(ctx, static_cast<int>(hier_.k()) - 1);
       pump(ctx);
@@ -129,8 +131,22 @@ class TzProtocol : public Protocol {
     return labels;
   }
 
-  const std::vector<std::uint64_t>& phase_end_rounds() const {
-    return phase_end_rounds_;
+  /// Network-wide end round of each phase, in execution order (k-1 first).
+  /// Echo mode records ends per component root; the network-wide end of a
+  /// phase is the max across components.
+  std::vector<std::uint64_t> phase_end_rounds() const {
+    if (mode_ != TerminationMode::kEcho) return phase_end_rounds_;
+    std::vector<std::uint64_t> out;
+    for (const NodeState& s : nodes_) {
+      if (s.root_phase_ends.empty()) continue;
+      if (out.size() < s.root_phase_ends.size()) {
+        out.resize(s.root_phase_ends.size(), 0);
+      }
+      for (std::size_t i = 0; i < s.root_phase_ends.size(); ++i) {
+        out[i] = std::max(out[i], s.root_phase_ends[i]);
+      }
+    }
+    return out;
   }
 
  private:
@@ -152,6 +168,10 @@ class TzProtocol : public Protocol {
     CompletionTracker completion;
     std::uint32_t early_child_completes = 0;  // banked for the next phase
     int last_forwarded_start = 1 << 30;
+    // At a component root: round each phase completed, in execution order
+    // (k-1 first). Node-owned so roots of different components can fire in
+    // the same (parallel) step without sharing a vector.
+    std::vector<std::uint64_t> root_phase_ends;
   };
 
   bool is_source(NodeId u, int phase) const {
@@ -260,16 +280,16 @@ class TzProtocol : public Protocol {
     }
   }
 
-  /// The node (and, at the root, the whole network) finished phase p.
+  /// The node (and, at a root, its whole component) finished phase p.
   void fire_complete(NodeCtx& ctx, int p) {
     const NodeId u = ctx.node();
     NodeState& s = nodes_[u];
     s.completion.mark_fired();
-    if (tree_->root != u) {
+    if (!tree_->is_root(u)) {
       ctx.send(tree_->parent_edge[u], Message{kComplete, static_cast<Word>(p)});
       return;
     }
-    phase_end_rounds_.push_back(ctx.round());
+    s.root_phase_ends.push_back(ctx.round());
     const int next = p - 1;
     advance_to(ctx, next);  // next == -1 finalizes the root entirely
     forward_start(ctx, next);
@@ -361,6 +381,14 @@ class TzProtocol : public Protocol {
                             static_cast<Word>(d)});
       if (mode_ == TerminationMode::kEcho) {
         s.echo.commit_send(src, d, ctx.degree(), /*self_announce=*/src == u);
+        // A degree-zero source has no cascade: its record completes inside
+        // commit_send and no echo will ever arrive to observe it, so the
+        // completion check must happen here. (Idempotent for everyone
+        // else — on_self_complete only reports ready once, pre-fire.)
+        if (s.echo.self_announce_complete() &&
+            s.completion.on_self_complete()) {
+          fire_complete(ctx, s.phase);
+        }
       }
       if (!eager_send_) break;
     }

@@ -220,7 +220,7 @@ TEST(Manifest, FullTomlFileParses) {
   for (const Cell& cell : expand_cells(m)) {
     experiments.insert(cell.experiment);
   }
-  EXPECT_EQ(experiments.size(), 14u) << "full.toml must cover E1..E14";
+  EXPECT_EQ(experiments.size(), 15u) << "full.toml must cover E1..E15";
 }
 #endif
 

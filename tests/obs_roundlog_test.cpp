@@ -173,11 +173,72 @@ TEST(SimStats, PhaseBreakdownSurvivesMerging) {
   total += SimStats{};
   EXPECT_EQ(total.breakdown().size(), 2u);
 
-  // Self-addition stays safe and doubles every phase.
+  // Self-addition stays safe; equal labels coalesce (counters double,
+  // the breakdown does not grow duplicate entries).
   SimStats doubled = total;
   doubled += doubled;
   EXPECT_EQ(doubled.rounds, 28u);
-  EXPECT_EQ(doubled.breakdown().size(), 4u);
+  ASSERT_EQ(doubled.breakdown().size(), 2u);
+  EXPECT_EQ(doubled.breakdown()[0].label, "first");
+  EXPECT_EQ(doubled.breakdown()[0].rounds, 20u);
+  EXPECT_EQ(doubled.breakdown()[0].messages, 200u);
+  EXPECT_EQ(doubled.breakdown()[1].label, "second");
+  EXPECT_EQ(doubled.breakdown()[1].rounds, 8u);
+  EXPECT_TRUE(doubled.breakdown()[1].hit_round_limit);
+  EXPECT_EQ(doubled.limited_phases(), "second");
+}
+
+TEST(SimStats, MergingKeepsAttributionAcrossDifferingPhaseSets) {
+  // Two multi-phase runs with overlapping but unequal phase sets: shared
+  // labels coalesce, unshared ones keep their own entries — per-phase
+  // attribution survives grid-style accumulation across runs.
+  SimStats run1;
+  {
+    SimStats bfs;
+    bfs.label = "bfs_tree";
+    bfs.rounds = 12;
+    bfs.messages = 120;
+    bfs.max_outbox = 3;
+    SimStats tz;
+    tz.label = "tz_construction";
+    tz.rounds = 50;
+    tz.messages = 900;
+    tz.max_outbox = 7;
+    run1 = bfs;
+    run1 += tz;
+  }
+  SimStats run2;
+  {
+    SimStats tz;
+    tz.label = "tz_construction";
+    tz.rounds = 60;
+    tz.messages = 1100;
+    tz.max_outbox = 9;
+    tz.hit_round_limit = true;
+    SimStats exchange;
+    exchange.label = "sketch_exchange";
+    exchange.rounds = 5;
+    exchange.messages = 40;
+    run2 = tz;
+    run2 += exchange;
+  }
+  SimStats total = run1;
+  total += run2;
+  const std::vector<SimPhase> phases = total.breakdown();
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].label, "bfs_tree");
+  EXPECT_EQ(phases[0].rounds, 12u);
+  EXPECT_EQ(phases[1].label, "tz_construction");
+  EXPECT_EQ(phases[1].rounds, 110u);
+  EXPECT_EQ(phases[1].messages, 2000u);
+  EXPECT_EQ(phases[1].max_outbox, 9u);
+  EXPECT_TRUE(phases[1].hit_round_limit);
+  EXPECT_EQ(phases[2].label, "sketch_exchange");
+  EXPECT_EQ(phases[2].rounds, 5u);
+  EXPECT_FALSE(phases[2].hit_round_limit);
+  EXPECT_EQ(total.rounds, 127u);
+  EXPECT_EQ(total.messages, 2160u);
+  EXPECT_EQ(total.limited_phases(), "tz_construction");
 }
 
 TEST(SimStats, CdgBuildCarriesLabeledPhases) {

@@ -8,10 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 #include <tuple>
+#include <vector>
 
+#include "congest/bfs_tree.hpp"
 #include "congest/sim.hpp"
 #include "graph/generators.hpp"
+#include "sketch/hierarchy.hpp"
+#include "sketch/tz_centralized.hpp"
+#include "sketch/tz_distributed.hpp"
 #include "util/rng.hpp"
 
 namespace dsketch {
@@ -120,6 +126,156 @@ TEST(SimFuzz, AsyncConservesMessages) {
   const SimStats stats = sim.run();
   EXPECT_EQ(p.sent_, p.delivered_);
   EXPECT_EQ(stats.messages, p.sent_);
+}
+
+// Like FuzzProtocol, but all audit state is node-owned so the protocol is
+// safe under parallel stepping; counters are reduced after the run.
+class ThreadedFuzzProtocol : public Protocol {
+ public:
+  ThreadedFuzzProtocol(NodeId n, std::uint64_t seed, int rounds_of_chatter)
+      : nodes_(n), chatter_rounds_(rounds_of_chatter) {
+    for (NodeId u = 0; u < n; ++u) {
+      nodes_[u].rng = Rng(seed ^ (u * 0x9e37ULL));
+    }
+  }
+
+  void on_start(NodeCtx& ctx) override { ctx.wake(); }
+
+  void on_round(NodeCtx& ctx) override {
+    NodeState& s = nodes_[ctx.node()];
+    std::map<std::uint32_t, int> seen_this_round;
+    std::uint32_t prev_edge = 0;
+    bool first = true;
+    for (const Inbound& in : ctx.inbox()) {
+      ++s.delivered;
+      ++seen_this_round[in.local_edge];
+      // Canonical inbox order: non-decreasing local edge.
+      if (!first) EXPECT_GE(in.local_edge, prev_edge) << "inbox unordered";
+      prev_edge = in.local_edge;
+      first = false;
+      const Word seq = in.msg.at(1);
+      if (s.last_seq.size() <= in.local_edge) {
+        s.last_seq.resize(ctx.degree(), 0);
+      }
+      EXPECT_GT(seq, s.last_seq[in.local_edge]) << "FIFO violated";
+      s.last_seq[in.local_edge] = seq;
+    }
+    for (const auto& [edge, count] : seen_this_round) {
+      EXPECT_EQ(count, 1) << "edge capacity violated at node " << ctx.node();
+    }
+    if (static_cast<int>(ctx.round()) < chatter_rounds_) {
+      const std::uint32_t deg = ctx.degree();
+      for (std::uint32_t e = 0; e < deg; ++e) {
+        if (s.rng.bernoulli(0.6)) {
+          ctx.send(e, Message{ctx.node(), ++s.send_seq});
+          ++s.sent;
+        }
+      }
+      ctx.wake();
+    }
+  }
+
+  std::uint64_t sent() const {
+    std::uint64_t total = 0;
+    for (const NodeState& s : nodes_) total += s.sent;
+    return total;
+  }
+  std::uint64_t delivered() const {
+    std::uint64_t total = 0;
+    for (const NodeState& s : nodes_) total += s.delivered;
+    return total;
+  }
+
+ private:
+  struct NodeState {
+    Rng rng{0};
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    Word send_seq = 0;  // per-sender sequence: FIFO audit stays per-edge
+    std::vector<Word> last_seq;
+  };
+  std::vector<NodeState> nodes_;
+  int chatter_rounds_;
+};
+
+TEST(SimFuzz, InvariantsHoldAcrossWorkerThreadCounts) {
+  // The model invariants (conservation, capacity, FIFO, canonical inbox
+  // order) must hold on the threaded stepping/delivery paths too, and the
+  // aggregate stats must be byte-identical to the serial run. 400 nodes
+  // keeps the active set above the parallelism threshold.
+  for (const std::uint64_t seed : {11u, 12u}) {
+    const Graph g = erdos_renyi(400, 0.02, {1, 5}, seed);
+    SimStats reference;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads));
+      ThreadedFuzzProtocol p(g.num_nodes(), seed * 31 + 7, 12);
+      SimConfig cfg;
+      cfg.threads = threads;
+      Simulator sim(g, p, cfg);
+      const SimStats stats = sim.run();
+      EXPECT_FALSE(stats.hit_round_limit);
+      EXPECT_EQ(p.sent(), p.delivered());
+      EXPECT_EQ(p.sent(), stats.messages);
+      if (threads == 1) {
+        reference = stats;
+      } else {
+        EXPECT_EQ(stats.rounds, reference.rounds);
+        EXPECT_EQ(stats.messages, reference.messages);
+        EXPECT_EQ(stats.words, reference.words);
+        EXPECT_EQ(stats.node_steps, reference.node_steps);
+        EXPECT_EQ(stats.max_outbox, reference.max_outbox);
+      }
+    }
+  }
+}
+
+TEST(EchoEdgeCases, SingleNodeGraph) {
+  // A one-node network: the node elects itself, the BFS "tree" is just
+  // the root, and the echo-terminated TZ build completes every phase with
+  // zero network traffic.
+  const Graph g = Graph::from_edges(1, {});
+  const BfsTreeRun run = build_bfs_tree(g);
+  EXPECT_EQ(run.tree.root, 0u);
+  ASSERT_EQ(run.tree.roots.size(), 1u);
+  EXPECT_TRUE(run.tree.is_root(0));
+  EXPECT_EQ(run.tree.depth(), 0u);
+  EXPECT_EQ(run.stats.messages, 0u);
+
+  const Hierarchy h = Hierarchy::sample(1, 2, 3);
+  const auto central = build_tz_centralized(g, h);
+  const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
+  ASSERT_EQ(echo.labels.size(), 1u);
+  EXPECT_TRUE(echo.labels[0] == central[0]);
+  EXPECT_EQ(echo.stats.messages, 0u);
+}
+
+TEST(EchoEdgeCases, IsolatedVerticesAndMultipleComponents) {
+  // 0-1-2 path, 3-4 edge, 5 isolated: flood-max elects the max id of each
+  // component, so the BFS forest has roots {2, 4, 5}.
+  const Graph g = Graph::from_edges(
+      6, {Edge{0, 1, 2}, Edge{1, 2, 3}, Edge{3, 4, 1}});
+  const BfsTreeRun run = build_bfs_tree(g);
+  const BfsTree& t = run.tree;
+  ASSERT_EQ(t.roots, (std::vector<NodeId>{2, 4, 5}));
+  EXPECT_EQ(t.root, 2u);
+  EXPECT_TRUE(t.is_root(2) && t.is_root(4) && t.is_root(5));
+  EXPECT_EQ(t.parent[1], 2u);
+  EXPECT_EQ(t.parent[0], 1u);
+  EXPECT_EQ(t.parent[3], 4u);
+  EXPECT_EQ(t.hops[0], 2u);
+  EXPECT_EQ(t.hops[5], 0u);
+  EXPECT_TRUE(t.child_edges[5].empty());
+
+  // Echo-terminated TZ on the same forest matches the centralized build;
+  // the isolated vertex's label covers only itself.
+  const Hierarchy h = Hierarchy::sample(6, 2, 9);
+  const auto central = build_tz_centralized(g, h);
+  const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
+  ASSERT_EQ(echo.labels.size(), 6u);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_TRUE(echo.labels[u] == central[u]) << "node " << u;
+  }
 }
 
 TEST(SimFuzz, NodeStepsOnlyForActiveNodes) {

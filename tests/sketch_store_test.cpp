@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "core/engine.hpp"
+#include "dynamics/incremental.hpp"
 #include "graph/generators.hpp"
+#include "sketch/tz_centralized.hpp"
 
 namespace dsketch {
 namespace {
@@ -217,6 +219,60 @@ TEST(SketchStoreFiles, SaveAndLoadFile) {
     }
   }
   EXPECT_THROW(SketchStore::load_file(path + ".missing"), std::runtime_error);
+}
+
+TEST(SketchStorePacking, TzLabelOraclePacksAndAnswersIdentically) {
+  // A bare TZ label set (the distributed build's output, or a dynamic
+  // sketch snapshot) must pack into the store and answer bit-identically.
+  const Graph g = erdos_renyi(70, 0.08, {1, 9}, 41);
+  const std::uint32_t k = 3;
+  Hierarchy h = Hierarchy::sample(g.num_nodes(), k, 42);
+  std::uint64_t bump = 1;
+  while (!h.top_level_nonempty()) {
+    h = Hierarchy::sample(g.num_nodes(), k, 42 + bump++);
+  }
+  const std::vector<TzLabel> labels = build_tz_centralized(g, h);
+  const TzLabelOracle oracle(labels, k);
+  ASSERT_TRUE(SketchStore::packable(oracle));
+  const SketchStore store = SketchStore::from_oracle(oracle);
+  EXPECT_EQ(store.scheme(), "tz");
+  EXPECT_EQ(store.store_scheme(), Scheme::kThorupZwick);
+  EXPECT_EQ(store.k(), k);
+  EXPECT_EQ(store.num_nodes(), g.num_nodes());
+  // A label set records no build epsilon; the store must not invent one.
+  EXPECT_FALSE(store.epsilon_known());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    // The packed arena encoding differs from the label view's word count,
+    // but it must exist for every node.
+    EXPECT_GT(store.size_words(u), 0u) << "node " << u;
+    for (NodeId v = u; v < g.num_nodes(); v += 3) {
+      EXPECT_EQ(store.query(u, v), oracle.query(u, v))
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(SketchStorePacking, TzLabelStoreSurvivesBinaryRoundTrip) {
+  const Graph g = grid2d(6, 6, {1, 5}, 43);
+  const std::uint32_t k = 2;
+  Hierarchy h = Hierarchy::sample(g.num_nodes(), k, 44);
+  std::uint64_t bump = 1;
+  while (!h.top_level_nonempty()) {
+    h = Hierarchy::sample(g.num_nodes(), k, 44 + bump++);
+  }
+  const TzLabelOracle oracle(build_tz_centralized(g, h), k);
+  const SketchStore store = SketchStore::from_oracle(oracle);
+  std::stringstream ss;
+  store.write(ss);
+  const SketchStore back = SketchStore::read(ss);
+  EXPECT_EQ(back.scheme(), "tz");
+  EXPECT_EQ(back.k(), k);
+  EXPECT_FALSE(back.epsilon_known());
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 3) {
+      EXPECT_EQ(back.query(u, v), oracle.query(u, v));
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //                 --seed 42 --out net.graph
 //   dsketch info  --graph net.graph [--exact-diameters]
 //   dsketch build --graph net.graph --scheme tz --k 3 [--echo] [--async 4]
+//                 [--sim-threads 0]
 //                 [--save text.sketch] [--store net.store]
 //   dsketch query --graph net.graph --scheme slack --epsilon 0.1
 //                 --pairs 0:17,3:999 [--exact] [--load text.sketch]
@@ -71,7 +72,8 @@ int usage() {
                "[--seed S] --out FILE\n"
                "  info  --graph FILE [--exact-diameters]\n"
                "  build --graph FILE --scheme NAME [--k K] "
-               "[--epsilon E] [--echo|--known-s] [--async DMAX] [--seed S] "
+               "[--epsilon E] [--echo|--known-s] [--async DMAX] "
+               "[--sim-threads T] [--seed S] "
                "[--landmarks L] [--save FILE] [--store FILE] "
                "[--round-log FILE]\n"
                "  query --graph FILE --scheme NAME --pairs u:v,u:v [--exact] "
