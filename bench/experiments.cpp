@@ -52,6 +52,11 @@ const std::vector<Experiment>& experiment_registry() {
        "1.1 round/message bound ratios, pack + serve verified against "
        "the centralized construction",
        run_e15},
+      {"e16", "faults",
+       "Fault injection and recovery: loss x crash sweep over seeded "
+       "FaultPlans, label identity under retransmission, degraded-mode "
+       "serving through the circuit breaker",
+       run_e16},
   };
   return registry;
 }

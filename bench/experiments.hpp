@@ -65,5 +65,6 @@ int run_e12(const FlagSet& flags, std::ostream& out);
 int run_e13(const FlagSet& flags, std::ostream& out);
 int run_e14(const FlagSet& flags, std::ostream& out);
 int run_e15(const FlagSet& flags, std::ostream& out);
+int run_e16(const FlagSet& flags, std::ostream& out);
 
 }  // namespace dsketch::bench

@@ -18,6 +18,8 @@ struct SimPhase {
   std::uint64_t words = 0;
   std::uint64_t node_steps = 0;
   std::uint64_t max_outbox = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
   bool hit_round_limit = false;
 };
 
@@ -27,6 +29,8 @@ struct SimStats {
   std::uint64_t words = 0;         ///< total words across those messages
   std::uint64_t node_steps = 0;    ///< on_round invocations (work measure)
   std::uint64_t max_outbox = 0;    ///< peak per-edge queue depth observed
+  std::uint64_t dropped = 0;       ///< transmissions lost to fault injection
+  std::uint64_t duplicated = 0;    ///< extra copies delivered by faults
   bool hit_round_limit = false;    ///< run stopped by max_rounds, not quiescence
 
   /// Phase label of a single run (SimConfig::phase); empty when unset.
@@ -44,6 +48,8 @@ struct SimStats {
                     words,
                     node_steps,
                     max_outbox,
+                    dropped,
+                    duplicated,
                     hit_round_limit};
   }
 
@@ -101,6 +107,8 @@ struct SimStats {
       existing->messages += p.messages;
       existing->words += p.words;
       existing->node_steps += p.node_steps;
+      existing->dropped += p.dropped;
+      existing->duplicated += p.duplicated;
       if (p.max_outbox > existing->max_outbox) {
         existing->max_outbox = p.max_outbox;
       }
@@ -111,6 +119,8 @@ struct SimStats {
     messages += o.messages;
     words += o.words;
     node_steps += o.node_steps;
+    dropped += o.dropped;
+    duplicated += o.duplicated;
     if (o.max_outbox > max_outbox) max_outbox = o.max_outbox;
     hit_round_limit = hit_round_limit || o.hit_round_limit;
     return *this;

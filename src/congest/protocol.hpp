@@ -75,6 +75,13 @@ class Protocol {
     (void)sim;
     return false;
   }
+
+  // Fault-injection hooks (congest/fault_plan.hpp). A crashed node is not
+  // stepped and loses all in-flight messages, but its protocol state
+  // survives (fail-recover with stable storage); on_restart runs at its
+  // first step back up. The default resumes as a normal round.
+  virtual void on_crash(NodeId node) { (void)node; }
+  virtual void on_restart(NodeCtx& ctx) { on_round(ctx); }
 };
 
 }  // namespace dsketch

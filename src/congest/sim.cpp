@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "congest/fault_plan.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -51,6 +52,23 @@ Simulator::Simulator(const Graph& graph, Protocol& protocol, SimConfig cfg)
   pull_count_.assign(n, 0);
   stats_.label = cfg_.phase;
   if (cfg_.round_log != nullptr) cfg_.round_log->begin_phase(cfg_.phase);
+  faults_ = cfg_.faults;
+  if (faults_ != nullptr) {
+    down_.assign(n, 0);
+    restart_pending_.assign(n, 0);
+    restart_round_.assign(n, 0);
+    send_seq_.assign(half_edges, 0);
+    for (const CrashEvent& c : faults_->crashes()) {
+      fault_events_.push_back(FaultEvent{c.at, c.node, false, c.restart});
+      fault_events_.push_back(FaultEvent{c.restart, c.node, true, 0});
+    }
+    std::sort(fault_events_.begin(), fault_events_.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                if (a.round != b.round) return a.round < b.round;
+                if (a.restart != b.restart) return a.restart;  // restarts first
+                return a.node < b.node;
+              });
+  }
   resolve_twins();
   activate_all();
 }
@@ -131,15 +149,21 @@ void Simulator::enqueue(NodeId u, std::uint32_t local, const Message& m) {
 
 SimStats Simulator::run() {
   for (;;) {
+    if (faults_ != nullptr) apply_fault_events();
     flush_future();
     if (active_.empty() && busy_edges_.empty()) {
-      if (!future_.empty() || !wake_schedule_.empty()) {
-        // Nothing happens until the next scheduled arrival or timer;
-        // fast-forward the round counter to it.
+      const bool pending_faults =
+          faults_ != nullptr && next_fault_event_ < fault_events_.size();
+      if (!future_.empty() || !wake_schedule_.empty() || pending_faults) {
+        // Nothing happens until the next scheduled arrival, timer, or
+        // fault event; fast-forward the round counter to it.
         std::uint64_t next = static_cast<std::uint64_t>(-1);
         if (!future_.empty()) next = future_.begin()->first;
         if (!wake_schedule_.empty()) {
           next = std::min(next, wake_schedule_.begin()->first);
+        }
+        if (pending_faults) {
+          next = std::min(next, fault_events_[next_fault_event_].round);
         }
         round_ = next;
         stats_.rounds = round_;
@@ -159,13 +183,14 @@ SimStats Simulator::run() {
     const std::uint64_t active_nodes = active_.size();
     const std::uint64_t prev_messages = stats_.messages;
     const std::uint64_t prev_words = stats_.words;
+    const std::uint64_t prev_dropped = stats_.dropped;
     step_active_nodes();
     splice_new_work();
     deliver();
     if (cfg_.round_log != nullptr) {
       cfg_.round_log->record(obs::RoundSample{
           round_, stats_.messages - prev_messages, stats_.words - prev_words,
-          active_nodes, stats_.max_outbox});
+          active_nodes, stats_.max_outbox, stats_.dropped - prev_dropped});
     }
     ++round_;
     stats_.rounds = round_;
@@ -174,22 +199,89 @@ SimStats Simulator::run() {
   return stats_;
 }
 
+void Simulator::apply_fault_events() {
+  bool touched = false;
+  while (next_fault_event_ < fault_events_.size() &&
+         fault_events_[next_fault_event_].round <= round_) {
+    const FaultEvent ev = fault_events_[next_fault_event_++];
+    const NodeId u = ev.node;
+    if (ev.restart) {
+      if (!down_[u]) continue;
+      down_[u] = 0;
+      restart_pending_[u] = 1;
+      if (!in_active_list_[u]) {
+        in_active_list_[u] = 1;
+        active_.push_back(u);
+        touched = true;
+      }
+    } else {
+      restart_round_[u] = ev.restart_at;
+      crash_node(u);
+    }
+  }
+  if (touched) std::sort(active_.begin(), active_.end());
+}
+
+void Simulator::crash_node(NodeId u) {
+  down_[u] = 1;
+  protocol_.on_crash(u);
+  // Messages delivered but not yet processed are lost with the node.
+  stats_.dropped += inbox_[u].size();
+  inbox_[u].clear();
+  // Queued-but-untransmitted outbound messages vanish too. They were
+  // never counted as transmissions, so they don't count as drops either.
+  bool emptied = false;
+  const auto deg = static_cast<std::uint32_t>(graph_.degree(u));
+  for (std::uint32_t local = 0; local < deg; ++local) {
+    const std::size_t h = graph_.half_edge_index(u, local);
+    if (!outbox_[h].empty()) {
+      outbox_[h] = Outbox{};
+      emptied = true;
+    }
+  }
+  if (emptied) {
+    // Keep the nonempty invariant of busy_edges_ intact.
+    std::vector<std::size_t> still_busy;
+    still_busy.reserve(busy_edges_.size());
+    for (const std::size_t h : busy_edges_) {
+      if (!outbox_[h].empty()) {
+        still_busy.push_back(h);
+      } else {
+        edge_busy_flag_[h] = 0;
+      }
+    }
+    busy_edges_.swap(still_busy);
+  }
+}
+
 void Simulator::flush_future() {
   bool touched = false;
   const auto wit = wake_schedule_.find(round_);
   if (wit != wake_schedule_.end()) {
-    for (const NodeId u : wit->second) {
+    // Move out first: deferring a wake for a down node inserts into the
+    // map we are erasing from.
+    const std::vector<NodeId> woken = std::move(wit->second);
+    wake_schedule_.erase(wit);
+    for (const NodeId u : woken) {
+      if (faults_ != nullptr && down_[u]) {
+        // The node sleeps through its timer; fire it at restart instead.
+        wake_schedule_[restart_round_[u]].push_back(u);
+        continue;
+      }
       if (!in_active_list_[u]) {
         in_active_list_[u] = 1;
         active_.push_back(u);
         touched = true;
       }
     }
-    wake_schedule_.erase(wit);
   }
   const auto it = future_.find(round_);
   if (it != future_.end()) {
     for (PendingDelivery& d : it->second) {
+      if (faults_ != nullptr && down_[d.to]) {
+        ++stats_.dropped;  // delivered into a crashed node
+        continue;
+      }
       if (!in_active_list_[d.to]) {
         in_active_list_[d.to] = 1;
         active_.push_back(d.to);
@@ -215,13 +307,39 @@ void Simulator::flush_future() {
 }
 
 void Simulator::step_active_nodes() {
-  stats_.node_steps += active_.size();
+  std::uint64_t stepped = active_.size();
+  if (faults_ != nullptr) {
+    // Serial prepass: crashed nodes sleep through this round and lose
+    // anything that reached their inbox in the meantime.
+    for (const NodeId u : active_) {
+      if (down_[u]) {
+        --stepped;
+        stats_.dropped += inbox_[u].size();
+        inbox_[u].clear();
+      }
+    }
+  }
+  stats_.node_steps += stepped;
   auto step_one = [this](std::size_t idx) {
     const NodeId u = active_[idx];
+    if (faults_ != nullptr) {
+      if (down_[u]) return;
+      auto& in = inbox_[u];
+      if (in.size() > 1 && faults_->reorder_inbox(u, round_)) {
+        Rng shuffle_rng(faults_->reorder_seed(u, round_));
+        for (std::size_t i = in.size() - 1; i > 0; --i) {
+          std::swap(in[i], in[shuffle_rng.below(i + 1)]);
+        }
+      }
+    }
     NodeCtx ctx(*this, u);
     if (start_pending_[u]) {
       start_pending_[u] = 0;
+      if (faults_ != nullptr) restart_pending_[u] = 0;
       protocol_.on_start(ctx);
+    } else if (faults_ != nullptr && restart_pending_[u]) {
+      restart_pending_[u] = 0;
+      protocol_.on_restart(ctx);
     } else {
       protocol_.on_round(ctx);
     }
@@ -302,8 +420,21 @@ void Simulator::deliver_serial(std::vector<NodeId>& next_active) {
       box.pop();
       stats_.messages += 1;
       stats_.words += m.size_words();
+      // Draw the delay before any fault decision so the RNG stream stays
+      // aligned with transmission order regardless of the fault plan.
       const std::uint64_t arrival =
           round_ + 1 + delay_rng_.below(cfg_.async_max_delay);
+      if (faults_ != nullptr) {
+        const std::uint64_t seq = send_seq_[h]++;
+        if (faults_->drop_transmission(h, seq, round_)) {
+          ++stats_.dropped;
+          continue;
+        }
+        if (faults_->duplicate_transmission(h, seq)) {
+          ++stats_.duplicated;
+          future_[arrival + 1].push_back(PendingDelivery{to, to_local, m});
+        }
+      }
       if (arrival == round_ + 1) {
         if (inbox_[to].empty()) next_active.push_back(to);
         inbox_[to].push_back(Inbound{to_local, m});
@@ -376,6 +507,21 @@ void Simulator::deliver_parallel(std::vector<NodeId>& next_active) {
         const Message m = box.front();
         box.pop();
         delta.words += m.size_words();
+        if (faults_ != nullptr) {
+          // (edge, seq) keys every fault decision: each half-edge is
+          // pulled by exactly one lane, so the counters are race-free
+          // and the outcome is independent of lane scheduling.
+          const std::uint64_t seq = send_seq_[h]++;
+          if (faults_->drop_transmission(h, seq, round_)) {
+            ++delta.dropped;
+            continue;
+          }
+          if (faults_->duplicate_transmission(h, seq)) {
+            ++delta.duplicated;
+            delta.dups.push_back(PendingDelivery{to, to_local, m});
+          }
+        }
+        ++delta.delivered;
         in.push_back(Inbound{to_local, m});
       }
     }
@@ -388,14 +534,27 @@ void Simulator::deliver_parallel(std::vector<NodeId>& next_active) {
         [&pull_one](std::size_t /*lane*/, std::size_t i) { pull_one(i); });
   }
 
-  // Serial reduction in receiver order; every receiver got >= 1 message.
+  // Serial reduction in receiver order. Without faults every receiver got
+  // >= 1 message; with faults a receiver whose entire pull was dropped is
+  // not woken (a lost message never arrives). Duplicate copies are folded
+  // into the future wheel here, in receiver order, so their arrival order
+  // is thread-count independent.
   for (std::size_t i = 0; i < ready_.size(); ++i) {
-    stats_.messages += deltas_[i].messages;
-    stats_.words += deltas_[i].words;
-    if (deltas_[i].max_depth > stats_.max_outbox) {
-      stats_.max_outbox = deltas_[i].max_depth;
+    ReceiverDelta& delta = deltas_[i];
+    stats_.messages += delta.messages;
+    stats_.words += delta.words;
+    stats_.dropped += delta.dropped;
+    stats_.duplicated += delta.duplicated;
+    if (delta.max_depth > stats_.max_outbox) {
+      stats_.max_outbox = delta.max_depth;
     }
-    next_active.push_back(ready_[i]);
+    if (!delta.dups.empty()) {
+      auto& slot = future_[round_ + 2];
+      for (PendingDelivery& d : delta.dups) slot.push_back(std::move(d));
+    }
+    if (delta.delivered > 0 || faults_ == nullptr) {
+      next_active.push_back(ready_[i]);
+    }
     ready_flag_[ready_[i]] = 0;
   }
 

@@ -52,6 +52,7 @@
 
 namespace dsketch {
 
+class FaultPlan;
 class ThreadPool;
 
 struct SimConfig {
@@ -81,6 +82,14 @@ struct SimConfig {
   /// round (fast-forwarded idle rounds emit nothing). Not owned; must
   /// outlive run().
   obs::RoundLog* round_log = nullptr;
+
+  /// When non-null, fault injection is active: transmissions may be
+  /// dropped or duplicated, inboxes reordered, links taken down, and
+  /// nodes crashed/restarted per the plan's seeded schedule (see
+  /// congest/fault_plan.hpp). Not owned; must outlive run(). The
+  /// determinism contract still holds: for a fixed plan, execution is
+  /// byte-identical across `threads` values and reruns.
+  const FaultPlan* faults = nullptr;
 };
 
 class Simulator {
@@ -161,6 +170,8 @@ class Simulator {
   void deliver_serial(std::vector<NodeId>& next_active);
   void deliver_parallel(std::vector<NodeId>& next_active);
   void flush_future();
+  void apply_fault_events();
+  void crash_node(NodeId u);
 
   const Graph& graph_;
   Protocol& protocol_;
@@ -205,8 +216,30 @@ class Simulator {
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
     std::uint64_t max_depth = 0;
+    std::uint64_t delivered = 0;   // messages that actually reached the inbox
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::vector<PendingDelivery> dups;  // fault copies, folded serially
   };
   std::vector<ReceiverDelta> deltas_;
+
+  // Fault-injection state (only allocated when cfg.faults != nullptr).
+  // All mutations happen in serial phases (apply_fault_events, flush,
+  // reductions) except send_seq_, which is advanced inside delivery —
+  // safe because each half-edge is drained by exactly one lane.
+  const FaultPlan* faults_ = nullptr;
+  std::vector<char> down_;                    // node currently crashed
+  std::vector<char> restart_pending_;         // on_restart owed to node
+  std::vector<std::uint64_t> restart_round_;  // valid while down_[u]
+  std::vector<std::uint64_t> send_seq_;       // transmissions per half-edge
+  struct FaultEvent {
+    std::uint64_t round;
+    NodeId node;
+    bool restart;
+    std::uint64_t restart_at = 0;  // for crash events: the paired restart
+  };
+  std::vector<FaultEvent> fault_events_;      // sorted by round
+  std::size_t next_fault_event_ = 0;
 
   std::unique_ptr<ThreadPool> own_pool_;      // cfg.threads not in {0, 1}
 };

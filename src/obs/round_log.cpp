@@ -24,6 +24,7 @@ void RoundLog::record(const RoundSample& s) {
   ++win_rounds_;
   win_messages_ += s.messages;
   win_words_ += s.words;
+  win_dropped_ += s.dropped;
   if (s.active_nodes > win_active_max_) win_active_max_ = s.active_nodes;
   if (s.max_outbox > win_outbox_max_) win_outbox_max_ = s.max_outbox;
   if (win_rounds_ >= stride_) emit_window();
@@ -44,13 +45,15 @@ void RoundLog::emit_window() {
       .add("messages", win_messages_)
       .add("words", win_words_)
       .add("active_nodes", win_active_max_)
-      .add("max_outbox", win_outbox_max_);
+      .add("max_outbox", win_outbox_max_)
+      .add("dropped", win_dropped_);
   line.emit(out_);
   ++phase_lines_;
   ++total_lines_;
   win_rounds_ = 0;
   win_messages_ = 0;
   win_words_ = 0;
+  win_dropped_ = 0;
   win_active_max_ = 0;
   win_outbox_max_ = 0;
   // Budget reached: coarsen future windows so a phase of any length

@@ -23,6 +23,7 @@ struct RoundSample {
   std::uint64_t words = 0;         ///< words shipped this round
   std::uint64_t active_nodes = 0;  ///< nodes stepped this round
   std::uint64_t max_outbox = 0;    ///< peak queue depth so far
+  std::uint64_t dropped = 0;       ///< transmissions lost to fault injection
 };
 
 class RoundLog {
@@ -68,6 +69,7 @@ class RoundLog {
   std::uint64_t win_words_ = 0;
   std::uint64_t win_active_max_ = 0;
   std::uint64_t win_outbox_max_ = 0;
+  std::uint64_t win_dropped_ = 0;
 };
 
 }  // namespace dsketch::obs

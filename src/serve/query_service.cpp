@@ -1,6 +1,8 @@
 #include "serve/query_service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -17,6 +19,7 @@ QueryService::QueryService(std::shared_ptr<const DistanceOracle> oracle,
     : slot_(std::move(oracle)),
       force_ordered_keys_(cfg.force_ordered_keys),
       collect_metrics_(cfg.collect_metrics),
+      cfg_(cfg),
       pool_(cfg.threads) {
   if (cfg.shards == 0) {
     // Enough shards that the pool's serial-fallback threshold
@@ -30,11 +33,76 @@ QueryService::QueryService(std::shared_ptr<const DistanceOracle> oracle,
   }
 }
 
-void QueryService::run_shard(Shard& shard, const OracleSnapshot& snap,
-                             bool canonical_keys,
+Dist QueryService::query_degraded(Shard& shard, const BatchCtx& ctx,
+                                  NodeId u, NodeId v) {
+  // Failover chain: the previous published generation is the closest
+  // approximation of current truth; an exact fallback recomputes from the
+  // graph; with neither, kInfDist is a safe one-sided "don't know". Every
+  // branch may itself misbehave, so each is guarded — a throwing failover
+  // degrades further down the chain instead of killing the batch.
+  if (ctx.previous.oracle != nullptr) {
+    try {
+      const Dist d = ctx.previous.oracle->query(u, v);
+      ++shard.stale_answers;
+      return d;
+    } catch (...) {
+    }
+  }
+  if (cfg_.fallback != nullptr) {
+    try {
+      const Dist d = cfg_.fallback->query(u, v);
+      ++shard.fallback_answers;
+      return d;
+    } catch (...) {
+    }
+  }
+  ++shard.shed_answers;
+  return kInfDist;
+}
+
+bool QueryService::query_primary(Shard& shard, const OracleSnapshot& snap,
+                                 NodeId u, NodeId v, Dist& answer) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      answer = snap.oracle->query(u, v);
+      return true;
+    } catch (...) {
+      if (attempt >= cfg_.max_retries) {
+        ++shard.failures;
+        return false;
+      }
+      ++shard.retries;
+      if (cfg_.retry_backoff_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cfg_.retry_backoff_us << attempt));
+      }
+    }
+  }
+}
+
+void QueryService::run_shard(Shard& shard, const BatchCtx& ctx,
                              std::span<const Pair> pairs,
                              std::span<Dist> out) {
   if (shard.slice.empty()) return;
+  const OracleSnapshot& snap = ctx.snap;
+  // Breaker gate: an open shard serves entirely from the failover chain
+  // until its cooldown elapses, then half-opens for one probe slice.
+  bool use_primary = true;
+  if (shard.breaker == Breaker::kOpen) {
+    if (ctx.batch >= shard.probe_batch) {
+      shard.breaker = Breaker::kHalfOpen;
+      ++shard.breaker_probes;
+    } else {
+      use_primary = false;
+    }
+  }
+  if (!use_primary) {
+    for (const std::uint32_t i : shard.slice) {
+      ++shard.queries;
+      out[i] = query_degraded(shard, ctx, pairs[i].first, pairs[i].second);
+    }
+    return;
+  }
   if (shard.cache_generation != snap.generation) {
     // The cache holds answers of an older oracle; generation tagging
     // makes the drop a per-shard O(entries) clear on first use instead
@@ -47,23 +115,59 @@ void QueryService::run_shard(Shard& shard, const OracleSnapshot& snap,
   }
   const obs::Span slice_span("shard_slice",
                              static_cast<std::uint64_t>(shard.slice.size()));
+  const bool deadline_on = cfg_.shard_deadline_us > 0;
+  bool slice_failed = false;
+  bool over_deadline = false;
   Timer timer;
   for (const std::uint32_t i : shard.slice) {
     const auto [u, v] = pairs[i];
-    const std::uint64_t key =
-        canonical_keys ? canonical_pair_key(u, v) : ordered_pair_key(u, v);
     ++shard.queries;
+    if (over_deadline) {
+      // Budget exhausted: the slice's tail is served degraded so the batch
+      // still completes in bounded time.
+      out[i] = query_degraded(shard, ctx, u, v);
+      continue;
+    }
+    const std::uint64_t key = ctx.canonical_keys ? canonical_pair_key(u, v)
+                                                 : ordered_pair_key(u, v);
     if (const Dist* hit = shard.cache.get(key)) {
       ++shard.cache_hits;
       out[i] = *hit;
       continue;
     }
     const obs::Span query_span("oracle_query");
-    const Dist d = snap.oracle->query(u, v);
-    shard.cache.put(key, d);
-    out[i] = d;
+    Dist d = kInfDist;
+    if (query_primary(shard, snap, u, v, d)) {
+      shard.cache.put(key, d);
+      out[i] = d;
+    } else {
+      slice_failed = true;
+      out[i] = query_degraded(shard, ctx, u, v);
+    }
+    if (deadline_on &&
+        timer.seconds() * 1e6 > static_cast<double>(cfg_.shard_deadline_us)) {
+      over_deadline = true;
+      ++shard.deadline_violations;
+    }
   }
   if (collect_metrics_) shard.slice_latency_us.record(timer.seconds() * 1e6);
+
+  // Breaker bookkeeping: one strike per failing slice, reset on a clean one.
+  if (slice_failed || over_deadline) {
+    ++shard.strikes;
+    const bool trip =
+        shard.breaker == Breaker::kHalfOpen ||
+        (cfg_.breaker_threshold > 0 && shard.strikes >= cfg_.breaker_threshold);
+    if (trip) {
+      if (shard.breaker != Breaker::kOpen) ++shard.breaker_opens;
+      shard.breaker = Breaker::kOpen;
+      shard.probe_batch = ctx.batch + 1 + cfg_.breaker_cooldown_batches;
+      shard.strikes = 0;
+    }
+  } else {
+    shard.strikes = 0;
+    shard.breaker = Breaker::kClosed;
+  }
 }
 
 std::uint64_t QueryService::query_batch(std::span<const Pair> pairs,
@@ -72,10 +176,14 @@ std::uint64_t QueryService::query_batch(std::span<const Pair> pairs,
   const obs::Span batch_span("serve_batch",
                              static_cast<std::uint64_t>(pairs.size()));
   Timer timer;
-  // Pin one snapshot for the whole batch: every pair is answered by the
-  // same oracle generation even if swap() lands mid-batch.
-  const OracleSnapshot snap = slot_.load();
-  const bool canonical_keys = snap.symmetric && !force_ordered_keys_;
+  // Pin one snapshot (and its failover predecessor) for the whole batch:
+  // every pair is answered by the same oracle generation even if swap()
+  // lands mid-batch.
+  BatchCtx ctx;
+  ctx.snap = slot_.load();
+  ctx.previous = slot_.previous();
+  ctx.canonical_keys = ctx.snap.symmetric && !force_ordered_keys_;
+  ctx.batch = batches_;
   // Scatter pair indices to their owning shards (single pass, reused
   // buffers), then execute each shard's slice on the pool. out[] is
   // indexed by the original position, so answers are order-stable and
@@ -87,11 +195,11 @@ std::uint64_t QueryService::query_batch(std::span<const Pair> pairs,
     shards_[s].slice.push_back(static_cast<std::uint32_t>(i));
   }
   pool_.parallel_for(shards_.size(), [&](std::size_t s) {
-    run_shard(shards_[s], snap, canonical_keys, pairs, out);
+    run_shard(shards_[s], ctx, pairs, out);
   });
   ++batches_;
   wall_seconds_ += timer.seconds();
-  return snap.generation;
+  return ctx.snap.generation;
 }
 
 Dist QueryService::query(NodeId u, NodeId v) {
@@ -118,6 +226,15 @@ QueryServiceStats QueryService::stats() const {
     s.cache_invalidations += shard.invalidations;
     s.shard_queries.push_back(shard.queries);
     latencies.merge(shard.slice_latency_us);
+    s.query_failures += shard.failures;
+    s.query_retries += shard.retries;
+    s.deadline_violations += shard.deadline_violations;
+    s.breaker_opens += shard.breaker_opens;
+    s.breaker_probes += shard.breaker_probes;
+    s.stale_answers += shard.stale_answers;
+    s.fallback_answers += shard.fallback_answers;
+    s.shed_answers += shard.shed_answers;
+    if (shard.breaker != Breaker::kClosed) ++s.breakers_open;
   }
   s.batches = batches_;
   s.swaps = swaps_.load(std::memory_order_relaxed);
@@ -141,6 +258,14 @@ void QueryService::reset_stats() {
     shard.cache_hits = 0;
     shard.invalidations = 0;
     shard.slice_latency_us.reset();
+    shard.failures = 0;
+    shard.retries = 0;
+    shard.deadline_violations = 0;
+    shard.breaker_opens = 0;
+    shard.breaker_probes = 0;
+    shard.stale_answers = 0;
+    shard.fallback_answers = 0;
+    shard.shed_answers = 0;
   }
   batches_ = 0;
   swaps_.store(0, std::memory_order_relaxed);
@@ -159,6 +284,16 @@ void QueryService::export_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge("serve_wall_seconds").set(s.wall_seconds);
   registry.gauge("serve_qps").set(s.qps);
   registry.gauge("serve_hit_rate").set(s.hit_rate);
+  registry.counter("serve_query_failures_total").set(s.query_failures);
+  registry.counter("serve_query_retries_total").set(s.query_retries);
+  registry.counter("serve_deadline_violations_total")
+      .set(s.deadline_violations);
+  registry.counter("serve_breaker_opens_total").set(s.breaker_opens);
+  registry.counter("serve_breaker_probes_total").set(s.breaker_probes);
+  registry.counter("serve_stale_answers_total").set(s.stale_answers);
+  registry.counter("serve_fallback_answers_total").set(s.fallback_answers);
+  registry.counter("serve_shed_answers_total").set(s.shed_answers);
+  registry.gauge("serve_breakers_open").set(static_cast<double>(s.breakers_open));
   obs::LatencyHistogram& h = registry.histogram("serve_shard_slice_us");
   h.reset();
   for (const Shard& shard : shards_) h.merge(shard.slice_latency_us);

@@ -76,6 +76,33 @@ struct QueryServiceConfig {
   /// they are integral to cache behavior, not observability. This is the
   /// measured "observability off" mode of the obs_overhead bench rows.
   bool collect_metrics = true;
+
+  // ---- degraded-mode serving (all off by default) --------------------------
+  // A query that throws is retried with exponential backoff; a slice that
+  // still fails (or overruns its deadline) counts one strike against the
+  // shard's circuit breaker. After `breaker_threshold` consecutive strikes
+  // the breaker opens: the shard stops touching the primary oracle and
+  // serves from the previous OracleSlot generation if one exists, else from
+  // `fallback` (e.g. an ExactOracle recomputing BFS answers), else answers
+  // kInfDist ("don't know" — never a wrong finite distance). After
+  // `breaker_cooldown_batches` batches the breaker half-opens: one probe
+  // slice runs against the primary; success closes it, failure re-opens.
+  // Degraded answers bypass the shard cache (they belong to a different
+  // oracle identity), so a recovered shard never serves a stale mixture.
+
+  /// Wall-clock budget for one shard's slice of a batch, in microseconds.
+  /// Once exceeded, the rest of the slice is served degraded and the
+  /// overrun counts as a breaker strike. 0 disables deadlines.
+  std::uint64_t shard_deadline_us = 0;
+  std::uint32_t max_retries = 2;        ///< per-query retries on a throw
+  std::uint64_t retry_backoff_us = 50;  ///< first backoff; doubles per retry
+  /// Consecutive failing slices that open a shard's breaker; 0 disables
+  /// the breaker (failures still retry and fail over per query).
+  std::uint64_t breaker_threshold = 3;
+  std::uint64_t breaker_cooldown_batches = 4;  ///< open -> half-open probe
+  /// Last-line fallback oracle for broken shards when no previous
+  /// generation exists (typically baselines' ExactOracle over the graph).
+  std::shared_ptr<const DistanceOracle> fallback;
 };
 
 /// Service-wide roll-up of per-shard counters (see QueryService::stats).
@@ -96,6 +123,18 @@ struct QueryServiceStats {
   /// stability).
   Summary slice_latency_us;
   std::vector<std::uint64_t> shard_queries;  ///< load balance view
+
+  // Degraded-mode decision counters (see QueryServiceConfig). Every
+  // degradation decision increments exactly one of these.
+  std::uint64_t query_failures = 0;    ///< primary queries failed post-retry
+  std::uint64_t query_retries = 0;     ///< individual retry attempts
+  std::uint64_t deadline_violations = 0;  ///< shard slices over budget
+  std::uint64_t breaker_opens = 0;     ///< closed/half-open -> open edges
+  std::uint64_t breaker_probes = 0;    ///< half-open probe slices run
+  std::uint64_t stale_answers = 0;     ///< served from previous generation
+  std::uint64_t fallback_answers = 0;  ///< served from the fallback oracle
+  std::uint64_t shed_answers = 0;      ///< kInfDist, no failover available
+  std::uint64_t breakers_open = 0;     ///< shards currently open/half-open
 };
 
 /// The sharded batch query engine (see the file comment for the model).
@@ -153,6 +192,10 @@ class QueryService {
   std::size_t num_threads() const { return pool_.size() + 1; }
 
  private:
+  /// Per-shard circuit breaker state (see QueryServiceConfig's degraded-
+  /// mode comment for the transition rules).
+  enum class Breaker { kClosed, kOpen, kHalfOpen };
+
   struct Shard {
     LruCache<std::uint64_t, Dist> cache;
     /// Generation whose answers the cache holds; a batch under a newer
@@ -166,6 +209,18 @@ class QueryService {
     /// merged across shards at stats() time without a copy+sort.
     obs::LatencyHistogram slice_latency_us;
     std::vector<std::uint32_t> slice;  ///< scratch: pair indices this batch
+
+    Breaker breaker = Breaker::kClosed;
+    std::uint64_t strikes = 0;       ///< consecutive failing slices
+    std::uint64_t probe_batch = 0;   ///< batch at which open -> half-open
+    std::uint64_t failures = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t deadline_violations = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_probes = 0;
+    std::uint64_t stale_answers = 0;
+    std::uint64_t fallback_answers = 0;
+    std::uint64_t shed_answers = 0;
   };
 
   // Cache identity: ordered_pair_key for orientation-dependent oracles,
@@ -178,13 +233,28 @@ class QueryService {
     return static_cast<std::size_t>((z ^ (z >> 31)) % shards_.size());
   }
 
-  void run_shard(Shard& shard, const OracleSnapshot& snap,
-                 bool canonical_keys, std::span<const Pair> pairs,
-                 std::span<Dist> out);
+  /// Everything one batch hands every shard: the pinned primary snapshot
+  /// plus the degraded-mode failover targets, resolved once per batch.
+  struct BatchCtx {
+    OracleSnapshot snap;      ///< pinned primary
+    OracleSnapshot previous;  ///< slot_.previous(); oracle null before swap 1
+    bool canonical_keys = false;
+    std::uint64_t batch = 0;  ///< batch sequence number (breaker clock)
+  };
+
+  void run_shard(Shard& shard, const BatchCtx& ctx,
+                 std::span<const Pair> pairs, std::span<Dist> out);
+  /// Answers one pair from the failover chain (previous generation, then
+  /// fallback, then kInfDist), bumping the matching decision counter.
+  Dist query_degraded(Shard& shard, const BatchCtx& ctx, NodeId u, NodeId v);
+  /// Primary query with retry/backoff; false once retries are exhausted.
+  bool query_primary(Shard& shard, const OracleSnapshot& snap, NodeId u,
+                     NodeId v, Dist& answer);
 
   OracleSlot slot_;
   bool force_ordered_keys_ = false;
   bool collect_metrics_ = true;
+  QueryServiceConfig cfg_;
   ThreadPool pool_;
   std::vector<Shard> shards_;
   std::uint64_t batches_ = 0;

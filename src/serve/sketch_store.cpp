@@ -1,5 +1,8 @@
 #include "serve/sketch_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -21,9 +24,15 @@
 namespace dsketch {
 namespace {
 
-constexpr char kMagic[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kMagicV1[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '1'};
+constexpr char kMagicV2[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '2'};
+constexpr std::uint32_t kVersion = 2;
 constexpr std::uint32_t kFlagEpsilonKnown = 1;  // header flags word, bit 0
+constexpr std::size_t kHeaderBytes = 48;  // after the magic, pre-checksum
+
+[[noreturn]] void fail(StoreError kind, const std::string& what) {
+  throw StoreCorruptionError(kind, "sketch store: " + what);
+}
 
 std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
   std::uint64_t hash = 14695981039346656037ULL;
@@ -89,9 +98,7 @@ class ByteReader {
 
  private:
   void need(std::size_t n) const {
-    if (size_ - pos_ < n) {
-      throw std::runtime_error("sketch store: truncated payload");
-    }
+    if (size_ - pos_ < n) fail(StoreError::kTruncatedPayload, "truncated payload");
   }
   const std::uint8_t* data_;
   std::size_t size_;
@@ -401,6 +408,9 @@ Dist SketchStore::query_segment(const Segment& seg, NodeId u, NodeId v) const {
   const std::uint32_t* rv = seg.arena.data() + seg.offsets[v];
   const Dist du = read_dist(ru + 1);
   const Dist dv = read_dist(rv + 1);
+  // An infinite net distance (unreachable net node, or a quarantined
+  // record) must not flow into the sum below — it would wrap around.
+  if (du == kInfDist || dv == kInfDist) return kInfDist;
   const NodeId owner_u = ru[3];
   const NodeId owner_v = rv[3];
   const PackedLabel lu{ru + kCdgPrefixWords};
@@ -499,7 +509,7 @@ void SketchStore::write(std::ostream& out) const {
   }
   const auto& body = payload.bytes();
 
-  out.write(kMagic, 8);
+  out.write(kMagicV2, 8);
   ByteWriter h;
   h.u32(kVersion);
   h.u32(static_cast<std::uint32_t>(scheme_));
@@ -510,47 +520,82 @@ void SketchStore::write(std::ostream& out) const {
   h.f64(epsilon_);
   h.u64(body.size());
   h.u64(fnv1a64(body.data(), body.size()));
+  // v2: the header itself is checksummed. The payload checksum cannot
+  // cover it, so before this a bit flip in n/k/epsilon/payload_size was
+  // detectable only if it happened to break a structural invariant.
+  h.u64(fnv1a64(h.bytes().data(), h.bytes().size()));
   out.write(reinterpret_cast<const char*>(h.bytes().data()),
             static_cast<std::streamsize>(h.bytes().size()));
   out.write(reinterpret_cast<const char*>(body.data()),
             static_cast<std::streamsize>(body.size()));
-  if (!out) throw std::runtime_error("sketch store: write failed");
+  if (!out) fail(StoreError::kIo, "write failed");
 }
 
-SketchStore SketchStore::read(std::istream& in) {
-  const obs::Span span("store_read");
+namespace {
+
+struct StoreHeader {
+  std::uint32_t version = 0;
+  std::uint32_t scheme_raw = 0;
+  std::uint32_t n = 0;
+  std::uint32_t k = 0;
+  std::uint32_t segment_count = 0;
+  bool epsilon_known = false;
+  double epsilon = 0.0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+StoreHeader read_header(std::istream& in) {
   char magic[8];
-  if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
-    throw std::runtime_error("sketch store: bad magic");
+  if (!in.read(magic, 8)) fail(StoreError::kBadMagic, "bad magic");
+  const bool v2 = std::memcmp(magic, kMagicV2, 8) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, 8) != 0) {
+    fail(StoreError::kBadMagic, "bad magic");
   }
-  std::uint8_t header_bytes[48];
+  std::uint8_t header_bytes[kHeaderBytes];
   if (!in.read(reinterpret_cast<char*>(header_bytes), sizeof(header_bytes))) {
-    throw std::runtime_error("sketch store: truncated header");
+    fail(StoreError::kTruncatedHeader, "truncated header");
+  }
+  if (v2) {
+    std::uint8_t sum_bytes[8];
+    if (!in.read(reinterpret_cast<char*>(sum_bytes), sizeof(sum_bytes))) {
+      fail(StoreError::kTruncatedHeader, "truncated header checksum");
+    }
+    ByteReader sr(sum_bytes, sizeof(sum_bytes));
+    if (fnv1a64(header_bytes, sizeof(header_bytes)) != sr.u64()) {
+      fail(StoreError::kHeaderChecksum, "header checksum mismatch");
+    }
   }
   ByteReader h(header_bytes, sizeof(header_bytes));
-  const std::uint32_t version = h.u32();
-  if (version != kVersion) {
-    throw std::runtime_error("sketch store: unsupported version " +
-                             std::to_string(version));
+  StoreHeader out;
+  out.version = h.u32();
+  if (out.version != (v2 ? 2u : 1u)) {
+    fail(StoreError::kUnsupportedVersion,
+         "unsupported version " + std::to_string(out.version));
   }
-  const std::uint32_t scheme_raw = h.u32();
-  if (scheme_raw > static_cast<std::uint32_t>(Scheme::kGraceful)) {
-    throw std::runtime_error("sketch store: unknown scheme tag " +
-                             std::to_string(scheme_raw));
+  out.scheme_raw = h.u32();
+  if (out.scheme_raw > static_cast<std::uint32_t>(Scheme::kGraceful)) {
+    fail(StoreError::kUnknownScheme,
+         "unknown scheme tag " + std::to_string(out.scheme_raw));
   }
-  SketchStore store;
-  store.scheme_ = static_cast<Scheme>(scheme_raw);
-  store.n_ = h.u32();
-  store.k_ = h.u32();
-  const std::uint32_t segment_count = h.u32();
-  store.epsilon_known_ = (h.u32() & kFlagEpsilonKnown) != 0;
-  store.epsilon_ = h.f64();
-  const std::uint64_t payload_size = h.u64();
-  const std::uint64_t checksum = h.u64();
+  out.n = h.u32();
+  out.k = h.u32();
+  out.segment_count = h.u32();
+  out.epsilon_known = (h.u32() & kFlagEpsilonKnown) != 0;
+  out.epsilon = h.f64();
+  out.payload_size = h.u64();
+  out.checksum = h.u64();
+  return out;
+}
 
-  // Read in bounded chunks rather than trusting the header's size for one
-  // up-front allocation: a corrupted payload_size (the header is outside
-  // the checksum) must fail as "truncated", not as a giant bad_alloc.
+/// Reads at most `payload_size` payload bytes in bounded chunks rather
+/// than trusting the header's size for one up-front allocation: a
+/// corrupted payload_size (unprotected in v1 headers) must fail as
+/// "truncated", not as a giant bad_alloc. With `allow_short` (recovery)
+/// a truncated file yields the bytes that are present.
+std::vector<std::uint8_t> read_body(std::istream& in,
+                                    std::uint64_t payload_size,
+                                    bool allow_short) {
   std::vector<std::uint8_t> body;
   constexpr std::uint64_t kReadChunk = 1 << 24;
   while (body.size() < payload_size) {
@@ -560,39 +605,60 @@ SketchStore SketchStore::read(std::istream& in) {
     body.resize(old_size + static_cast<std::size_t>(want));
     if (!in.read(reinterpret_cast<char*>(body.data() + old_size),
                  static_cast<std::streamsize>(want))) {
-      throw std::runtime_error("sketch store: truncated payload");
+      if (allow_short) {
+        body.resize(old_size + static_cast<std::size_t>(in.gcount()));
+        break;
+      }
+      fail(StoreError::kTruncatedPayload, "truncated payload");
     }
   }
-  if (fnv1a64(body.data(), body.size()) != checksum) {
-    throw std::runtime_error("sketch store: checksum mismatch");
+  return body;
+}
+
+}  // namespace
+
+SketchStore SketchStore::read(std::istream& in) {
+  const obs::Span span("store_read");
+  const StoreHeader hdr = read_header(in);
+  SketchStore store;
+  store.scheme_ = static_cast<Scheme>(hdr.scheme_raw);
+  store.n_ = hdr.n;
+  store.k_ = hdr.k;
+  store.epsilon_known_ = hdr.epsilon_known;
+  store.epsilon_ = hdr.epsilon;
+
+  const std::vector<std::uint8_t> body =
+      read_body(in, hdr.payload_size, /*allow_short=*/false);
+  if (fnv1a64(body.data(), body.size()) != hdr.checksum) {
+    fail(StoreError::kPayloadChecksum, "checksum mismatch");
   }
 
   ByteReader r(body.data(), body.size());
-  store.segments_.reserve(segment_count);
-  for (std::uint32_t s = 0; s < segment_count; ++s) {
+  store.segments_.reserve(hdr.segment_count);
+  for (std::uint32_t s = 0; s < hdr.segment_count; ++s) {
     Segment seg;
     const std::uint64_t meta_count = r.u64();
     if (meta_count > r.remaining() / 8) {
-      throw std::runtime_error("sketch store: corrupt meta count");
+      fail(StoreError::kStructure, "corrupt meta count");
     }
     seg.meta.reserve(meta_count);
     for (std::uint64_t i = 0; i < meta_count; ++i) seg.meta.push_back(r.u64());
     const std::uint64_t offsets_count = r.u64();
     if (offsets_count != static_cast<std::uint64_t>(store.n_) + 1 ||
         offsets_count > r.remaining() / 8) {
-      throw std::runtime_error("sketch store: offset table size mismatch");
+      fail(StoreError::kStructure, "offset table size mismatch");
     }
     seg.offsets.reserve(offsets_count);
     for (std::uint64_t i = 0; i < offsets_count; ++i) {
       seg.offsets.push_back(r.u64());
       if (i > 0 && seg.offsets[i] < seg.offsets[i - 1]) {
-        throw std::runtime_error("sketch store: offsets not monotone");
+        fail(StoreError::kStructure, "offsets not monotone");
       }
     }
     const std::uint64_t arena_count = r.u64();
     if (arena_count != seg.offsets.back() ||
         arena_count > r.remaining() / 4) {
-      throw std::runtime_error("sketch store: arena size mismatch");
+      fail(StoreError::kStructure, "arena size mismatch");
     }
     seg.arena.reserve(arena_count);
     for (std::uint64_t i = 0; i < arena_count; ++i) {
@@ -600,15 +666,67 @@ SketchStore SketchStore::read(std::istream& in) {
     }
     store.segments_.push_back(std::move(seg));
   }
-  if (!r.done()) {
-    throw std::runtime_error("sketch store: trailing payload bytes");
-  }
-  if (store.segments_.empty()) {
-    throw std::runtime_error("sketch store: no segments");
-  }
+  if (!r.done()) fail(StoreError::kStructure, "trailing payload bytes");
+  if (store.segments_.empty()) fail(StoreError::kStructure, "no segments");
   store.validate_structure();
   return store;
 }
+
+namespace {
+
+/// Whether arena words [begin, end) form a structurally valid record for
+/// `scheme` — the per-record core of validate_structure, shared with the
+/// quarantine pass of recover_file. For kSlack pass the fixed record width
+/// in `slack_record_words`.
+bool node_record_ok(Scheme scheme, const std::uint32_t* arena,
+                    std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t slack_record_words) {
+  const auto label_ok = [&](std::uint64_t b, std::uint64_t e) {
+    if (e - b < 2) return false;
+    const PackedLabel label{arena + b};
+    return label.words() == e - b;
+  };
+  if (end < begin) return false;
+  switch (scheme) {
+    case Scheme::kThorupZwick:
+      return label_ok(begin, end);
+    case Scheme::kSlack:
+      return end - begin == slack_record_words;
+    case Scheme::kCdg:
+    case Scheme::kGraceful:
+      return end - begin >= kCdgPrefixWords + 2 &&
+             label_ok(begin + kCdgPrefixWords, end);
+  }
+  return false;
+}
+
+/// Appends the empty replacement record for a quarantined node: queries
+/// against it answer kInfDist ("don't know"), never a wrong finite value.
+void append_empty_record(Scheme scheme, std::vector<std::uint32_t>& arena,
+                         std::uint64_t slack_record_words) {
+  switch (scheme) {
+    case Scheme::kThorupZwick:
+      arena.push_back(0);  // levels
+      arena.push_back(0);  // bunch_count
+      return;
+    case Scheme::kSlack:
+      for (std::uint64_t i = 0; i < slack_record_words; ++i) {
+        arena.push_back(0xffffffffu);  // every net distance = kInfDist
+      }
+      return;
+    case Scheme::kCdg:
+    case Scheme::kGraceful:
+      arena.push_back(kInvalidNode);   // net_node
+      arena.push_back(0xffffffffu);    // net_dist = kInfDist (query guard)
+      arena.push_back(0xffffffffu);
+      arena.push_back(kInvalidNode);   // owner
+      arena.push_back(0);              // empty label
+      arena.push_back(0);
+      return;
+  }
+}
+
+}  // namespace
 
 // The checksum only proves the payload was not accidentally corrupted; the
 // query path indexes by record-internal counts, so those must be proven
@@ -616,56 +734,194 @@ SketchStore SketchStore::read(std::istream& in) {
 // checksum-valid crafted file reads out of bounds.
 void SketchStore::validate_structure() const {
   const auto check = [](bool ok, const char* what) {
-    if (!ok) throw std::runtime_error(std::string("sketch store: ") + what);
-  };
-  const auto check_label_record = [&](const Segment& seg, std::uint64_t begin,
-                                      std::uint64_t end) {
-    check(end - begin >= 2, "label record too short");
-    const PackedLabel label{seg.arena.data() + begin};
-    check(label.words() == end - begin, "label record size mismatch");
+    if (!ok) fail(StoreError::kStructure, what);
   };
   for (const Segment& seg : segments_) {
-    switch (scheme_) {
-      case Scheme::kThorupZwick:
-        check(seg.meta.empty(), "unexpected tz meta");
-        for (NodeId u = 0; u < n_; ++u) {
-          check_label_record(seg, seg.offsets[u], seg.offsets[u + 1]);
-        }
-        break;
-      case Scheme::kSlack: {
-        check(!seg.meta.empty() && seg.meta[0] + 1 == seg.meta.size(),
-              "slack net meta size mismatch");
-        const std::uint64_t record_words = 2 * seg.meta[0];
-        for (NodeId u = 0; u < n_; ++u) {
-          check(seg.offsets[u + 1] - seg.offsets[u] == record_words,
-                "slack record size mismatch");
-        }
-        break;
-      }
-      case Scheme::kCdg:
-      case Scheme::kGraceful:
-        check(seg.meta.empty(), "unexpected cdg meta");
-        for (NodeId u = 0; u < n_; ++u) {
-          check(seg.offsets[u + 1] - seg.offsets[u] >= kCdgPrefixWords + 2,
-                "cdg record too short");
-          check_label_record(seg, seg.offsets[u] + kCdgPrefixWords,
-                             seg.offsets[u + 1]);
-        }
-        break;
+    std::uint64_t slack_words = 0;
+    if (scheme_ == Scheme::kSlack) {
+      check(!seg.meta.empty() && seg.meta[0] + 1 == seg.meta.size(),
+            "slack net meta size mismatch");
+      slack_words = 2 * seg.meta[0];
+    } else {
+      check(seg.meta.empty(), "unexpected segment meta");
+    }
+    for (NodeId u = 0; u < n_; ++u) {
+      check(node_record_ok(scheme_, seg.arena.data(), seg.offsets[u],
+                           seg.offsets[u + 1], slack_words),
+            "invalid node record");
     }
   }
 }
 
 void SketchStore::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  write(out);
+  // Crash-safe publish: write the full store to a sibling temp file, force
+  // it to stable storage, then atomically rename over the target. A reader
+  // of `path` (or a crash at any point here) sees either the previous
+  // complete store or the new complete store — never a torn prefix.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(StoreError::kIo, "cannot open for write: " + tmp);
+    try {
+      write(out);
+      out.flush();
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      fail(StoreError::kIo, "write failed: " + tmp);
+    }
+  }
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    fail(StoreError::kIo, "fsync failed: " + tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(StoreError::kIo, "rename failed: " + path);
+  }
+  // Make the rename itself durable (best effort — not all filesystems
+  // support fsync on a directory fd).
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 SketchStore SketchStore::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) fail(StoreError::kIo, "cannot open for read: " + path);
   return read(in);
+}
+
+SketchStore::Recovery SketchStore::recover_file(const std::string& path) {
+  // First try the strict path: if the checksums hold, there is nothing to
+  // salvage. Only on corruption do we re-read leniently.
+  try {
+    Recovery r;
+    r.store = load_file(path);
+    r.checksum_ok = true;
+    return r;
+  } catch (const StoreCorruptionError& e) {
+    switch (e.kind()) {
+      case StoreError::kPayloadChecksum:
+      case StoreError::kTruncatedPayload:
+      case StoreError::kStructure:
+        break;  // payload damage — attempt per-record salvage below
+      default:
+        throw;  // header/identity damage is unrecoverable
+    }
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(StoreError::kIo, "cannot open for read: " + path);
+  const StoreHeader hdr = read_header(in);
+  Recovery rec;
+  SketchStore& store = rec.store;
+  store.scheme_ = static_cast<Scheme>(hdr.scheme_raw);
+  store.n_ = hdr.n;
+  store.k_ = hdr.k;
+  store.epsilon_known_ = hdr.epsilon_known;
+  store.epsilon_ = hdr.epsilon;
+
+  const std::vector<std::uint8_t> body =
+      read_body(in, hdr.payload_size, /*allow_short=*/true);
+  std::vector<char> quarantined(store.n_, 0);
+
+  // Segment framing (meta + offsets) must parse for a segment to be
+  // salvageable at all; the arena may be short (truncation) and individual
+  // records may be garbage (bit flips) — those quarantine per node.
+  ByteReader r(body.data(), body.size());
+  for (std::uint32_t s = 0; s < hdr.segment_count; ++s) {
+    Segment seg;
+    std::uint64_t declared = 0;
+    std::uint64_t slack_words = 0;
+    try {
+      const std::uint64_t meta_count = r.u64();
+      if (meta_count > r.remaining() / 8) {
+        fail(StoreError::kStructure, "corrupt meta count");
+      }
+      for (std::uint64_t i = 0; i < meta_count; ++i) {
+        seg.meta.push_back(r.u64());
+      }
+      if (store.scheme_ == Scheme::kSlack) {
+        if (seg.meta.empty() || seg.meta[0] + 1 != seg.meta.size()) {
+          fail(StoreError::kStructure, "slack net meta size mismatch");
+        }
+        slack_words = 2 * seg.meta[0];
+      } else if (!seg.meta.empty()) {
+        fail(StoreError::kStructure, "unexpected segment meta");
+      }
+      const std::uint64_t offsets_count = r.u64();
+      if (offsets_count != static_cast<std::uint64_t>(store.n_) + 1 ||
+          offsets_count > r.remaining() / 8) {
+        fail(StoreError::kStructure, "offset table size mismatch");
+      }
+      for (std::uint64_t i = 0; i < offsets_count; ++i) {
+        seg.offsets.push_back(r.u64());
+        if (i > 0 && seg.offsets[i] < seg.offsets[i - 1]) {
+          fail(StoreError::kStructure, "offsets not monotone");
+        }
+      }
+      declared = r.u64();
+    } catch (const StoreCorruptionError&) {
+      // Framing of this segment is gone. Extra graceful levels are
+      // redundant approximations, so keeping the earlier ones is sound;
+      // for single-segment schemes nothing remains to serve.
+      if (store.scheme_ == Scheme::kGraceful && !store.segments_.empty()) {
+        break;
+      }
+      throw;
+    }
+    const std::uint64_t available =
+        std::min<std::uint64_t>(declared, r.remaining() / 4);
+    std::vector<std::uint32_t> raw;
+    raw.reserve(available);
+    for (std::uint64_t i = 0; i < available; ++i) raw.push_back(r.u32());
+
+    // Rebuild the arena keeping every record that is fully present and
+    // structurally valid; quarantine the rest.
+    std::vector<std::uint64_t> new_offsets;
+    std::vector<std::uint32_t> new_arena;
+    new_offsets.reserve(store.n_ + 1);
+    for (NodeId u = 0; u < store.n_; ++u) {
+      new_offsets.push_back(new_arena.size());
+      const std::uint64_t begin = seg.offsets[u];
+      const std::uint64_t end = seg.offsets[u + 1];
+      const bool ok =
+          end <= available &&
+          node_record_ok(store.scheme_, raw.data(), begin, end, slack_words);
+      if (ok) {
+        new_arena.insert(new_arena.end(), raw.begin() + begin,
+                         raw.begin() + end);
+      } else {
+        quarantined[u] = 1;
+        append_empty_record(store.scheme_, new_arena, slack_words);
+      }
+    }
+    new_offsets.push_back(new_arena.size());
+    seg.offsets = std::move(new_offsets);
+    seg.arena = std::move(new_arena);
+    store.segments_.push_back(std::move(seg));
+  }
+  if (store.segments_.empty()) fail(StoreError::kStructure, "no segments");
+  store.validate_structure();
+  for (NodeId u = 0; u < store.n_; ++u) {
+    if (quarantined[u]) rec.quarantined.push_back(u);
+  }
+  return rec;
 }
 
 std::unique_ptr<DistanceOracle> SketchStore::load_oracle(

@@ -17,12 +17,20 @@
 /// and answers are bit-identical to SketchEngine::query (tested).
 ///
 /// On-disk layout (little-endian):
-///   bytes 0..7   magic "DSKSTOR1"
+///   bytes 0..7   magic "DSKSTOR2"  (v1 files, magic "DSKSTOR1", still load)
 ///   u32 version, u32 scheme, u32 n, u32 k, u32 segments, u32 flags
 ///   f64 epsilon                       (flags bit 0: epsilon was recorded)
 ///   u64 payload_bytes, u64 checksum (FNV-1a 64 over the payload)
+///   u64 header_checksum             (v2 only: FNV-1a 64 over the 48
+///                                    header bytes after the magic)
 ///   payload: per segment u64 meta_count, u64 meta[], u64 offsets[n+1],
 ///            u64 arena_count, u32 arena[]
+///
+/// Durability: save_file writes a temp file, fsyncs, then renames into
+/// place, so a crash mid-save never leaves a torn store at the target
+/// path. Loads bounds-check every section before trusting it and throw
+/// StoreCorruptionError (a std::runtime_error) with a typed diagnosis;
+/// recover_file salvages the intact node records of a corrupt file.
 ///
 /// Record layouts (u32 words; D = 2-word little-endian distance):
 ///   tz       [levels, bunch_count, (pivot_id, D) x levels,
@@ -35,6 +43,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,6 +53,32 @@
 #include "graph/graph.hpp"
 
 namespace dsketch {
+
+/// What exactly a store load found wrong. Ordered roughly by how early in
+/// the pipeline the fault is detected.
+enum class StoreError {
+  kIo,                  ///< file missing / unreadable / write failure
+  kBadMagic,            ///< not a sketch store at all
+  kTruncatedHeader,     ///< file ends inside the fixed header
+  kHeaderChecksum,      ///< v2 header checksum mismatch (bit-flipped header)
+  kUnsupportedVersion,  ///< version this build cannot parse
+  kUnknownScheme,       ///< scheme tag outside the known families
+  kTruncatedPayload,    ///< file ends inside the payload
+  kPayloadChecksum,     ///< payload bytes fail the FNV-1a checksum
+  kStructure,           ///< framing/record invariants violated
+};
+
+/// Thrown by read/load_file/recover_file. Subclasses std::runtime_error so
+/// existing catch sites keep working; new callers can switch on kind().
+class StoreCorruptionError : public std::runtime_error {
+ public:
+  StoreCorruptionError(StoreError kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  StoreError kind() const { return kind_; }
+
+ private:
+  StoreError kind_;
+};
 
 /// Packed, checksummed, query-ready sketches for all four schemes. A
 /// SketchStore is itself a DistanceOracle — the serving-tier
@@ -75,12 +110,27 @@ class SketchStore final : public DistanceOracle {
   void to_text(std::ostream& out) const;
 
   /// Binary round trip. read()/load_file() validate magic, version,
-  /// structural sizes, and the payload checksum, throwing
-  /// std::runtime_error on any mismatch.
+  /// header checksum (v2), structural sizes, and the payload checksum,
+  /// throwing StoreCorruptionError on any mismatch. save_file is atomic:
+  /// temp file + fsync + rename, so readers of `path` see either the old
+  /// complete store or the new complete store, never a torn write.
   void write(std::ostream& out) const;
   static SketchStore read(std::istream& in);
   void save_file(const std::string& path) const;
   static SketchStore load_file(const std::string& path);
+
+  /// Best-effort salvage of a corrupt store file. Parses the framing with
+  /// every bounds check but without requiring the payload checksum, then
+  /// validates each node record individually: structurally intact records
+  /// are kept, broken ones are quarantined — replaced by an empty record
+  /// whose queries answer kInfDist (a safe "don't know", never a wrong
+  /// finite distance). Throws StoreCorruptionError when the header or the
+  /// segment framing itself is unrecoverable. Caveat: a bit flip *inside*
+  /// a structurally valid record is not detectable at record granularity;
+  /// only the whole-payload checksum (the normal load path) proves full
+  /// integrity.
+  struct Recovery;  // defined below (needs the complete SketchStore type)
+  static Recovery recover_file(const std::string& path);
 
   /// Binary load straight to the polymorphic interface — what a serving
   /// frontend hands to its QueryService.
@@ -140,6 +190,13 @@ class SketchStore final : public DistanceOracle {
   double epsilon_ = 0.0;
   bool epsilon_known_ = true;
   std::vector<Segment> segments_;
+};
+
+/// Result of SketchStore::recover_file — see its doc comment.
+struct SketchStore::Recovery {
+  SketchStore store;
+  std::vector<NodeId> quarantined;  ///< nodes whose records were replaced
+  bool checksum_ok = false;  ///< the file was actually fine (no salvage)
 };
 
 }  // namespace dsketch

@@ -52,14 +52,24 @@ class OracleSlot {
     return *snap_.load(std::memory_order_acquire);
   }
 
+  /// The snapshot displaced by the most recent store() — kept alive as the
+  /// degraded-mode failover target (query_service circuit breaker). The
+  /// oracle pointer is null until the first store().
+  OracleSnapshot previous() const {
+    const auto p = prev_.load(std::memory_order_acquire);
+    return p ? *p : OracleSnapshot{};
+  }
+
   /// Publishes `next` under the next generation and returns it. The flip
   /// itself is one atomic store; the mutex only serializes concurrent
-  /// publishers so generations stay monotonic.
+  /// publishers so generations stay monotonic. The displaced snapshot
+  /// becomes previous().
   std::uint64_t store(std::shared_ptr<const DistanceOracle> next) {
     DS_CHECK(next != nullptr);
     std::lock_guard<std::mutex> lock(writer_mu_);
-    const std::uint64_t generation =
-        snap_.load(std::memory_order_acquire)->generation + 1;
+    const auto current = snap_.load(std::memory_order_acquire);
+    const std::uint64_t generation = current->generation + 1;
+    prev_.store(current, std::memory_order_release);
     snap_.store(make_snapshot(std::move(next), generation),
                 std::memory_order_release);
     return generation;
@@ -81,6 +91,7 @@ class OracleSlot {
   }
 
   std::atomic<std::shared_ptr<const OracleSnapshot>> snap_;
+  std::atomic<std::shared_ptr<const OracleSnapshot>> prev_;
   std::mutex writer_mu_;
 };
 

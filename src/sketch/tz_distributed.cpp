@@ -9,7 +9,9 @@
 
 #include "congest/bfs_tree.hpp"
 #include "congest/echo_termination.hpp"
+#include "congest/fault_plan.hpp"
 #include "congest/protocol.hpp"
+#include "congest/reliable.hpp"
 #include "util/assert.hpp"
 
 namespace dsketch {
@@ -30,9 +32,11 @@ constexpr int kPreStart = -2;  // sentinel: node not yet in any phase
 class TzProtocol : public Protocol {
  public:
   TzProtocol(const Graph& g, const Hierarchy& h, TerminationMode mode,
-             const BfsTree* tree, bool eager_send, std::uint64_t phase_len)
+             const BfsTree* tree, bool eager_send, std::uint64_t phase_len,
+             const TzFaultTolerance& ft = {})
       : graph_(g), hier_(h), mode_(mode), tree_(tree),
-        eager_send_(eager_send), phase_len_(phase_len) {
+        eager_send_(eager_send), phase_len_(phase_len),
+        reliable_(ft.enabled) {
     const NodeId n = g.num_nodes();
     const std::uint32_t k = h.k();
     nodes_.resize(n);
@@ -41,9 +45,21 @@ class TzProtocol : public Protocol {
       nodes_[u].phase = static_cast<int>(k);  // "above" the top phase
     }
     global_phase_ = static_cast<int>(k) - 1;
+    if (reliable_) {
+      const ReliableConfig rc{ft.rto, ft.max_rto};
+      rel_.reserve(n);
+      for (NodeId u = 0; u < n; ++u) {
+        rel_.emplace_back(static_cast<std::uint32_t>(g.degree(u)), rc);
+      }
+    }
   }
 
   void on_start(NodeCtx& ctx) override {
+    start_impl(ctx);
+    if (reliable_) rel_[ctx.node()].maintain(ctx);
+  }
+
+  void start_impl(NodeCtx& ctx) {
     const NodeId u = ctx.node();
     if (mode_ == TerminationMode::kOracle) {
       // Oracle mode re-activates everyone per phase; advance to the current
@@ -80,10 +96,24 @@ class TzProtocol : public Protocol {
         advance_to(ctx, s.phase - 1);
       }
     }
-    for (const Inbound& in : ctx.inbox()) {
-      dispatch(ctx, in);
+    if (reliable_) {
+      // Raw frames pass through the reliable channel first; dispatch sees
+      // the same exactly-once in-order stream a fault-free run would.
+      const auto& delivered = rel_[ctx.node()].receive(ctx, ctx.inbox());
+      for (const Inbound& in : delivered) dispatch(ctx, in);
+    } else {
+      for (const Inbound& in : ctx.inbox()) dispatch(ctx, in);
     }
     pump(ctx);
+    if (reliable_) rel_[ctx.node()].maintain(ctx);
+  }
+
+  void on_restart(NodeCtx& ctx) override {
+    // The crash discarded our queued outboxes; resend everything unacked,
+    // then resume as a normal round (the retry timers were deferred to
+    // this round by the simulator).
+    if (reliable_) rel_[ctx.node()].restart(ctx);
+    on_round(ctx);
   }
 
   /// Round by which phase p must have converged (kKnownS). Phases run
@@ -105,6 +135,17 @@ class TzProtocol : public Protocol {
     }
     --global_phase_;
     sim.activate_all();
+    return true;
+  }
+
+  /// True once every node has run through all k phases. A faulty run can
+  /// stall short of this without hitting the round limit (a lost message
+  /// leaves the network permanently quiescent), so the driver checks this
+  /// before extracting labels.
+  bool all_finished() const {
+    for (const NodeState& s : nodes_) {
+      if (s.phase != kPreStart) return false;
+    }
     return true;
   }
 
@@ -265,10 +306,28 @@ class TzProtocol : public Protocol {
     if (s.completion.on_child_complete()) fire_complete(ctx, p);
   }
 
+  // All protocol traffic funnels through these two so the reliable layer
+  // (when enabled) can wrap every frame.
+  void send_on(NodeCtx& ctx, std::uint32_t edge, const Message& m) {
+    if (reliable_) {
+      rel_[ctx.node()].send(ctx, edge, m);
+    } else {
+      ctx.send(edge, m);
+    }
+  }
+  void broadcast_msg(NodeCtx& ctx, const Message& m) {
+    if (!reliable_) {
+      ctx.broadcast(m);
+      return;
+    }
+    const std::uint32_t deg = ctx.degree();
+    for (std::uint32_t e = 0; e < deg; ++e) rel_[ctx.node()].send(ctx, e, m);
+  }
+
   void send_echo(NodeCtx& ctx, int phase, NodeId src,
                  const EchoObligation& ob) {
-    ctx.send(ob.edge, Message{kEchoTag, static_cast<Word>(phase), src,
-                              static_cast<Word>(ob.value)});
+    send_on(ctx, ob.edge, Message{kEchoTag, static_cast<Word>(phase), src,
+                                  static_cast<Word>(ob.value)});
   }
 
   void forward_start(NodeCtx& ctx, int p) {
@@ -276,7 +335,7 @@ class TzProtocol : public Protocol {
     if (s.last_forwarded_start <= p) return;
     s.last_forwarded_start = p;
     for (const std::uint32_t e : tree_->child_edges[ctx.node()]) {
-      ctx.send(e, Message{kStart, static_cast<Word>(p)});
+      send_on(ctx, e, Message{kStart, static_cast<Word>(p)});
     }
   }
 
@@ -286,7 +345,8 @@ class TzProtocol : public Protocol {
     NodeState& s = nodes_[u];
     s.completion.mark_fired();
     if (!tree_->is_root(u)) {
-      ctx.send(tree_->parent_edge[u], Message{kComplete, static_cast<Word>(p)});
+      send_on(ctx, tree_->parent_edge[u],
+              Message{kComplete, static_cast<Word>(p)});
       return;
     }
     s.root_phase_ends.push_back(ctx.round());
@@ -377,8 +437,8 @@ class TzProtocol : public Protocol {
       s.pending.pop_front();
       s.queued[src] = 0;
       const Dist d = s.dist.at(src);
-      ctx.broadcast(Message{kData, static_cast<Word>(s.phase), src,
-                            static_cast<Word>(d)});
+      broadcast_msg(ctx, Message{kData, static_cast<Word>(s.phase), src,
+                                 static_cast<Word>(d)});
       if (mode_ == TerminationMode::kEcho) {
         s.echo.commit_send(src, d, ctx.degree(), /*self_announce=*/src == u);
         // A degree-zero source has no cascade: its record completes inside
@@ -406,12 +466,27 @@ class TzProtocol : public Protocol {
     }
   }
 
+ public:
+  std::uint64_t total_retransmits() const {
+    std::uint64_t sum = 0;
+    for (const ReliableChannel& c : rel_) sum += c.retransmits();
+    return sum;
+  }
+  std::uint64_t total_redundant_discards() const {
+    std::uint64_t sum = 0;
+    for (const ReliableChannel& c : rel_) sum += c.redundant_discards();
+    return sum;
+  }
+
+ private:
   const Graph& graph_;
   const Hierarchy& hier_;
   TerminationMode mode_;
   const BfsTree* tree_;
   bool eager_send_;
   std::uint64_t phase_len_;  // kKnownS deadline spacing
+  bool reliable_;
+  std::vector<ReliableChannel> rel_;  // per node, when reliable_
   std::vector<NodeState> nodes_;
   int global_phase_;  // oracle mode
   std::vector<std::uint64_t> phase_end_rounds_;
@@ -423,13 +498,23 @@ TzDistributedResult build_tz_distributed(const Graph& g,
                                          const Hierarchy& hierarchy,
                                          TerminationMode mode, SimConfig cfg,
                                          bool eager_send,
-                                         std::uint32_t known_S) {
+                                         std::uint32_t known_S,
+                                         TzFaultTolerance fault_tolerance) {
   TzDistributedResult result;
   BfsTree tree;
   if (mode == TerminationMode::kEcho) {
-    BfsTreeRun run = build_bfs_tree(g, cfg);
+    // Leader election / tree building always runs fault-free: the tree is
+    // static data the (possibly faulty) main run navigates by.
+    SimConfig tree_cfg = cfg;
+    tree_cfg.faults = nullptr;
+    BfsTreeRun run = build_bfs_tree(g, tree_cfg);
     tree = std::move(run.tree);
     result.tree_stats = run.stats;
+  }
+  if (fault_tolerance.enabled) {
+    // Reliable frames carry one extra header word on top of the widest
+    // protocol message (DATA/ECHO = 4 words).
+    cfg.max_message_words = std::max<std::size_t>(cfg.max_message_words, 5);
   }
   std::uint64_t phase_len = 0;
   if (mode == TerminationMode::kKnownS) {
@@ -445,10 +530,22 @@ TzDistributedResult build_tz_distributed(const Graph& g,
   }
   TzProtocol protocol(g, hierarchy, mode,
                       mode == TerminationMode::kEcho ? &tree : nullptr,
-                      eager_send, phase_len);
+                      eager_send, phase_len, fault_tolerance);
   if (cfg.phase.empty()) cfg.phase = "tz_construction";
   Simulator sim(g, protocol, cfg);
   result.stats = sim.run();
+  result.retransmits = protocol.total_retransmits();
+  result.duplicate_discards = protocol.total_redundant_discards();
+  if (cfg.faults != nullptr &&
+      (result.stats.hit_round_limit || !protocol.all_finished())) {
+    // A faulty run either exhausted its round budget or went permanently
+    // quiescent mid-build (e.g. faults injected without fault tolerance:
+    // a lost ECHO stalls termination with no messages left in flight).
+    // Report the failure rather than asserting so benches can measure
+    // completion rates.
+    result.completed = false;
+    return result;
+  }
   DS_CHECK_MSG(!result.stats.hit_round_limit,
                "TZ construction exceeded the round budget");
   result.labels = protocol.take_labels();

@@ -58,12 +58,29 @@ struct RoutingTable {
   std::vector<std::unordered_map<NodeId, std::uint32_t>> next_hop;
 };
 
+/// Fault-tolerant construction switch. When enabled, every protocol message
+/// rides the reliable link layer (congest/reliable.hpp): one extra header
+/// word per frame buys exactly-once in-order delivery under a FaultPlan's
+/// drops/duplicates/reorders/crashes via timeout retransmission and
+/// post-restart go-back-N, so the build converges to the same labels as a
+/// fault-free run. Requires max_message_words >= 5 (raised automatically).
+/// Supported with kOracle and kEcho termination; kKnownS deadlines assume
+/// loss-free links and are not fault-padded.
+struct TzFaultTolerance {
+  bool enabled = false;
+  std::uint64_t rto = 16;        ///< initial retransmit timeout (rounds)
+  std::uint64_t max_rto = 1024;  ///< exponential backoff ceiling
+};
+
 struct TzDistributedResult {
   std::vector<TzLabel> labels;
   RoutingTable routing;
   SimStats stats;                ///< main construction run
   SimStats tree_stats;           ///< leader election + BFS tree (kEcho only)
   std::vector<std::uint64_t> phase_end_rounds;  ///< round at each phase end
+  bool completed = true;         ///< false: faulty run hit the round limit
+  std::uint64_t retransmits = 0;          ///< reliable-layer resends
+  std::uint64_t duplicate_discards = 0;   ///< redundant frames dropped
 
   std::uint64_t total_rounds() const { return stats.rounds + tree_stats.rounds; }
   std::uint64_t total_messages() const {
@@ -82,11 +99,18 @@ struct TzDistributedResult {
 /// per phase — the E3 ablation showing the bound is made of bandwidth.
 /// `known_S`: the shortest-path diameter handed to every node in kKnownS
 /// mode (0 = compute it exactly first, as centralized preprocessing).
+/// `fault_tolerance`: see TzFaultTolerance. A SimConfig with a FaultPlan
+/// attached and fault tolerance disabled is allowed but will generally not
+/// converge; such runs return completed = false (with empty labels) once
+/// max_rounds is exhausted instead of asserting. The kEcho BFS-tree
+/// pre-pass always runs fault-free: leader election under faults is out of
+/// scope, and the tree is static data the main run then uses.
 TzDistributedResult build_tz_distributed(const Graph& g,
                                          const Hierarchy& hierarchy,
                                          TerminationMode mode,
                                          SimConfig cfg = {},
                                          bool eager_send = false,
-                                         std::uint32_t known_S = 0);
+                                         std::uint32_t known_S = 0,
+                                         TzFaultTolerance fault_tolerance = {});
 
 }  // namespace dsketch

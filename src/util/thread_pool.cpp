@@ -33,11 +33,31 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+void ThreadPool::record_error() noexcept {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) error_ = std::current_exception();
+  error_flag_.store(true, std::memory_order_release);
+}
+
+void ThreadPool::rethrow_pending_error() {
+  if (!error_flag_.load(std::memory_order_acquire)) return;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    err = std::move(error_);
+    error_ = nullptr;
+    error_flag_.store(false, std::memory_order_release);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   const std::size_t lanes = workers_.size() + 1;
   if (count == 0) return;
   if (lanes == 1 || count < 2 * lanes || tl_inside_pool) {
+    // Serial fallbacks run on the caller's own stack: a throw propagates
+    // directly, no capture needed.
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
@@ -62,13 +82,22 @@ void ThreadPool::parallel_for(std::size_t count,
     }
   }
   cv_start_.notify_all();
-  // Caller handles the first chunk.
-  for (std::size_t i = 0; i < std::min(count, chunk); ++i) body(i);
+  // Caller handles the first chunk. A caller-side throw must still wait
+  // for the workers below — they hold a pointer into our frame.
+  try {
+    for (std::size_t i = 0; i < std::min(count, chunk); ++i) {
+      if (error_flag_.load(std::memory_order_acquire)) break;
+      body(i);
+    }
+  } catch (...) {
+    record_error();
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [this] { return pending_ == 0; });
   }
   tl_inside_pool = false;
+  rethrow_pending_error();
 }
 
 void ThreadPool::for_each_dynamic(
@@ -97,10 +126,18 @@ void ThreadPool::for_each_dynamic(
   }
   cv_start_.notify_all();
   // Caller pulls as lane 0.
-  for (;;) {
-    const std::size_t i = dyn_next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count) break;
-    body(0, i);
+  try {
+    for (;;) {
+      if (error_flag_.load(std::memory_order_acquire)) break;
+      const std::size_t i = dyn_next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      body(0, i);
+    }
+  } catch (...) {
+    record_error();
+    // Fast-forward the shared counter so other lanes stop pulling even
+    // before they poll the flag.
+    dyn_next_.store(count, std::memory_order_relaxed);
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -108,6 +145,7 @@ void ThreadPool::for_each_dynamic(
     dyn_active_ = false;
   }
   tl_inside_pool = false;
+  rethrow_pending_error();
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -134,18 +172,31 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     if (dynamic) {
       tl_inside_pool = true;
-      for (;;) {
-        const std::size_t i =
-            dyn_next_.fetch_add(1, std::memory_order_relaxed);
-        if (i >= dyn_count) break;
-        (*dyn_body)(worker_index + 1, i);
+      try {
+        for (;;) {
+          if (error_flag_.load(std::memory_order_acquire)) break;
+          const std::size_t i =
+              dyn_next_.fetch_add(1, std::memory_order_relaxed);
+          if (i >= dyn_count) break;
+          (*dyn_body)(worker_index + 1, i);
+        }
+      } catch (...) {
+        record_error();
+        dyn_next_.store(dyn_count, std::memory_order_relaxed);
       }
       tl_inside_pool = false;
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_all();
     } else if (task.begin < task.end) {
       tl_inside_pool = true;
-      for (std::size_t i = task.begin; i < task.end; ++i) (*task.body)(i);
+      try {
+        for (std::size_t i = task.begin; i < task.end; ++i) {
+          if (error_flag_.load(std::memory_order_acquire)) break;
+          (*task.body)(i);
+        }
+      } catch (...) {
+        record_error();
+      }
       tl_inside_pool = false;
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_all();

@@ -20,11 +20,21 @@
 // into parallel builds): one caller drives the workers, concurrent callers
 // fall back to running their loop serially on their own thread, and
 // re-entrant calls from inside a pool task degrade to serial likewise.
+//
+// Exceptions: a body that throws — on any lane — does not crash the
+// process (a throw escaping a worker thread would call std::terminate).
+// The first exception is captured, remaining lanes stop pulling work as
+// soon as they notice, and the exception is rethrown on the calling
+// thread once every lane has quiesced. The pool itself stays usable; the
+// captured error is cleared per invocation. With more than one throwing
+// lane, which exception wins is a race — one of them is rethrown, the
+// rest are dropped.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -49,6 +59,8 @@ class ThreadPool {
 
   /// Runs body(i) for i in [0, count), blocking until all complete.
   /// Work is divided into contiguous chunks, one per worker plus caller.
+  /// If any body throws, the first exception is rethrown here after all
+  /// lanes quiesce (see the file comment).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
@@ -56,7 +68,7 @@ class ThreadPool {
   /// lanes pull the next index from a shared counter, so wildly uneven
   /// per-index costs still spread evenly. Blocks until all complete.
   /// Index-to-lane assignment is nondeterministic; merges keyed by index
-  /// (not lane) stay deterministic.
+  /// (not lane) stay deterministic. Exceptions rethrow as in parallel_for.
   void for_each_dynamic(
       std::size_t count,
       const std::function<void(std::size_t, std::size_t)>& body);
@@ -69,6 +81,12 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t worker_index);
+  /// Captures std::current_exception() as the invocation's error (first
+  /// writer wins) and raises the stop flag other lanes poll.
+  void record_error() noexcept;
+  /// Rethrows and clears the captured error, if any. Driver-side, after
+  /// all lanes quiesced.
+  void rethrow_pending_error();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -85,6 +103,12 @@ class ThreadPool {
   std::size_t dyn_count_ = 0;
   const std::function<void(std::size_t, std::size_t)>* dyn_body_ = nullptr;
   std::atomic<std::size_t> dyn_next_{0};
+
+  // Error capture, cleared per invocation (guarded by error_mutex_; the
+  // flag is the lock-free fast-path poll).
+  std::atomic<bool> error_flag_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
 };
 
 /// Global pool used by the simulator when parallel stepping is requested.

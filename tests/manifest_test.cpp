@@ -220,7 +220,7 @@ TEST(Manifest, FullTomlFileParses) {
   for (const Cell& cell : expand_cells(m)) {
     experiments.insert(cell.experiment);
   }
-  EXPECT_EQ(experiments.size(), 15u) << "full.toml must cover E1..E15";
+  EXPECT_EQ(experiments.size(), 16u) << "full.toml must cover E1..E16";
 }
 #endif
 

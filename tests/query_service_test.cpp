@@ -4,7 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -292,6 +296,239 @@ TEST(LruCache, EvictsLeastRecentlyUsed) {
   ASSERT_NE(cache.get(3), nullptr);
   EXPECT_EQ(*cache.get(3), 30);
   EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---- degraded-mode serving -------------------------------------------------
+
+/// Wraps an oracle and throws on query while `sick` — the failure injector
+/// for the deadline/retry/circuit-breaker path. `fail_first` makes each
+/// distinct (u, v) call fail that many times before succeeding (retry
+/// coverage). Thread-safe: shards query concurrently.
+class FlakyOracle final : public DistanceOracle {
+ public:
+  explicit FlakyOracle(const DistanceOracle& inner, int fail_first = 0)
+      : inner_(inner), fail_first_(fail_first) {}
+
+  Dist query(NodeId u, NodeId v) const override {
+    if (sick_.load(std::memory_order_relaxed)) {
+      throw std::runtime_error("flaky oracle is sick");
+    }
+    if (fail_first_ > 0) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (attempts_[key]++ < fail_first_) {
+        throw std::runtime_error("flaky oracle transient failure");
+      }
+    }
+    return inner_.query(u, v);
+  }
+  NodeId num_nodes() const override { return inner_.num_nodes(); }
+  std::size_t size_words(NodeId u) const override {
+    return inner_.size_words(u);
+  }
+  std::string scheme() const override { return inner_.scheme(); }
+  std::string guarantee() const override { return inner_.guarantee(); }
+  Capabilities capabilities() const override {
+    return inner_.capabilities();
+  }
+  void save(std::ostream& out) const override { inner_.save(out); }
+
+  void set_sick(bool sick) { sick_.store(sick, std::memory_order_relaxed); }
+
+ private:
+  const DistanceOracle& inner_;
+  int fail_first_;
+  std::atomic<bool> sick_{false};
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::uint64_t, int> attempts_;
+};
+
+QueryServiceConfig degraded_config() {
+  QueryServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.max_retries = 1;
+  cfg.retry_backoff_us = 0;  // keep the test fast
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown_batches = 3;
+  return cfg;
+}
+
+TEST(QueryServiceDegraded, TransientFailuresRetryToTheRightAnswer) {
+  const SketchStore store = make_store(Scheme::kThorupZwick);
+  FlakyOracle flaky(store, /*fail_first=*/1);
+  QueryServiceConfig cfg = degraded_config();
+  cfg.cache_capacity = 0;
+  QueryService service(flaky, cfg);
+  const auto pairs = all_pairs_sample(store.num_nodes());
+  std::vector<Dist> answers(pairs.size(), 0);
+  service.query_batch(pairs, answers);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(answers[i], store.query(pairs[i].first, pairs[i].second));
+  }
+  const QueryServiceStats s = service.stats();
+  EXPECT_GT(s.query_retries, 0u);
+  EXPECT_EQ(s.query_failures, 0u);
+  EXPECT_EQ(s.breaker_opens, 0u);
+}
+
+TEST(QueryServiceDegraded, BreakerFailsOverToPreviousGenerationExactly) {
+  // gen 1 = healthy store, gen 2 = sick oracle. Once shards trip their
+  // breakers, every answer must equal the previous generation's oracle
+  // bit-for-bit: zero incorrect answers while circuit-broken (the PR's
+  // acceptance bar), visible in the stale-answer counter.
+  const auto store =
+      std::make_shared<SketchStore>(make_store(Scheme::kThorupZwick));
+  auto sick = std::make_shared<FlakyOracle>(*store);
+  sick->set_sick(true);
+
+  QueryService service(borrow_oracle(*store), degraded_config());
+  service.swap(store);  // gen 1: the good store becomes previous() later
+  service.swap(sick);   // gen 2: current oracle is sick
+  const auto pairs = all_pairs_sample(store->num_nodes());
+  std::vector<Dist> answers(pairs.size(), 0);
+  for (int batch = 0; batch < 6; ++batch) {
+    service.query_batch(pairs, answers);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(answers[i], store->query(pairs[i].first, pairs[i].second))
+          << "batch " << batch << " pair " << i;
+    }
+  }
+  const QueryServiceStats s = service.stats();
+  EXPECT_GT(s.query_failures, 0u);
+  EXPECT_GT(s.breaker_opens, 0u);
+  EXPECT_GT(s.breakers_open, 0u);
+  EXPECT_GT(s.stale_answers, 0u);
+  EXPECT_EQ(s.shed_answers, 0u);
+}
+
+TEST(QueryServiceDegraded, BreakerClosesAgainAfterRecovery) {
+  const auto store =
+      std::make_shared<SketchStore>(make_store(Scheme::kThorupZwick));
+  auto flaky = std::make_shared<FlakyOracle>(*store);
+  QueryService service(borrow_oracle(*store), degraded_config());
+  service.swap(store);
+  service.swap(flaky);
+  flaky->set_sick(true);
+  const auto pairs = all_pairs_sample(store->num_nodes());
+  std::vector<Dist> answers(pairs.size(), 0);
+  for (int batch = 0; batch < 4; ++batch) service.query_batch(pairs, answers);
+  ASSERT_GT(service.stats().breakers_open, 0u);
+  // Oracle heals; after the cooldown the half-open probes succeed and all
+  // breakers close again.
+  flaky->set_sick(false);
+  for (int batch = 0; batch < 8; ++batch) service.query_batch(pairs, answers);
+  const QueryServiceStats s = service.stats();
+  EXPECT_EQ(s.breakers_open, 0u);
+  EXPECT_GT(s.breaker_probes, 0u);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(answers[i], store->query(pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST(QueryServiceDegraded, FallbackOracleServesWhenNoPreviousGeneration) {
+  // A service born sick with no previous generation: the configured exact
+  // fallback answers, and every answer matches it exactly.
+  const Graph g = erdos_renyi(60, 0.08, {1, 9}, 29);
+  BuildConfig bcfg;
+  bcfg.scheme = Scheme::kThorupZwick;
+  bcfg.k = 2;
+  const SketchStore store = SketchStore::from_engine(SketchEngine(g, bcfg));
+  FlakyOracle sick(store);
+  sick.set_sick(true);
+  const auto exact = std::make_shared<ExactOracle>(g);
+  QueryServiceConfig cfg = degraded_config();
+  cfg.fallback = exact;
+  QueryService service(sick, cfg);
+  const auto pairs = all_pairs_sample(g.num_nodes());
+  std::vector<Dist> answers(pairs.size(), 0);
+  for (int batch = 0; batch < 4; ++batch) {
+    service.query_batch(pairs, answers);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(answers[i], exact->query(pairs[i].first, pairs[i].second));
+    }
+  }
+  const QueryServiceStats s = service.stats();
+  EXPECT_GT(s.fallback_answers, 0u);
+  EXPECT_EQ(s.stale_answers, 0u);
+  EXPECT_EQ(s.shed_answers, 0u);
+}
+
+TEST(QueryServiceDegraded, NoFailoverShedsWithInfDist) {
+  // Nothing to fail over to: degraded answers must be the safe kInfDist,
+  // never a fabricated finite distance.
+  const SketchStore store = make_store(Scheme::kThorupZwick, 40);
+  FlakyOracle sick(store);
+  sick.set_sick(true);
+  QueryService service(sick, degraded_config());
+  const auto pairs = all_pairs_sample(store.num_nodes());
+  std::vector<Dist> answers(pairs.size(), 0);
+  for (int batch = 0; batch < 3; ++batch) service.query_batch(pairs, answers);
+  for (const Dist d : answers) EXPECT_EQ(d, kInfDist);
+  EXPECT_GT(service.stats().shed_answers, 0u);
+}
+
+TEST(QueryServiceDegraded, DeadlineOverrunsAreCountedAndServedDegraded) {
+  // An oracle that dawdles: with a microscopic slice deadline the tail of
+  // each slice is served by the fallback; answers stay correct because
+  // the fallback is the same store.
+  const SketchStore store = make_store(Scheme::kThorupZwick, 60);
+  class SlowOracle final : public DistanceOracle {
+   public:
+    explicit SlowOracle(const SketchStore& s) : s_(s) {}
+    Dist query(NodeId u, NodeId v) const override {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return s_.query(u, v);
+    }
+    NodeId num_nodes() const override { return s_.num_nodes(); }
+    std::size_t size_words(NodeId u) const override {
+      return s_.size_words(u);
+    }
+    std::string scheme() const override { return s_.scheme(); }
+    std::string guarantee() const override { return s_.guarantee(); }
+    Capabilities capabilities() const override { return s_.capabilities(); }
+    void save(std::ostream& out) const override { s_.save(out); }
+
+   private:
+    const SketchStore& s_;
+  } slow(store);
+  QueryServiceConfig cfg = degraded_config();
+  cfg.shard_deadline_us = 50;
+  cfg.fallback = borrow_oracle(store);
+  QueryService service(slow, cfg);
+  const auto pairs = all_pairs_sample(store.num_nodes());
+  std::vector<Dist> answers(pairs.size(), 0);
+  service.query_batch(pairs, answers);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(answers[i], store.query(pairs[i].first, pairs[i].second));
+  }
+  const QueryServiceStats s = service.stats();
+  EXPECT_GT(s.deadline_violations, 0u);
+  EXPECT_GT(s.fallback_answers, 0u);
+}
+
+TEST(QueryServiceDegraded, MetricsExportEveryDegradationDecision) {
+  const SketchStore store = make_store(Scheme::kThorupZwick, 40);
+  FlakyOracle sick(store);
+  sick.set_sick(true);
+  QueryService service(sick, degraded_config());
+  const auto pairs = all_pairs_sample(store.num_nodes());
+  std::vector<Dist> answers(pairs.size(), 0);
+  for (int batch = 0; batch < 3; ++batch) service.query_batch(pairs, answers);
+  obs::MetricsRegistry registry;
+  service.export_metrics(registry);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  for (const char* name :
+       {"serve_query_failures_total", "serve_query_retries_total",
+        "serve_deadline_violations_total", "serve_breaker_opens_total",
+        "serve_breaker_probes_total", "serve_stale_answers_total",
+        "serve_fallback_answers_total", "serve_shed_answers_total",
+        "serve_breakers_open"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(LruCache, PutOverwritesExistingKey) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "congest/bfs_tree.hpp"
+#include "congest/fault_plan.hpp"
 #include "congest/sim.hpp"
 #include "graph/generators.hpp"
 #include "sketch/hierarchy.hpp"
@@ -226,6 +227,157 @@ TEST(SimFuzz, InvariantsHoldAcrossWorkerThreadCounts) {
         EXPECT_EQ(stats.node_steps, reference.node_steps);
         EXPECT_EQ(stats.max_outbox, reference.max_outbox);
       }
+    }
+  }
+}
+
+// Chatter protocol for fault runs: node-owned counters only, and no
+// FIFO/capacity/ordering asserts — a FaultPlan legitimately drops,
+// duplicates, and reorders, so only conservation-style aggregates and
+// cross-thread determinism are checkable.
+class FaultChatterProtocol : public Protocol {
+ public:
+  FaultChatterProtocol(NodeId n, std::uint64_t seed, int rounds_of_chatter)
+      : nodes_(n), chatter_rounds_(rounds_of_chatter) {
+    for (NodeId u = 0; u < n; ++u) {
+      nodes_[u].rng = Rng(seed ^ (u * 0x9e37ULL));
+    }
+  }
+
+  void on_start(NodeCtx& ctx) override { ctx.wake(); }
+
+  void on_round(NodeCtx& ctx) override {
+    NodeState& s = nodes_[ctx.node()];
+    s.delivered += ctx.inbox().size();
+    for (const Inbound& in : ctx.inbox()) s.payload_sum += in.msg.at(1);
+    if (static_cast<int>(ctx.round()) < chatter_rounds_) {
+      for (std::uint32_t e = 0; e < ctx.degree(); ++e) {
+        if (s.rng.bernoulli(0.6)) {
+          ctx.send(e, Message{ctx.node(), ++s.send_seq});
+          ++s.sent;
+        }
+      }
+      ctx.wake();
+    }
+  }
+
+  void on_crash(NodeId node) override { ++nodes_[node].crashes; }
+
+  std::uint64_t sent() const { return sum(&NodeState::sent); }
+  std::uint64_t delivered() const { return sum(&NodeState::delivered); }
+  std::uint64_t payload_sum() const { return sum(&NodeState::payload_sum); }
+  std::uint64_t crashes() const { return sum(&NodeState::crashes); }
+
+ private:
+  struct NodeState {
+    Rng rng{0};
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t payload_sum = 0;  // order-independent content fingerprint
+    std::uint64_t crashes = 0;
+    Word send_seq = 0;
+  };
+  std::uint64_t sum(std::uint64_t NodeState::* field) const {
+    std::uint64_t total = 0;
+    for (const NodeState& s : nodes_) total += s.*field;
+    return total;
+  }
+  std::vector<NodeState> nodes_;
+  int chatter_rounds_;
+};
+
+TEST(SimFuzz, FaultPlanRunsIdenticalAcrossThreadCounts) {
+  // Randomized fault schedules (drops, duplicates, reorders, link-down
+  // windows, crash/restarts) must replay byte-identically from the seed
+  // regardless of SimConfig::threads: same stats (including the fault
+  // counters), same per-node delivery counts, same delivered content.
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const Graph g = erdos_renyi(300, 0.03, {1, 5}, seed);
+    FaultConfig fc;
+    fc.drop_rate = 0.05;
+    fc.duplicate_rate = 0.03;
+    fc.reorder_rate = 0.1;
+    fc.node_crashes = 2;
+    fc.crash_horizon = 30;
+    fc.crash_downtime = 8;
+    fc.link_faults = 3;
+    fc.link_fault_horizon = 30;
+    fc.link_down_rounds = 6;
+    fc.seed = seed * 977 + 5;
+    const FaultPlan plan(g, fc);
+    SimStats reference;
+    std::uint64_t ref_delivered = 0;
+    std::uint64_t ref_payload = 0;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads));
+      FaultChatterProtocol p(g.num_nodes(), seed * 31 + 7, 12);
+      SimConfig cfg;
+      cfg.threads = threads;
+      cfg.faults = &plan;
+      Simulator sim(g, p, cfg);
+      const SimStats stats = sim.run();
+      EXPECT_FALSE(stats.hit_round_limit);
+      EXPECT_EQ(p.crashes(), 2u);
+      if (threads == 1) {
+        reference = stats;
+        ref_delivered = p.delivered();
+        ref_payload = p.payload_sum();
+        // The schedule must actually have exercised the fault paths.
+        EXPECT_GT(stats.dropped, 0u);
+        EXPECT_GT(stats.duplicated, 0u);
+        EXPECT_LT(p.delivered(), p.sent() + stats.duplicated);
+      } else {
+        EXPECT_EQ(stats.rounds, reference.rounds);
+        EXPECT_EQ(stats.messages, reference.messages);
+        EXPECT_EQ(stats.words, reference.words);
+        EXPECT_EQ(stats.node_steps, reference.node_steps);
+        EXPECT_EQ(stats.max_outbox, reference.max_outbox);
+        EXPECT_EQ(stats.dropped, reference.dropped);
+        EXPECT_EQ(stats.duplicated, reference.duplicated);
+        EXPECT_EQ(p.delivered(), ref_delivered);
+        EXPECT_EQ(p.payload_sum(), ref_payload);
+      }
+    }
+  }
+}
+
+TEST(SimFuzz, FaultTolerantTzLabelsIdenticalAcrossThreadCounts) {
+  // The whole point of the reliable layer: under a lossy, crashy schedule
+  // the distributed TZ build must still converge to byte-identical labels
+  // — equal to the centralized ground truth — at every thread count.
+  const Graph g = erdos_renyi(100, 0.06, {1, 5}, 31);
+  const std::uint32_t k = 2;
+  Hierarchy h = Hierarchy::sample(g.num_nodes(), k, 33);
+  std::uint64_t bump = 1;
+  while (!h.top_level_nonempty()) {
+    h = Hierarchy::sample(g.num_nodes(), k, 33 + bump++);
+  }
+  const std::vector<TzLabel> central = build_tz_centralized(g, h);
+  FaultConfig fc;
+  fc.drop_rate = 0.03;
+  fc.duplicate_rate = 0.02;
+  fc.reorder_rate = 0.05;
+  fc.node_crashes = 2;
+  fc.crash_horizon = 40;
+  fc.crash_downtime = 10;
+  fc.seed = 0xfa017ed;
+  const FaultPlan plan(g, fc);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SimConfig cfg;
+    cfg.threads = threads;
+    cfg.faults = &plan;
+    TzFaultTolerance ft;
+    ft.enabled = true;
+    ft.rto = 8;
+    const auto result =
+        build_tz_distributed(g, h, TerminationMode::kOracle, cfg, false, 0, ft);
+    ASSERT_TRUE(result.completed);
+    EXPECT_GT(result.retransmits, 0u);
+    ASSERT_EQ(result.labels.size(), central.size());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_TRUE(result.labels[u] == central[u]) << "node " << u;
     }
   }
 }

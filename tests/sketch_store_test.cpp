@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+#include <memory>
 #include <sstream>
 
 #include "core/engine.hpp"
@@ -143,23 +146,218 @@ TEST_F(SketchStoreCorruption, RejectsChecksumValidStructuralCorruption) {
         (static_cast<std::uint8_t>(bytes[pos + 3]) << 24));
   };
   const std::uint32_t n = u32_at(16);  // magic(8) + version + scheme
-  // Payload layout for tz: meta_count(8) + offsets_count(8) +
+  const auto fnv = [&](std::size_t begin, std::size_t end) {
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (std::size_t i = begin; i < end; ++i) {
+      hash ^= static_cast<std::uint8_t>(bytes[i]);
+      hash *= 1099511628211ULL;
+    }
+    return hash;
+  };
+  const auto patch_u64 = [&](std::size_t pos, std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      bytes[pos + i] = static_cast<char>((x >> (8 * i)) & 0xff);
+    }
+  };
+  // v2 layout: magic(8) + 48 header bytes + header checksum(8) = 64, then
+  // the payload. For tz: meta_count(8) + offsets_count(8) +
   // offsets(8*(n+1)) + arena_count(8); the next u32 is record 0's levels.
-  const std::size_t header_size = 56;
+  const std::size_t header_size = 64;
   const std::size_t levels_pos = header_size + 24 + 8 * (n + 1);
   ASSERT_LT(levels_pos + 4, bytes.size());
   bytes[levels_pos] = static_cast<char>(0xEE);  // levels = huge
-  // Recompute FNV-1a 64 over the payload and patch the header checksum.
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (std::size_t i = header_size; i < bytes.size(); ++i) {
-    hash ^= static_cast<std::uint8_t>(bytes[i]);
-    hash *= 1099511628211ULL;
-  }
-  for (int i = 0; i < 8; ++i) {
-    bytes[48 + i] = static_cast<char>((hash >> (8 * i)) & 0xff);
-  }
+  // Re-forge both checksums: payload (stored at byte 48, inside the
+  // checksummed header span [8, 56)) and then the header's own.
+  patch_u64(48, fnv(header_size, bytes.size()));
+  patch_u64(56, fnv(8, 56));
   std::stringstream ss(bytes);
   EXPECT_THROW(SketchStore::read(ss), std::runtime_error);
+}
+
+TEST_F(SketchStoreCorruption, FuzzTruncationAndBitFlipsAlwaysTyped) {
+  // Regression fuzz: every truncation point and every sampled single-bit
+  // flip must surface as a typed StoreCorruptionError — never a crash, an
+  // out-of-bounds read, or a silently wrong store. Both checksums (header
+  // and payload) together cover every byte of the file, so no flip can
+  // escape detection.
+  const std::string bytes = valid_bytes();
+  for (std::size_t keep = 0; keep < bytes.size(); keep += 7) {
+    std::stringstream ss(bytes.substr(0, keep));
+    EXPECT_THROW(SketchStore::read(ss), StoreCorruptionError)
+        << "truncated to " << keep << " bytes";
+  }
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 3) {
+    for (const int bit : {0, 6}) {
+      std::string mut = bytes;
+      mut[pos] = static_cast<char>(mut[pos] ^ (1 << bit));
+      std::stringstream ss(mut);
+      EXPECT_THROW(SketchStore::read(ss), StoreCorruptionError)
+          << "bit " << bit << " flipped at byte " << pos;
+    }
+  }
+}
+
+class SketchStoreRecovery : public ::testing::Test {
+ protected:
+  // A TZ store on disk plus the byte-level map needed to aim corruption at
+  // a specific node record.
+  void SetUp() override {
+    graph_ = erdos_renyi(40, 0.1, {1, 5}, 3);
+    BuildConfig cfg;
+    cfg.scheme = Scheme::kThorupZwick;
+    cfg.k = 2;
+    engine_ = std::make_unique<SketchEngine>(graph_, cfg);
+    store_ = SketchStore::from_engine(*engine_);
+    path_ = ::testing::TempDir() + "/dsketch_recovery_test.bin";
+    store_.save_file(path_);
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    // v2 file: 64-byte header, then tz payload meta_count(8) +
+    // offsets_count(8) + offsets(8*(n+1)) + arena_count(8) + arena.
+    n_ = store_.num_nodes();
+    arena_start_ = 64 + 8 + 8 + 8 * (n_ + 1) + 8;
+  }
+
+  std::uint64_t offset_of(NodeId u) const {
+    const std::size_t pos = 64 + 16 + 8 * u;
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos + i]))
+           << (8 * i);
+    }
+    return x;
+  }
+
+  void write_file(const std::string& data) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  Graph graph_;
+  std::unique_ptr<SketchEngine> engine_;
+  SketchStore store_;
+  std::string path_;
+  std::string bytes_;
+  NodeId n_ = 0;
+  std::size_t arena_start_ = 0;
+};
+
+TEST_F(SketchStoreRecovery, IntactFileRecoversWithChecksumOk) {
+  const SketchStore::Recovery rec = SketchStore::recover_file(path_);
+  EXPECT_TRUE(rec.checksum_ok);
+  EXPECT_TRUE(rec.quarantined.empty());
+  for (NodeId u = 0; u < n_; u += 3) {
+    for (NodeId v = u; v < n_; v += 5) {
+      EXPECT_EQ(rec.store.query(u, v), store_.query(u, v));
+    }
+  }
+}
+
+TEST_F(SketchStoreRecovery, QuarantinesBrokenRecordAndServesTheRest) {
+  // Blow up node 5's record structure (levels count inflated far past the
+  // record's actual extent). The strict load must reject the file; the
+  // recovery path must quarantine exactly node 5 and keep everyone else
+  // answering bit-identically.
+  const NodeId victim = 5;
+  std::string mut = bytes_;
+  const std::size_t levels_pos = arena_start_ + 4 * offset_of(victim);
+  mut[levels_pos] = static_cast<char>(0xE8);
+  mut[levels_pos + 1] = static_cast<char>(0x03);  // levels = 1000
+  write_file(mut);
+
+  EXPECT_THROW(SketchStore::load_file(path_), StoreCorruptionError);
+  const SketchStore::Recovery rec = SketchStore::recover_file(path_);
+  EXPECT_FALSE(rec.checksum_ok);
+  ASSERT_EQ(rec.quarantined, std::vector<NodeId>{victim});
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = u; v < n_; v += 3) {
+      if (u == victim || v == victim) continue;
+      EXPECT_EQ(rec.store.query(u, v), store_.query(u, v))
+          << "pair " << u << "," << v;
+    }
+  }
+  // The quarantined node answers the safe "don't know", never a wrong
+  // finite distance.
+  EXPECT_EQ(rec.store.query(victim, victim), 0u);
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v != victim) EXPECT_EQ(rec.store.query(victim, v), kInfDist);
+  }
+}
+
+TEST_F(SketchStoreRecovery, TruncatedArenaQuarantinesTheLostTail) {
+  // Chop the file inside the second-to-last record: the nodes whose
+  // records fall past the cut are quarantined, the intact prefix serves.
+  const std::size_t cut = arena_start_ + 4 * offset_of(n_ - 2) + 2;
+  write_file(bytes_.substr(0, cut));
+
+  EXPECT_THROW(SketchStore::load_file(path_), StoreCorruptionError);
+  const SketchStore::Recovery rec = SketchStore::recover_file(path_);
+  EXPECT_FALSE(rec.checksum_ok);
+  ASSERT_EQ(rec.quarantined, (std::vector<NodeId>{n_ - 2, n_ - 1}));
+  for (NodeId u = 0; u + 2 < n_; u += 2) {
+    for (NodeId v = u; v + 2 < n_; v += 3) {
+      EXPECT_EQ(rec.store.query(u, v), store_.query(u, v));
+    }
+  }
+}
+
+TEST_F(SketchStoreRecovery, HeaderDamageIsUnrecoverable) {
+  std::string mut = bytes_;
+  mut[2] = 'X';  // inside the magic
+  write_file(mut);
+  EXPECT_THROW(SketchStore::recover_file(path_), StoreCorruptionError);
+}
+
+TEST(SketchStoreRecoveryGraceful, TailTruncationKeepsEarlierLevels) {
+  // Graceful stores hold one segment per epsilon level; each level alone
+  // is a complete (coarser) oracle. Cutting the file inside the last
+  // segment must still recover a serving store whose answers are valid
+  // overestimates of the original's.
+  const Graph g = erdos_renyi(40, 0.1, {1, 5}, 7);
+  BuildConfig cfg;
+  cfg.scheme = Scheme::kGraceful;
+  cfg.k = 2;
+  cfg.epsilon = 0.25;
+  const SketchEngine engine(g, cfg);
+  const SketchStore store = SketchStore::from_engine(engine);
+  ASSERT_GE(store.num_segments(), 2u);
+  const std::string path = ::testing::TempDir() + "/dsketch_graceful_rec.bin";
+  store.save_file(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 10));
+  out.close();
+
+  const SketchStore::Recovery rec = SketchStore::recover_file(path);
+  EXPECT_FALSE(rec.checksum_ok);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u; v < g.num_nodes(); v += 4) {
+      EXPECT_GE(rec.store.query(u, v), store.query(u, v));
+    }
+  }
+}
+
+TEST(SketchStoreAtomicSave, OverwriteLeavesNoTempAndOldOrNewStore) {
+  // save_file over an existing store must go through the temp+rename
+  // dance: afterwards the temp file is gone and the target parses clean.
+  const Graph g = ring(20, {1, 3}, 11);
+  BuildConfig cfg;
+  cfg.scheme = Scheme::kThorupZwick;
+  cfg.k = 2;
+  const SketchEngine engine(g, cfg);
+  const SketchStore store = SketchStore::from_engine(engine);
+  const std::string path = ::testing::TempDir() + "/dsketch_atomic_test.bin";
+  store.save_file(path);
+  store.save_file(path);  // overwrite in place
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind";
+  const SketchStore back = SketchStore::load_file(path);
+  EXPECT_EQ(back.num_nodes(), store.num_nodes());
 }
 
 TEST(SketchStoreProvenance, UnknownEpsilonSurvivesConversion) {

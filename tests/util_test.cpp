@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -172,6 +174,71 @@ TEST(ThreadPool, DynamicNestedCallDegradesToSerial) {
     pool.for_each_dynamic(4, [&](std::size_t, std::size_t) { total++; });
   });
   EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, WorkerExceptionRethrownAtJoin) {
+  // A body throwing on a worker lane must not call std::terminate; the
+  // exception surfaces on the calling thread once all lanes quiesce.
+  ThreadPool pool(4);
+  const auto boom = [](std::size_t i) {
+    if (i == 950) throw std::runtime_error("worker boom");
+  };
+  EXPECT_THROW(pool.parallel_for(1000, boom), std::runtime_error);
+}
+
+TEST(ThreadPool, CallerExceptionRethrownAfterWorkersQuiesce) {
+  // Index 0 always runs on the calling thread's chunk (static split): the
+  // caller-side throw must still wait for the workers before rethrowing.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  const auto boom = [&](std::size_t i) {
+    if (i == 0) {
+      // Wait until a worker lane has made progress so the rethrow really
+      // races against in-flight workers, then throw from the caller chunk.
+      while (done.load() == 0) std::this_thread::yield();
+      throw std::runtime_error("caller boom");
+    }
+    done++;
+  };
+  EXPECT_THROW(pool.parallel_for(1000, boom), std::runtime_error);
+  EXPECT_GT(done.load(), 0);  // workers really ran alongside
+}
+
+TEST(ThreadPool, DynamicExceptionStopsPullingAndRethrows) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  const auto boom = [&](std::size_t, std::size_t i) {
+    if (i == 10) throw std::runtime_error("dynamic boom");
+    executed++;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  };
+  EXPECT_THROW(pool.for_each_dynamic(100000, boom), std::runtime_error);
+  // Lanes noticed the error and stopped pulling long before the end.
+  EXPECT_LT(executed.load(), 100000);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterAnException) {
+  // The error is cleared per invocation: the next loops run clean on both
+  // entry points.
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   500, [](std::size_t i) {
+                     if (i == 250) throw std::runtime_error("x");
+                   }),
+               std::runtime_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(500, [&](std::size_t) { total++; });
+  pool.for_each_dynamic(500, [&](std::size_t, std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, SerialFallbackPropagatesDirectly) {
+  ThreadPool pool(1);  // no workers: serial path
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("serial");
+                   }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, ConcurrentCallersAreSafe) {

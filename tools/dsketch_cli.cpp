@@ -17,6 +17,8 @@
 //   dsketch dynamic-bench --n 512 --rounds 6 --updates 8
 //                 --policies stale,count,adaptive,repair
 //   dsketch list-schemes
+//   dsketch faults --graph net.graph --drop 0.05 --crashes 2 --seed 7
+//   dsketch faults --store net.store --out bad.store --flip 8 --recover
 //   dsketch repro --manifest bench/manifests/quick.toml [--out-dir DIR]
 //                 [--threads N] [--force] [--list] [--no-report]
 //
@@ -29,6 +31,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -52,7 +55,12 @@
 #include "serve/query_service.hpp"
 #include "serve/sketch_store.hpp"
 #include "serve/workload.hpp"
+#include "congest/fault_plan.hpp"
+#include "sketch/hierarchy.hpp"
 #include "sketch/stretch_eval.hpp"
+#include "sketch/tz_centralized.hpp"
+#include "sketch/tz_distributed.hpp"
+#include "util/rng.hpp"
 #include "util/flags.hpp"
 #include "util/json_lines.hpp"
 #include "util/timer.hpp"
@@ -65,7 +73,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: dsketch "
                "<gen|info|build|query|eval|convert|serve-bench|"
-               "dynamic-bench|list-schemes|repro>"
+               "dynamic-bench|list-schemes|faults|repro>"
                " [--flags]\n"
                "  gen   --topology er|grid|ring|path|ba|ws|geometric|tree|"
                "isp|ring_chords --n N [--p P] [--m M] [--wmin W --wmax W] "
@@ -98,6 +106,14 @@ int usage() {
                "[--budget B] [--unrepaired-budget B] [--rate-threshold T] "
                "[--batch B] [--cache C] [--seed S]   "
                "(E14: live refresh under churn, JSON lines)\n"
+               "  faults --graph FILE [--k K] [--drop R] [--duplicate R] "
+               "[--reorder R] [--crashes N] [--link-faults N] [--seed S] "
+               "[--no-tolerance] [--rto R] [--max-rounds R]   "
+               "(replay a seeded FaultPlan against the TZ build)\n"
+               "  faults --store FILE --out FILE (--truncate N | --flip N) "
+               "[--seed S] [--recover]   "
+               "(corrupt a binary store; --recover runs the quarantine "
+               "loader on the result)\n"
                "  repro (--manifest FILE | --quick) [--out-dir DIR] "
                "[--corpus-dir DIR] [--threads N] [--force] [--list] "
                "[--no-report] [--report FILE]\n");
@@ -388,7 +404,7 @@ int cmd_convert(const FlagSet& flags) {
   in.read(magic, 8);
   in.clear();
   in.seekg(0);
-  const bool input_is_binary = std::string(magic, 8) == "DSKSTOR1";
+  const bool input_is_binary = std::string(magic, 7) == "DSKSTOR";
   if (input_is_binary) {
     const SketchStore store = SketchStore::read(in);
     std::ofstream out(out_path);
@@ -647,6 +663,160 @@ int cmd_list_schemes() {
   return 0;
 }
 
+/// Fault tooling, two modes sharing one subcommand:
+///   dsketch faults --graph FILE [--k K] [--drop R] [--duplicate R]
+///       [--reorder R] [--crashes N] [--link-faults N] [--seed S]
+///       [--no-tolerance] [--rto R] [--sim-threads T] [--max-rounds R]
+///     Replays the seeded FaultPlan against the fault-tolerant in-network
+///     TZ build and prints the run as JSON lines (schedule, stats, label
+///     verification against the centralized construction). The same
+///     --seed always replays the same run — this is the debugging entry
+///     point for any fault failure seen in E16 or the fuzz tests.
+///   dsketch faults --store FILE --out FILE (--truncate N | --flip N)
+///       [--seed S] [--recover]
+///     Writes a deliberately corrupted copy of a binary sketch store
+///     (truncate the tail, or flip N seeded random payload bytes);
+///     --recover then runs the quarantine loader on the damaged copy and
+///     reports what survived.
+int cmd_faults(const FlagSet& flags) {
+  if (flags.has("store")) {
+    const std::string in_path = flags.get("store", std::string{});
+    const std::string out_path = flags.require("out");
+    std::ifstream in(in_path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open --store file: " + in_path);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    const auto seed =
+        static_cast<std::uint64_t>(flags.get("seed", std::int64_t{1}));
+    const auto truncate_bytes =
+        static_cast<std::size_t>(flags.get("truncate", std::int64_t{0}));
+    const auto flips =
+        static_cast<std::size_t>(flags.get("flip", std::int64_t{0}));
+    if (truncate_bytes == 0 && flips == 0) {
+      throw std::runtime_error("--store mode needs --truncate N or --flip N");
+    }
+    if (truncate_bytes > 0) {
+      bytes.resize(bytes.size() > truncate_bytes
+                       ? bytes.size() - truncate_bytes
+                       : 0);
+    }
+    Rng rng(seed);
+    for (std::size_t i = 0; i < flips && !bytes.empty(); ++i) {
+      // Flip payload bytes (past the 64-byte header) so the damage lands
+      // in records, not the magic; header damage is always fatal anyway.
+      const std::size_t lo = bytes.size() > 64 ? 64 : 0;
+      const std::size_t at = lo + rng.below(bytes.size() - lo);
+      bytes[at] = static_cast<char>(bytes[at] ^ (1 << rng.below(8)));
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open --out file: " + out_path);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    std::printf("corrupted %s -> %s (%zu bytes, truncated %zu, flipped %zu)\n",
+                in_path.c_str(), out_path.c_str(), bytes.size(),
+                truncate_bytes, flips);
+    if (flags.get_bool("recover")) {
+      try {
+        const SketchStore::Recovery rec = SketchStore::recover_file(out_path);
+        std::printf("recovered: scheme=%s nodes=%u quarantined=%zu "
+                    "checksum_ok=%d\n",
+                    rec.store.scheme().c_str(), rec.store.num_nodes(),
+                    rec.quarantined.size(), rec.checksum_ok ? 1 : 0);
+        for (const NodeId u : rec.quarantined) {
+          std::printf("  quarantined node %u\n", u);
+        }
+      } catch (const StoreCorruptionError& e) {
+        std::printf("unrecoverable: %s\n", e.what());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  const Graph g = read_graph_file(flags.require("graph"));
+  const auto k = static_cast<std::uint32_t>(flags.get("k", std::int64_t{2}));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get("seed", std::int64_t{7}));
+  FaultConfig fc;
+  fc.drop_rate = flags.get("drop", 0.05);
+  fc.duplicate_rate = flags.get("duplicate", 0.02);
+  fc.reorder_rate = flags.get("reorder", 0.05);
+  fc.node_crashes =
+      static_cast<std::uint32_t>(flags.get("crashes", std::int64_t{2}));
+  fc.crash_horizon = static_cast<std::uint64_t>(
+      flags.get("crash-horizon", std::int64_t{64}));
+  fc.crash_downtime = static_cast<std::uint64_t>(
+      flags.get("crash-downtime", std::int64_t{12}));
+  fc.link_faults =
+      static_cast<std::uint32_t>(flags.get("link-faults", std::int64_t{0}));
+  fc.seed = seed;
+  const FaultPlan plan(g, fc);
+  bench::JsonLine schedule;
+  schedule.add("table", "schedule")
+      .add("seed", fc.seed)
+      .add("drop_rate", fc.drop_rate)
+      .add("duplicate_rate", fc.duplicate_rate)
+      .add("reorder_rate", fc.reorder_rate)
+      .add("crashes", fc.node_crashes)
+      .add("link_faults", fc.link_faults);
+  schedule.emit(std::cout);
+  for (const CrashEvent& c : plan.crashes()) {
+    bench::JsonLine line;
+    line.add("table", "crash")
+        .add("node", static_cast<std::uint64_t>(c.node))
+        .add("at", c.at)
+        .add("restart", c.restart)
+        .emit(std::cout);
+  }
+
+  Hierarchy h = Hierarchy::sample(g.num_nodes(), k, seed + 3);
+  for (std::uint64_t b = 1; !h.top_level_nonempty(); ++b) {
+    h = Hierarchy::sample(g.num_nodes(), k, seed + 3 + b);
+  }
+  SimConfig cfg;
+  cfg.threads =
+      static_cast<unsigned>(flags.get("sim-threads", std::int64_t{0}));
+  cfg.faults = &plan;
+  if (flags.has("max-rounds")) {
+    cfg.max_rounds = static_cast<std::uint64_t>(
+        flags.get("max-rounds", std::int64_t{0}));
+  }
+  TzFaultTolerance ft;
+  ft.enabled = !flags.get_bool("no-tolerance");
+  ft.rto = static_cast<std::uint32_t>(flags.get("rto", std::int64_t{8}));
+  Timer timer;
+  const TzDistributedResult r = build_tz_distributed(
+      g, h, TerminationMode::kEcho, cfg, false, 0, ft);
+  const double seconds = timer.seconds();
+
+  std::uint64_t label_mismatches = 0;
+  bool verified = false;
+  if (r.completed && g.num_nodes() <= 4096) {
+    const std::vector<TzLabel> central = build_tz_centralized(g, h);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!(r.labels[u] == central[u])) ++label_mismatches;
+    }
+    verified = true;
+  }
+  SimStats combined = r.tree_stats;
+  combined += r.stats;
+  bench::JsonLine result;
+  result.add("table", "run")
+      .add("completed", r.completed)
+      .add("rounds", r.total_rounds())
+      .add("messages", r.total_messages())
+      .add("dropped", combined.dropped)
+      .add("duplicated", combined.duplicated)
+      .add("retransmits", r.retransmits)
+      .add("duplicate_discards", r.duplicate_discards)
+      .add("tolerance", ft.enabled)
+      .add("verified", verified)
+      .add("label_mismatches", label_mismatches)
+      .add("seconds", seconds);
+  result.emit(std::cout);
+  return r.completed && label_mismatches == 0 ? 0 : 1;
+}
+
 /// Runs a manifest's experiment grid and regenerates the results report.
 /// Resume is the default: cells whose artifacts already exist and
 /// validate are skipped, so an interrupted grid picks up where it left
@@ -727,6 +897,7 @@ int main(int argc, char** argv) {
     if (cmd == "list-schemes" || cmd == "--list-schemes") {
       return cmd_list_schemes();
     }
+    if (cmd == "faults") return cmd_faults(flags);
     if (cmd == "repro") return cmd_repro(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
