@@ -31,7 +31,8 @@ namespace {
 
 /// Pre-PR centralized TZ build (gates via n-vector multi-source Dijkstra,
 /// binary-heap cluster growth), for the tz_build baseline row.
-std::vector<TzLabel> legacy_build_tz(const Graph& g, const Hierarchy& h) {
+std::vector<TzLabelBuilder> legacy_build_tz(const Graph& g,
+                                            const Hierarchy& h) {
   struct QItem {
     Dist dist;
     NodeId node;
@@ -51,7 +52,7 @@ std::vector<TzLabel> legacy_build_tz(const Graph& g, const Hierarchy& h) {
     legacy_ref::multi_source(g, members, dist, owner);
     for (NodeId u = 0; u < n; ++u) gates[i][u] = DistKey{dist[u], owner[u]};
   }
-  std::vector<TzLabel> labels;
+  std::vector<TzLabelBuilder> labels;
   labels.reserve(n);
   for (NodeId u = 0; u < n; ++u) {
     labels.emplace_back(u, k);
@@ -89,10 +90,20 @@ std::vector<TzLabel> legacy_build_tz(const Graph& g, const Hierarchy& h) {
   return labels;
 }
 
-std::vector<std::vector<Word>> serialize_all(const std::vector<TzLabel>& ls) {
+std::vector<std::vector<Word>> serialize_all(
+    const std::vector<TzLabelBuilder>& ls) {
   std::vector<std::vector<Word>> words;
   words.reserve(ls.size());
-  for (const TzLabel& l : ls) words.push_back(serialize_label(l));
+  for (const TzLabelBuilder& l : ls) words.push_back(serialize_label(l.view()));
+  return words;
+}
+
+std::vector<std::vector<Word>> serialize_all(const LabelArena& labels) {
+  std::vector<std::vector<Word>> words;
+  words.reserve(labels.num_nodes());
+  for (NodeId u = 0; u < labels.num_nodes(); ++u) {
+    words.push_back(serialize_label(labels.view(u)));
+  }
   return words;
 }
 
@@ -173,7 +184,7 @@ int run_e13(const FlagSet& flags, std::ostream& out) {
   // are billed to neither side.
   legacy_build_tz(g, h);
   Timer legacy_timer;
-  const std::vector<TzLabel> legacy_labels = legacy_build_tz(g, h);
+  const std::vector<TzLabelBuilder> legacy_labels = legacy_build_tz(g, h);
   const double legacy_ms = legacy_timer.millis();
   row("e13", "tz_build")
       .add("build", "legacy_serial")
@@ -194,7 +205,7 @@ int run_e13(const FlagSet& flags, std::ostream& out) {
     // Warm-up pass so thread spin-up is not billed to the timed build.
     build_tz_centralized(g, h, &pool);
     Timer t;
-    const std::vector<TzLabel> labels = build_tz_centralized(g, h, &pool);
+    const LabelArena labels = build_tz_centralized(g, h, &pool);
     const double ms = t.millis();
     const bool identical = serialize_all(labels) == want;
     if (!identical) ++mismatches;

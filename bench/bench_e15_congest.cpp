@@ -100,11 +100,11 @@ int run_e15(const FlagSet& flags, std::ostream& out) {
 
   // --- pack + serve, verified against the centralized build --------------
   Timer central_timer;
-  const std::vector<TzLabel> central = build_tz_centralized(g, h);
+  const LabelArena central = build_tz_centralized(g, h);
   const double central_seconds = central_timer.seconds();
   std::uint64_t label_mismatches = 0;
   for (NodeId u = 0; u < n; ++u) {
-    if (!(r.labels[u] == central[u])) ++label_mismatches;
+    if (!(r.labels.view(u) == central.view(u))) ++label_mismatches;
   }
 
   const TzLabelOracle oracle(r.labels, k);
@@ -129,8 +129,8 @@ int run_e15(const FlagSet& flags, std::ostream& out) {
   const double serve_seconds = serve_timer.seconds();
   std::uint64_t query_mismatches = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (answers[i] != tz_query(central[pairs[i].first],
-                               central[pairs[i].second])) {
+    if (answers[i] != tz_query(central.view(pairs[i].first),
+                               central.view(pairs[i].second))) {
       ++query_mismatches;
     }
   }

@@ -71,7 +71,7 @@ int run_e16(const FlagSet& flags, std::ostream& out) {
   const auto m = static_cast<double>(g.num_edges());
   const std::uint32_t S = sp_diameter_auto(g, 8, 3);
   const Hierarchy h = sampled_hierarchy(n, k, seed + 3);
-  const std::vector<TzLabel> central = build_tz_centralized(g, h);
+  const LabelArena central = build_tz_centralized(g, h);
 
   TzFaultTolerance ft;
   ft.enabled = true;
@@ -97,7 +97,7 @@ int run_e16(const FlagSet& flags, std::ostream& out) {
   const double drops[] = {0.0, 0.01, 0.05, 0.10};
   const std::uint32_t crash_counts[] = {0, 2, 4};
   std::uint64_t cells = 0, completed_cells = 0, mismatched_cells = 0;
-  std::vector<TzLabel> lossy_labels;  // labels from the acceptance cell
+  LabelArena lossy_labels;  // labels from the acceptance cell
   for (const double drop : drops) {
     for (const std::uint32_t crashes : crash_counts) {
       FaultConfig fc;
@@ -119,7 +119,7 @@ int run_e16(const FlagSet& flags, std::ostream& out) {
       if (r.completed) {
         ++completed_cells;
         for (NodeId u = 0; u < n; ++u) {
-          if (!(r.labels[u] == central[u])) ++label_mismatches;
+          if (!(r.labels.view(u) == central.view(u))) ++label_mismatches;
         }
         if (label_mismatches != 0) ++mismatched_cells;
         if (drop == 0.05 && crashes == 2) lossy_labels = r.labels;
@@ -185,7 +185,7 @@ int run_e16(const FlagSet& flags, std::ostream& out) {
   std::uint64_t healthy_mismatches = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (answers[i] !=
-        tz_query(central[pairs[i].first], central[pairs[i].second])) {
+        tz_query(central.view(pairs[i].first), central.view(pairs[i].second))) {
       ++healthy_mismatches;
     }
   }

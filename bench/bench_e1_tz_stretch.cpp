@@ -111,10 +111,10 @@ int run_e1(const FlagSet& flags, std::ostream& out) {
       const Hierarchy h = sampled_hierarchy(g.num_nodes(), k, 100 + k);
       const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
       const auto pivot_report = eval(g, gt, [&](NodeId u, NodeId v) {
-        return tz_query(r.labels[u], r.labels[v]);
+        return tz_query(r.labels.view(u), r.labels.view(v));
       });
       const auto full_report = eval(g, gt, [&](NodeId u, NodeId v) {
-        return tz_query_exhaustive(r.labels[u], r.labels[v]);
+        return tz_query_exhaustive(r.labels.view(u), r.labels.view(v));
       });
       row("e1", "query_variant_ablation")
           .add("n", static_cast<std::uint64_t>(g.num_nodes()))

@@ -62,14 +62,14 @@ int run_e8(const FlagSet& flags, std::ostream& out) {
     const auto built = build_tz_distributed(t.g, h, TerminationMode::kOracle);
     double mean_words = 0;
     for (NodeId u = 0; u < t.g.num_nodes(); ++u) {
-      mean_words += static_cast<double>(built.labels[u].size_words());
+      mean_words += static_cast<double>(built.labels.size_words(u));
     }
     mean_words /= t.g.num_nodes();
 
     // Measured exchange: node 0 fetches the sketch of the "far" node n/2.
     const NodeId peer = t.g.num_nodes() / 2;
     const auto exchange =
-        exchange_sketch(t.g, 0, peer, serialize_label(built.labels[peer]));
+        exchange_sketch(t.g, 0, peer, serialize_label(built.labels.view(peer)));
     row("e8", "per_query_rounds")
         .add("topology", t.name)
         .add("regime", t.regime)

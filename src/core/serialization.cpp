@@ -23,14 +23,14 @@ void expect_magic(std::istream& in, const char* magic) {
   }
 }
 
-void write_label_line(std::ostream& out, const TzLabel& label) {
+void write_label_line(std::ostream& out, const LabelView& label) {
   const std::vector<Word> words = serialize_label(label);
-  out << label.owner() << ' ' << words.size();
+  out << label.owner << ' ' << words.size();
   for (const Word w : words) out << ' ' << w;
   out << '\n';
 }
 
-TzLabel read_label_line(std::istream& in) {
+TzLabelBuilder read_label_line(std::istream& in) {
   NodeId owner = 0;
   std::size_t count = 0;
   if (!(in >> owner >> count)) {
@@ -45,19 +45,21 @@ TzLabel read_label_line(std::istream& in) {
 
 }  // namespace
 
-void write_tz_labels(std::ostream& out, const std::vector<TzLabel>& labels) {
-  out << kTzMagic << ' ' << labels.size() << '\n';
-  for (const TzLabel& l : labels) write_label_line(out, l);
+void write_tz_labels(std::ostream& out, const LabelArena& labels) {
+  out << kTzMagic << ' ' << labels.num_nodes() << '\n';
+  for (NodeId u = 0; u < labels.num_nodes(); ++u) {
+    write_label_line(out, labels.view(u));
+  }
 }
 
-std::vector<TzLabel> read_tz_labels(std::istream& in) {
+LabelArena read_tz_labels(std::istream& in) {
   expect_magic(in, kTzMagic);
   std::size_t n = 0;
   if (!(in >> n)) throw std::runtime_error("bad tz sketch header");
-  std::vector<TzLabel> labels;
-  labels.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) labels.push_back(read_label_line(in));
-  return labels;
+  std::vector<TzLabelBuilder> builders;
+  builders.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) builders.push_back(read_label_line(in));
+  return LabelArena::from_builders(std::move(builders));
 }
 
 void write_slack_sketches(std::ostream& out, const SlackSketchSet& set,
@@ -100,7 +102,7 @@ void write_cdg_sketches(std::ostream& out, const CdgSketchSet& set,
   for (NodeId u = 0; u < n; ++u) {
     const auto& s = set.sketch(u);
     out << s.net_node << ' ' << s.net_dist << ' ';
-    write_label_line(out, s.label);
+    write_label_line(out, s.label.view());
   }
 }
 

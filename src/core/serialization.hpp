@@ -16,8 +16,8 @@
 
 namespace dsketch {
 
-void write_tz_labels(std::ostream& out, const std::vector<TzLabel>& labels);
-std::vector<TzLabel> read_tz_labels(std::istream& in);
+void write_tz_labels(std::ostream& out, const LabelArena& labels);
+LabelArena read_tz_labels(std::istream& in);
 
 void write_slack_sketches(std::ostream& out, const SlackSketchSet& set,
                           NodeId n);

@@ -85,7 +85,7 @@ Dist SketchOracle::query(NodeId u, NodeId v) const {
   DS_CHECK(u < n_ && v < n_);
   switch (config_.scheme) {
     case Scheme::kThorupZwick:
-      return tz_query(tz_labels_[u], tz_labels_[v]);
+      return tz_query(tz_labels_.view(u), tz_labels_.view(v));
     case Scheme::kSlack:
       return slack_.query(u, v);
     case Scheme::kCdg:
@@ -100,7 +100,7 @@ std::size_t SketchOracle::size_words(NodeId u) const {
   DS_CHECK(u < n_);
   switch (config_.scheme) {
     case Scheme::kThorupZwick:
-      return tz_labels_[u].size_words();
+      return tz_labels_.size_words(u);
     case Scheme::kSlack:
       return slack_.size_words(u);
     case Scheme::kCdg:
@@ -217,7 +217,7 @@ std::unique_ptr<SketchOracle> SketchOracle::load_payload(
   };
   switch (oracle->config_.scheme) {
     case Scheme::kThorupZwick:
-      check_count(oracle->tz_labels_.size());
+      check_count(oracle->tz_labels_.num_nodes());
       break;
     case Scheme::kSlack:
       check_count(oracle->slack_.num_nodes());

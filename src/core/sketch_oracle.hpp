@@ -96,7 +96,7 @@ class SketchOracle final : public DistanceOracle {
   bool cost_available_ = true;  ///< false for envelope-loaded sketches
 
   // Exactly one of these is populated, per config_.scheme.
-  std::vector<TzLabel> tz_labels_;
+  LabelArena tz_labels_;
   SlackSketchSet slack_;
   CdgSketchSet cdg_;
   GracefulSketchSet graceful_;

@@ -12,12 +12,12 @@
 
 namespace dsketch {
 
-TzLabelOracle::TzLabelOracle(std::vector<TzLabel> labels, std::uint32_t k)
+TzLabelOracle::TzLabelOracle(LabelArena labels, std::uint32_t k)
     : labels_(std::move(labels)), k_(k) {}
 
 Dist TzLabelOracle::query(NodeId u, NodeId v) const {
-  DS_CHECK(u < labels_.size() && v < labels_.size());
-  return tz_query(labels_[u], labels_[v]);
+  DS_CHECK(u < labels_.num_nodes() && v < labels_.num_nodes());
+  return tz_query(labels_.view(u), labels_.view(v));
 }
 
 std::string TzLabelOracle::guarantee() const {
@@ -56,15 +56,16 @@ void TzDynamicSketch::build_labels(const Graph& g, std::uint64_t seed,
 
 void TzDynamicSketch::recompute_bound() {
   bound_ = 0;
-  for (const TzLabel& label : labels_) {
-    for (std::uint32_t i = 0; i < label.levels(); ++i) {
+  for (NodeId u = 0; u < labels_.num_nodes(); ++u) {
+    const LabelView label = labels_.view(u);
+    for (std::uint32_t i = 0; i < label.levels; ++i) {
       const DistKey& p = label.pivot(i);
       if (p.id != kInvalidNode && p.dist != kInfDist) {
         bound_ = std::max(bound_, p.dist);
       }
     }
-    for (const BunchEntry& e : label.bunch()) {
-      bound_ = std::max(bound_, e.dist);
+    for (std::uint32_t j = 0; j < label.count; ++j) {
+      bound_ = std::max(bound_, label.bunch[j].dist);
     }
   }
 }
@@ -98,7 +99,7 @@ bool TzDynamicSketch::apply(const Graph& updated, const EdgeUpdate& update) {
     return false;
   }
   const obs::Span repair_span("incremental_repair");
-  DS_CHECK(updated.num_nodes() == labels_.size());
+  DS_CHECK(updated.num_nodes() == labels_.num_nodes());
   const Dist we = update.weight;
   stats_.nodes_explored += explore(updated, update.u, dist_a_);
   stats_.nodes_explored += explore(updated, update.v, dist_b_);
@@ -118,21 +119,20 @@ bool TzDynamicSketch::apply(const Graph& updated, const EdgeUpdate& update) {
 
   for (NodeId x = 0; x < updated.num_nodes(); ++x) {
     if (dist_a_[x] == kInfDist && dist_b_[x] == kInfDist) continue;
-    TzLabel& label = labels_[x];
-    for (std::uint32_t i = 0; i < label.levels(); ++i) {
+    const LabelView label = labels_.view(x);
+    for (std::uint32_t i = 0; i < label.levels; ++i) {
       const DistKey& p = label.pivot(i);
       if (p.id == kInvalidNode || p.dist == kInfDist) continue;
       const Dist cand = via_edge(x, p.id);
       if (cand < p.dist) {
-        label.set_pivot(i, DistKey{cand, p.id});
+        labels_.tighten_pivot(x, i, cand);
         ++stats_.entries_improved;
       }
     }
-    const std::vector<BunchEntry>& bunch = label.bunch();
-    for (std::size_t j = 0; j < bunch.size(); ++j) {
-      const Dist cand = via_edge(x, bunch[j].node);
-      if (cand < bunch[j].dist) {
-        label.set_bunch_dist(j, cand);
+    for (std::uint32_t j = 0; j < label.count; ++j) {
+      const Dist cand = via_edge(x, label.bunch[j].node);
+      if (cand < label.bunch[j].dist) {
+        labels_.tighten_bunch_dist(x, j, cand);
         ++stats_.entries_improved;
       }
     }

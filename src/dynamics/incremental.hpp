@@ -43,29 +43,27 @@
 namespace dsketch {
 
 /// Immutable TZ-label oracle — what TzDynamicSketch publishes to the
-/// serving tier. A plain label vector with the Lemma 3.2 query; unlike
+/// serving tier. A frozen label arena with the Lemma 3.2 query; unlike
 /// SketchOracle it carries no build cost and no save path (a repaired
 /// sketch is a transient serving artifact, not a persisted one).
 class TzLabelOracle final : public DistanceOracle {
  public:
-  TzLabelOracle(std::vector<TzLabel> labels, std::uint32_t k);
+  TzLabelOracle(LabelArena labels, std::uint32_t k);
 
   Dist query(NodeId u, NodeId v) const override;
-  NodeId num_nodes() const override {
-    return static_cast<NodeId>(labels_.size());
-  }
+  NodeId num_nodes() const override { return labels_.num_nodes(); }
   std::size_t size_words(NodeId u) const override {
-    return labels_[u].size_words();
+    return labels_.size_words(u);
   }
   std::string scheme() const override { return "tz"; }
   std::string guarantee() const override;
   Capabilities capabilities() const override;
 
-  const std::vector<TzLabel>& labels() const { return labels_; }
+  const LabelArena& labels() const { return labels_; }
   std::uint32_t k() const { return k_; }
 
  private:
-  std::vector<TzLabel> labels_;
+  LabelArena labels_;
   std::uint32_t k_;
 };
 
@@ -114,7 +112,7 @@ class TzDynamicSketch {
   Dist exploration_bound() const { return bound_; }
   /// The live labels (test hook: repair exactness is checked entry by
   /// entry against fresh ground truth).
-  const std::vector<TzLabel>& labels() const { return labels_; }
+  const LabelArena& labels() const { return labels_; }
 
  private:
   void build_labels(const Graph& g, std::uint64_t seed, ThreadPool* pool);
@@ -124,7 +122,7 @@ class TzDynamicSketch {
   std::size_t explore(const Graph& g, NodeId source, std::vector<Dist>& out);
 
   std::uint32_t k_ = 0;
-  std::vector<TzLabel> labels_;
+  LabelArena labels_;
   Dist bound_ = 0;
   std::size_t unrepaired_ = 0;
   RepairStats stats_;

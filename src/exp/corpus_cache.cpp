@@ -45,6 +45,14 @@ Graph generate_graph(const FlagSet& flags) {
         n, static_cast<NodeId>(flags.get("pops", std::int64_t{16})), {1, 4},
         w, seed);
   }
+  if (topo == "file") {
+    // Real graphs: stream a SNAP/DIMACS edge list straight into CSR form
+    // (graph/graph_io.hpp). A manifest names one with
+    //   [corpus.NAME] topology="file" path="..." [format="snap|dimacs"].
+    return ingest_edge_list_file(
+        flags.require("path"),
+        parse_ingest_format(flags.get("format", std::string("auto"))));
+  }
   if (topo == "ring_chords") {
     return ring_with_chords(
         n, static_cast<std::size_t>(flags.get("chords", std::int64_t{n})),

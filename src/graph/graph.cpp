@@ -37,6 +37,52 @@ Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges) {
   return g;
 }
 
+Graph Graph::from_adjacency(NodeId n, std::vector<std::size_t> offsets,
+                            std::vector<HalfEdge> adj) {
+  DS_CHECK(offsets.size() == static_cast<std::size_t>(n) + 1);
+  DS_CHECK(offsets.empty() || offsets.front() == 0);
+  Graph g;
+  g.n_ = n;
+  // Compact in place: sort each row by (neighbor, weight), keep the first
+  // occurrence of every neighbor (= its smallest weight), drop self
+  // half-edges. write trails the row scan so no second buffer is needed.
+  std::size_t write = 0;
+  std::size_t row_begin = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t row_end = offsets[u + 1];
+    DS_CHECK(row_begin <= row_end && row_end <= adj.size());
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(row_begin),
+              adj.begin() + static_cast<std::ptrdiff_t>(row_end),
+              [](const HalfEdge& a, const HalfEdge& b) {
+                return a.to != b.to ? a.to < b.to : a.weight < b.weight;
+              });
+    const std::size_t compact_begin = write;
+    NodeId last = kInvalidNode;
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const HalfEdge he = adj[i];
+      DS_CHECK(he.to < n);
+      if (he.to == u || he.to == last) continue;
+      last = he.to;
+      adj[write++] = he;
+    }
+    row_begin = row_end;
+    offsets[u] = compact_begin;
+  }
+  offsets[n] = write;
+  adj.resize(write);
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  g.edges_.reserve(write / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t i = g.offsets_[u]; i < g.offsets_[u + 1]; ++i) {
+      const HalfEdge he = g.adj_[i];
+      g.max_weight_ = std::max(g.max_weight_, he.weight);
+      if (u < he.to) g.edges_.push_back(Edge{u, he.to, he.weight});
+    }
+  }
+  return g;
+}
+
 Dist Graph::total_weight() const {
   Dist total = 0;
   for (const Edge& e : edges_) total += e.weight;

@@ -45,6 +45,16 @@ class Graph {
   /// simulator treats each as a distinct link), self-loops are rejected.
   static Graph from_edges(NodeId n, const std::vector<Edge>& edges);
 
+  /// Builds from pre-assembled CSR buffers: offsets has n+1 entries and
+  /// adj holds both half-edges of every undirected edge. Each row is
+  /// sorted and deduplicated by neighbor (smallest weight wins), rows are
+  /// compacted, and the canonical edge list is derived from the u < v
+  /// halves. This is the streaming-ingest entry point (graph_io fills the
+  /// two buffers straight off an edge-list file, never holding a separate
+  /// Edge vector); self half-edges are dropped.
+  static Graph from_adjacency(NodeId n, std::vector<std::size_t> offsets,
+                              std::vector<HalfEdge> adj);
+
   NodeId num_nodes() const { return n_; }
   std::size_t num_edges() const { return edges_.size(); }
 

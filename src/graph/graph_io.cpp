@@ -1,9 +1,12 @@
 #include "graph/graph_io.hpp"
 
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 namespace dsketch {
 
@@ -55,6 +58,163 @@ Graph read_graph_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   return read_graph(in);
+}
+
+namespace {
+
+/// One parsed edge line: endpoints in the source file's id space.
+struct RawEdge {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  Weight w = 1;
+};
+
+/// Pulls up to three unsigned integers off a line; returns how many were
+/// present. Rejects trailing garbage so a malformed file fails loudly
+/// instead of ingesting nonsense.
+int parse_uints(const char* p, std::uint64_t out[3]) {
+  int count = 0;
+  while (count < 3) {
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+    if (*p == '\0') return count;
+    char* end = nullptr;
+    const unsigned long long x = std::strtoull(p, &end, 10);
+    if (end == p) return -1;
+    out[count++] = x;
+    p = end;
+  }
+  while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  return *p == '\0' ? count : -1;
+}
+
+Weight checked_weight(std::uint64_t w, const std::string& line) {
+  if (w > std::numeric_limits<Weight>::max()) {
+    throw std::runtime_error("edge weight overflows 32 bits: " + line);
+  }
+  return static_cast<Weight>(w);
+}
+
+/// True when `line` carries an edge for the given dialect; fills `e` with
+/// file-space ids. Non-edge lines (comments, the DIMACS problem line,
+/// blanks) return false. Throws on malformed edge lines.
+bool parse_edge_line(const std::string& line, IngestFormat format,
+                     RawEdge& e) {
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return false;
+  const char c = line[first];
+  if (format == IngestFormat::kDimacs) {
+    if (c == 'c' || c == 'p') return false;
+    if (c != 'a' && c != 'e') {
+      throw std::runtime_error("bad DIMACS line: " + line);
+    }
+    std::uint64_t f[3];
+    const int got = parse_uints(line.c_str() + first + 1, f);
+    if (got < 2) throw std::runtime_error("bad DIMACS edge line: " + line);
+    if (f[0] == 0 || f[1] == 0) {
+      throw std::runtime_error("DIMACS ids are 1-indexed: " + line);
+    }
+    e = {f[0] - 1, f[1] - 1, got == 3 ? checked_weight(f[2], line) : 1};
+    return true;
+  }
+  if (c == '#') return false;
+  std::uint64_t f[3];
+  const int got = parse_uints(line.c_str() + first, f);
+  if (got < 2) throw std::runtime_error("bad edge line: " + line);
+  e = {f[0], f[1], got == 3 ? checked_weight(f[2], line) : 1};
+  return true;
+}
+
+IngestFormat sniff_format(std::istream& in) {
+  std::string line;
+  IngestFormat format = IngestFormat::kSnap;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const char c = line[first];
+    // A DIMACS file leads with 'c' comments and the 'p' problem line;
+    // anything starting with a digit (or '#') is the SNAP dialect.
+    if (c == 'c' || c == 'p' || c == 'a') format = IngestFormat::kDimacs;
+    break;
+  }
+  in.clear();
+  in.seekg(0);
+  return format;
+}
+
+}  // namespace
+
+Graph ingest_edge_list(std::istream& in, IngestFormat format,
+                       IngestStats* stats) {
+  if (format == IngestFormat::kAuto) format = sniff_format(in);
+
+  // Pass 1: remap ids to dense [0, n) in first-seen order and count each
+  // endpoint's degree. The remap is the only side memory the ingester
+  // holds — SNAP files routinely use sparse 7-digit ids.
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::vector<std::size_t> degree;
+  IngestStats local;
+  const auto id_of = [&](std::uint64_t raw) {
+    const auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    if (inserted) {
+      if (remap.size() > static_cast<std::size_t>(kInvalidNode)) {
+        throw std::runtime_error("edge list has too many distinct nodes");
+      }
+      degree.push_back(0);
+    }
+    return it->second;
+  };
+  std::string line;
+  RawEdge e;
+  while (std::getline(in, line)) {
+    if (!parse_edge_line(line, format, e)) continue;
+    if (e.u == e.v) {
+      ++local.self_loops;
+      continue;
+    }
+    ++local.edge_lines;
+    ++degree[id_of(e.u)];
+    ++degree[id_of(e.v)];
+  }
+  if (local.edge_lines == 0 && remap.empty()) {
+    throw std::runtime_error("edge list holds no edges");
+  }
+
+  // Pass 2: fill the CSR adjacency in place. from_adjacency sorts each
+  // row and collapses duplicates (a SNAP file listing both directions of
+  // an edge lands here as two identical half-edge pairs).
+  const auto n = static_cast<NodeId>(remap.size());
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) offsets[u + 1] = offsets[u] + degree[u];
+  std::vector<HalfEdge> adj(offsets[n]);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  in.clear();
+  in.seekg(0);
+  if (!in) throw std::runtime_error("edge-list stream is not rewindable");
+  while (std::getline(in, line)) {
+    if (!parse_edge_line(line, format, e) || e.u == e.v) continue;
+    const NodeId u = remap.at(e.u);
+    const NodeId v = remap.at(e.v);
+    adj[cursor[u]++] = HalfEdge{v, e.w};
+    adj[cursor[v]++] = HalfEdge{u, e.w};
+  }
+  if (stats != nullptr) *stats = local;
+  return Graph::from_adjacency(n, std::move(offsets), std::move(adj));
+}
+
+Graph ingest_edge_list_file(const std::string& path, IngestFormat format,
+                            IngestStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return ingest_edge_list(in, format, stats);
+}
+
+IngestFormat parse_ingest_format(const std::string& name) {
+  if (name == "auto") return IngestFormat::kAuto;
+  if (name == "snap") return IngestFormat::kSnap;
+  if (name == "dimacs") return IngestFormat::kDimacs;
+  throw std::runtime_error("unknown ingest format: " + name +
+                           " (expected auto|snap|dimacs)");
 }
 
 }  // namespace dsketch

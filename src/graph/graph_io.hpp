@@ -20,4 +20,36 @@ Graph read_graph(std::istream& in);
 void write_graph_file(const std::string& path, const Graph& g);
 Graph read_graph_file(const std::string& path);
 
+/// External edge-list dialects the streaming ingester understands.
+///   kSnap:   "u v [w]" lines, '#' comments, arbitrary (possibly sparse)
+///            node ids remapped to [0, n) in first-seen order; missing
+///            weights default to 1. Both-direction listings collapse to
+///            one undirected edge.
+///   kDimacs: 9th DIMACS challenge shortest-path format — 'c' comments,
+///            one "p sp n m" problem line, "a u v w" arcs, 1-indexed ids.
+///   kAuto:   sniffs kDimacs from a leading 'c'/'p' line, else kSnap.
+enum class IngestFormat { kAuto, kSnap, kDimacs };
+
+/// Counters the ingester reports alongside the graph.
+struct IngestStats {
+  std::size_t edge_lines = 0;  ///< edge lines parsed (before dedup)
+  std::size_t self_loops = 0;  ///< dropped "u u" lines
+};
+
+/// Streaming SNAP/DIMACS ingestion. Two passes over the stream: the
+/// first counts per-node degrees (and builds the id remap), the second
+/// fills the CSR adjacency in place — no intermediate Edge vector is
+/// ever materialized, so peak memory is the finished Graph plus the id
+/// remap. The stream must be rewindable (a file or stringstream).
+/// Throws std::runtime_error on malformed input.
+Graph ingest_edge_list(std::istream& in, IngestFormat format = IngestFormat::kAuto,
+                       IngestStats* stats = nullptr);
+Graph ingest_edge_list_file(const std::string& path,
+                            IngestFormat format = IngestFormat::kAuto,
+                            IngestStats* stats = nullptr);
+
+/// Parses "snap" / "dimacs" / "auto" (the --format flag and the corpus
+/// `format` key); throws on anything else.
+IngestFormat parse_ingest_format(const std::string& name);
+
 }  // namespace dsketch

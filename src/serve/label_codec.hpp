@@ -1,0 +1,158 @@
+// v3 record codec: delta + LEB128-varint encoding of packed sketch
+// records.
+//
+// The v2 store spends 4 fixed words on a bunch entry and 3 on a pivot;
+// almost all of those bits are zero on real graphs (node ids are dense,
+// distances are small, bunches are sorted so consecutive node ids are
+// close). The v3 format re-encodes each node's packed u32 record as a
+// byte string:
+//
+//   tz record      varint(levels) varint(count)
+//                  per pivot:  varint(id+1; 0 = invalid)
+//                              varint(zigzag(dist - prev_pivot_dist))
+//                  per entry:  varint(zigzag(node - prev_node))
+//                              varint(level) varint(dist)
+//   slack record   per net node: varint(dist+1; 0 = kInfDist)
+//   cdg record     varint(net_node+1; 0 = invalid)
+//                  varint(net_dist+1; 0 = kInfDist)
+//                  varint(owner+1; 0 = invalid)  then the tz record
+//
+// Pivot distances are non-decreasing across levels on a fresh build and
+// bunch entries are sorted by node id, so the zigzag deltas are small
+// non-negatives; zigzag (not plain unsigned deltas) keeps the coding
+// *bijective* for every structurally valid u32 record — including
+// repair-tightened labels whose pivot distances are no longer monotone —
+// which is what makes v2 -> v3 -> v2 byte-identical (tested).
+//
+// Every decode is bounds-checked against the record slice: corrupt bytes
+// can produce garbage values or a clean failure, never an out-of-bounds
+// read. That property is what lets the mmap store serve records without
+// a load-time payload checksum pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+
+namespace dsketch {
+
+// ---- LEB128 varint primitives ----------------------------------------------
+
+/// Appends x as a little-endian base-128 varint (1..10 bytes).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t x);
+
+inline std::uint64_t zigzag64(std::uint64_t delta) {
+  // Interpret the mod-2^64 delta as signed and fold the sign into bit 0.
+  const auto s = static_cast<std::int64_t>(delta);
+  return (static_cast<std::uint64_t>(s) << 1) ^
+         static_cast<std::uint64_t>(s >> 63);
+}
+
+inline std::uint64_t unzigzag64(std::uint64_t z) {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+/// Bounds-checked varint cursor over one record slice. Any overrun or
+/// overlong encoding clears ok; get() then returns 0 and the caller
+/// bails out. Never reads at or past `end`.
+struct VarintReader {
+  const std::uint8_t* p = nullptr;
+  const std::uint8_t* end = nullptr;
+  bool ok = true;
+
+  VarintReader(const std::uint8_t* begin, const std::uint8_t* stop)
+      : p(begin), end(stop) {}
+
+  std::uint64_t get() {
+    std::uint64_t x = 0;
+    unsigned shift = 0;
+    while (p != end) {
+      const std::uint8_t b = *p++;
+      if (shift == 63 && b > 1) break;  // would overflow 64 bits
+      x |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return x;
+      shift += 7;
+      if (shift > 63) break;
+    }
+    ok = false;
+    return 0;
+  }
+  bool done() const { return p == end; }
+};
+
+// ---- whole-record transcoding ----------------------------------------------
+
+/// Encodes the packed u32 record [rec, rec + words) for `scheme` as v3
+/// bytes appended to `out`. `slack_net_size` is the slack record width in
+/// distances (ignored for other schemes). The record must be structurally
+/// valid (see sketch_store's node_record_ok).
+void encode_record_v3(Scheme scheme, const std::uint32_t* rec,
+                      std::size_t words, std::uint64_t slack_net_size,
+                      std::vector<std::uint8_t>& out);
+
+/// Decodes one v3 record slice back into packed u32 words appended to
+/// `out_words`. Returns false (leaving out_words restored to its input
+/// length) if the bytes are not a structurally valid record consuming
+/// exactly [begin, end).
+bool decode_record_v3(Scheme scheme, const std::uint8_t* begin,
+                      const std::uint8_t* end, std::uint64_t slack_net_size,
+                      std::vector<std::uint32_t>& out_words);
+
+// ---- streaming queries over v3 record slices -------------------------------
+// Used by the mmap store: answers are computed straight off the encoded
+// bytes — pivots decode into a small scratch vector, and each bunch is
+// walked exactly once per query (a merge-scan of the probe set against
+// the delta stream), so nothing is materialized per record.
+
+/// Decoded tz record header: pivots plus the position of the bunch
+/// stream. `pivots` points into the caller's scratch vector.
+struct V3TzHeader {
+  std::uint32_t levels = 0;
+  std::uint32_t count = 0;
+  const std::uint8_t* bunch_begin = nullptr;  ///< first bunch byte
+  const std::uint8_t* end = nullptr;          ///< record slice end
+  bool ok = false;
+};
+
+/// Parses levels/count/pivots of the tz record slice [begin, end),
+/// appending the pivots to `pivots` (not cleared). For a cdg record pass
+/// the slice starting at its embedded tz record.
+V3TzHeader v3_parse_tz_header(const std::uint8_t* begin,
+                              const std::uint8_t* end,
+                              std::vector<DistKey>& pivots);
+
+/// One pass over a v3 bunch stream, probing for up to `n_probes` node
+/// ids: out[i] (pre-filled with kInfDist by the caller) receives the
+/// distance of the first entry whose node is probes[i] (left at kInfDist
+/// if absent or the stream is malformed). Mirrors LabelView::bunch_dist
+/// for every probe in one scan.
+void v3_scan_bunch(const V3TzHeader& h, const NodeId* probes, Dist* out,
+                   std::size_t n_probes);
+
+/// The Lemma 3.2 query over two v3 tz record slices (two header parses +
+/// two bunch scans). `scratch` is caller-owned reusable storage.
+struct V3QueryScratch {
+  std::vector<DistKey> pivots_u;
+  std::vector<DistKey> pivots_v;
+  std::vector<NodeId> probe_ids;
+  std::vector<Dist> probe_dists;
+};
+Dist v3_tz_query(const std::uint8_t* ub, const std::uint8_t* ue,
+                 const std::uint8_t* vb, const std::uint8_t* ve,
+                 V3QueryScratch& scratch);
+
+/// cdg prefix decoded off a v3 record slice; `rest` points at the
+/// embedded tz record.
+struct V3CdgPrefix {
+  NodeId net_node = kInvalidNode;
+  Dist net_dist = kInfDist;
+  NodeId owner = kInvalidNode;
+  const std::uint8_t* rest = nullptr;
+  bool ok = false;
+};
+V3CdgPrefix v3_parse_cdg_prefix(const std::uint8_t* begin,
+                                const std::uint8_t* end);
+
+}  // namespace dsketch

@@ -1,0 +1,94 @@
+// Packed (u32-word) record layout shared by the heap store and the v3
+// codec.
+//
+// A node's packed sketch is a flat slice of 32-bit words (see
+// serve/sketch_store.hpp for the per-scheme layouts). These helpers used
+// to be file-local to sketch_store.cpp; the v3 varint codec
+// (serve/label_codec) re-encodes exactly these records, so the layout
+// constants and the in-place views live here, in one place.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsketch {
+namespace packed {
+
+/// Distances occupy two words, little-endian (lo, hi).
+inline Dist read_dist(const std::uint32_t* p) {
+  return static_cast<Dist>(p[0]) | (static_cast<Dist>(p[1]) << 32);
+}
+
+inline void pack_dist(std::vector<std::uint32_t>& arena, Dist d) {
+  arena.push_back(static_cast<std::uint32_t>(d));
+  arena.push_back(static_cast<std::uint32_t>(d >> 32));
+}
+
+constexpr std::size_t kPivotStride = 3;  // id, dist lo, dist hi
+constexpr std::size_t kBunchStride = 4;  // node, level, dist lo, dist hi
+
+// CDG record: [net_node, net_dist (2), owner, tz label record].
+constexpr std::size_t kCdgPrefixWords = 4;
+
+/// In-place view of a packed TZ label record:
+/// [levels, bunch_count, (pivot_id, D) x levels,
+///  (node, level, D) x bunch_count sorted by node].
+struct PackedLabel {
+  const std::uint32_t* rec;
+
+  std::uint32_t levels() const { return rec[0]; }
+  std::uint32_t bunch_count() const { return rec[1]; }
+  const std::uint32_t* pivots() const { return rec + 2; }
+  const std::uint32_t* bunch() const {
+    return rec + 2 + kPivotStride * levels();
+  }
+  NodeId pivot_id(std::uint32_t i) const { return pivots()[kPivotStride * i]; }
+  Dist pivot_dist(std::uint32_t i) const {
+    return read_dist(pivots() + kPivotStride * i + 1);
+  }
+  std::size_t words() const {
+    return 2 + kPivotStride * levels() + kBunchStride * bunch_count();
+  }
+
+  Dist bunch_dist(NodeId w) const {
+    const std::uint32_t* b = bunch();
+    std::size_t lo = 0, hi = bunch_count();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const NodeId node = b[kBunchStride * mid];
+      if (node < w) {
+        lo = mid + 1;
+      } else if (node > w) {
+        hi = mid;
+      } else {
+        return read_dist(b + kBunchStride * mid + 2);
+      }
+    }
+    return kInfDist;
+  }
+};
+
+/// Mirror of tz_query_trace over packed records; the caller handles the
+/// owner-equality short-circuit.
+inline Dist packed_tz_query(const PackedLabel& lu, const PackedLabel& lv) {
+  const std::uint32_t k =
+      lu.levels() < lv.levels() ? lu.levels() : lv.levels();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const NodeId pu = lu.pivot_id(i);
+    if (pu != kInvalidNode) {
+      const Dist dv = lv.bunch_dist(pu);
+      if (dv != kInfDist) return lu.pivot_dist(i) + dv;
+    }
+    const NodeId pv = lv.pivot_id(i);
+    if (pv != kInvalidNode) {
+      const Dist du = lu.bunch_dist(pv);
+      if (du != kInfDist) return lv.pivot_dist(i) + du;
+    }
+  }
+  return kInfDist;
+}
+
+}  // namespace packed
+}  // namespace dsketch

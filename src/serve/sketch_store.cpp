@@ -15,6 +15,9 @@
 #include "core/sketch_oracle.hpp"
 #include "dynamics/incremental.hpp"
 #include "obs/trace.hpp"
+#include "serve/label_codec.hpp"
+#include "serve/packed_record.hpp"
+#include "serve/store_format.hpp"
 #include "sketch/cdg_sketch.hpp"
 #include "sketch/graceful_sketch.hpp"
 #include "sketch/slack_sketch.hpp"
@@ -24,23 +27,18 @@
 namespace dsketch {
 namespace {
 
-constexpr char kMagicV1[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '1'};
-constexpr char kMagicV2[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '2'};
-constexpr std::uint32_t kVersion = 2;
-constexpr std::uint32_t kFlagEpsilonKnown = 1;  // header flags word, bit 0
-constexpr std::size_t kHeaderBytes = 48;  // after the magic, pre-checksum
+namespace sf = store_format;
+
+using packed::kBunchStride;
+using packed::kCdgPrefixWords;
+using packed::kPivotStride;
+using packed::pack_dist;
+using packed::PackedLabel;
+using packed::packed_tz_query;
+using packed::read_dist;
 
 [[noreturn]] void fail(StoreError kind, const std::string& what) {
   throw StoreCorruptionError(kind, "sketch store: " + what);
-}
-
-std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= data[i];
-    hash *= 1099511628211ULL;
-  }
-  return hash;
 }
 
 // ---- little-endian byte packing --------------------------------------------
@@ -58,7 +56,15 @@ class ByteWriter {
     std::memcpy(&bits, &x, sizeof(bits));
     u64(bits);
   }
+  void raw(const std::vector<std::uint8_t>& data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+  /// Zero-pads a v3 payload to the next page-aligned file position.
+  void pad_page() {
+    bytes_.insert(bytes_.end(), sf::v3_pad(bytes_.size()), 0);
+  }
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
  private:
   std::vector<std::uint8_t> bytes_;
@@ -93,6 +99,13 @@ class ByteReader {
     std::memcpy(&x, &bits, sizeof(x));
     return x;
   }
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+  void skip_at_most(std::size_t n) { pos_ += std::min(n, remaining()); }
+  const std::uint8_t* ptr() const { return data_ + pos_; }
+  std::size_t pos() const { return pos_; }
   bool done() const { return pos_ == size_; }
   std::size_t remaining() const { return size_ - pos_; }
 
@@ -106,99 +119,29 @@ class ByteReader {
 };
 
 // ---- packed record layout --------------------------------------------------
+// (layout constants and in-place views live in serve/packed_record.hpp)
 
-inline Dist read_dist(const std::uint32_t* p) {
-  return static_cast<Dist>(p[0]) | (static_cast<Dist>(p[1]) << 32);
-}
-
-void pack_dist(std::vector<std::uint32_t>& arena, Dist d) {
-  arena.push_back(static_cast<std::uint32_t>(d));
-  arena.push_back(static_cast<std::uint32_t>(d >> 32));
-}
-
-constexpr std::size_t kPivotStride = 3;  // id, dist lo, dist hi
-constexpr std::size_t kBunchStride = 4;  // node, level, dist lo, dist hi
-
-void pack_label(std::vector<std::uint32_t>& arena, const TzLabel& label) {
-  arena.push_back(label.levels());
-  arena.push_back(static_cast<std::uint32_t>(label.bunch().size()));
-  for (std::uint32_t i = 0; i < label.levels(); ++i) {
+void pack_label(std::vector<std::uint32_t>& arena, const LabelView& label) {
+  arena.push_back(label.levels);
+  arena.push_back(label.count);
+  for (std::uint32_t i = 0; i < label.levels; ++i) {
     arena.push_back(label.pivot(i).id);
     pack_dist(arena, label.pivot(i).dist);
   }
-  // Sorted by node so membership tests binary-search; duplicate nodes (one
-  // per level) carry the same distance, so any match is the right answer.
-  std::vector<BunchEntry> sorted = label.bunch();
-  std::sort(sorted.begin(), sorted.end(),
-            [](const BunchEntry& a, const BunchEntry& b) {
-              if (a.node != b.node) return a.node < b.node;
-              return a.level < b.level;
-            });
-  for (const BunchEntry& e : sorted) {
+  // The arena's canonical bunch order is already (node, level) — the
+  // packed record copies it straight through, so membership tests
+  // binary-search without a re-sort here.
+  for (std::uint32_t j = 0; j < label.count; ++j) {
+    const BunchEntry& e = label.bunch[j];
     arena.push_back(e.node);
     arena.push_back(e.level);
     pack_dist(arena, e.dist);
   }
 }
 
-/// In-place view of a packed TZ label record.
-struct PackedLabel {
-  const std::uint32_t* rec;
-
-  std::uint32_t levels() const { return rec[0]; }
-  std::uint32_t bunch_count() const { return rec[1]; }
-  const std::uint32_t* pivots() const { return rec + 2; }
-  const std::uint32_t* bunch() const {
-    return rec + 2 + kPivotStride * levels();
-  }
-  NodeId pivot_id(std::uint32_t i) const { return pivots()[kPivotStride * i]; }
-  Dist pivot_dist(std::uint32_t i) const {
-    return read_dist(pivots() + kPivotStride * i + 1);
-  }
-  std::size_t words() const {
-    return 2 + kPivotStride * levels() + kBunchStride * bunch_count();
-  }
-
-  Dist bunch_dist(NodeId w) const {
-    const std::uint32_t* b = bunch();
-    std::size_t lo = 0, hi = bunch_count();
-    while (lo < hi) {
-      const std::size_t mid = lo + (hi - lo) / 2;
-      const NodeId node = b[kBunchStride * mid];
-      if (node < w) {
-        lo = mid + 1;
-      } else if (node > w) {
-        hi = mid;
-      } else {
-        return read_dist(b + kBunchStride * mid + 2);
-      }
-    }
-    return kInfDist;
-  }
-};
-
-/// Mirror of tz_query_trace over packed records; the caller handles the
-/// owner-equality short-circuit.
-Dist packed_tz_query(const PackedLabel& lu, const PackedLabel& lv) {
-  const std::uint32_t k = std::min(lu.levels(), lv.levels());
-  for (std::uint32_t i = 0; i < k; ++i) {
-    const NodeId pu = lu.pivot_id(i);
-    if (pu != kInvalidNode) {
-      const Dist dv = lv.bunch_dist(pu);
-      if (dv != kInfDist) return lu.pivot_dist(i) + dv;
-    }
-    const NodeId pv = lv.pivot_id(i);
-    if (pv != kInvalidNode) {
-      const Dist du = lu.bunch_dist(pv);
-      if (du != kInfDist) return lv.pivot_dist(i) + du;
-    }
-  }
-  return kInfDist;
-}
-
-TzLabel unpack_label(NodeId owner, const std::uint32_t* rec) {
+TzLabelBuilder unpack_label(NodeId owner, const std::uint32_t* rec) {
   const PackedLabel view{rec};
-  TzLabel label(owner, view.levels());
+  TzLabelBuilder label(owner, view.levels());
   for (std::uint32_t i = 0; i < view.levels(); ++i) {
     label.set_pivot(i, DistKey{view.pivot_dist(i), view.pivot_id(i)});
   }
@@ -208,12 +151,9 @@ TzLabel unpack_label(NodeId owner, const std::uint32_t* rec) {
                                      b[kBunchStride * e + 1],
                                      read_dist(b + kBunchStride * e + 2)});
   }
-  label.sort_bunch();  // canonical (level, node) order for the text format
+  label.sort_bunch();
   return label;
 }
-
-// CDG record: [net_node, net_dist (2), owner, tz label record].
-constexpr std::size_t kCdgPrefixWords = 4;
 
 }  // namespace
 
@@ -228,12 +168,12 @@ bool SketchStore::packable(const DistanceOracle& oracle) {
 SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
   const obs::Span span("store_from_oracle");
   // Re-packing a store is a copy: it already is the packed representation.
-  if (const auto* packed = dynamic_cast<const SketchStore*>(&oracle)) {
-    return *packed;
+  if (const auto* packed_store = dynamic_cast<const SketchStore*>(&oracle)) {
+    return *packed_store;
   }
-  // A bare TZ label set (distributed build, dynamic-sketch snapshot) packs
-  // through the same segment layout as a tz-scheme SketchOracle; it carries
-  // no recorded epsilon.
+  // A bare TZ label arena (distributed build, dynamic-sketch snapshot)
+  // packs through the same segment layout as a tz-scheme SketchOracle; it
+  // carries no recorded epsilon.
   if (const auto* tz = dynamic_cast<const TzLabelOracle*>(&oracle)) {
     SketchStore store;
     store.scheme_ = Scheme::kThorupZwick;
@@ -242,9 +182,9 @@ SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
     store.n_ = tz->num_nodes();
     Segment seg;
     seg.offsets.reserve(store.n_ + 1);
-    for (const TzLabel& label : tz->labels()) {
+    for (NodeId u = 0; u < store.n_; ++u) {
       seg.offsets.push_back(seg.arena.size());
-      pack_label(seg.arena, label);
+      pack_label(seg.arena, tz->labels().view(u));
     }
     seg.offsets.push_back(seg.arena.size());
     store.segments_.push_back(std::move(seg));
@@ -273,7 +213,7 @@ SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
       seg.arena.push_back(s.net_node);
       pack_dist(seg.arena, s.net_dist);
       seg.arena.push_back(s.label.owner());
-      pack_label(seg.arena, s.label);
+      pack_label(seg.arena, s.label.view());
     }
     seg.offsets.push_back(seg.arena.size());
     return seg;
@@ -281,13 +221,13 @@ SketchStore SketchStore::from_oracle(const DistanceOracle& oracle) {
 
   switch (store.scheme_) {
     case Scheme::kThorupZwick: {
-      const auto& labels = sketch->tz_labels_;
-      store.n_ = static_cast<NodeId>(labels.size());
+      const LabelArena& labels = sketch->tz_labels_;
+      store.n_ = labels.num_nodes();
       Segment seg;
       seg.offsets.reserve(store.n_ + 1);
-      for (const TzLabel& label : labels) {
+      for (NodeId u = 0; u < store.n_; ++u) {
         seg.offsets.push_back(seg.arena.size());
-        pack_label(seg.arena, label);
+        pack_label(seg.arena, labels.view(u));
       }
       seg.offsets.push_back(seg.arena.size());
       store.segments_.push_back(std::move(seg));
@@ -360,12 +300,12 @@ void SketchStore::to_text(std::ostream& out) const {
   switch (scheme_) {
     case Scheme::kThorupZwick: {
       const Segment& seg = segments_[0];
-      std::vector<TzLabel> labels;
+      std::vector<TzLabelBuilder> labels;
       labels.reserve(n_);
       for (NodeId u = 0; u < n_; ++u) {
         labels.push_back(unpack_label(u, seg.arena.data() + seg.offsets[u]));
       }
-      write_tz_labels(out, labels);
+      write_tz_labels(out, LabelArena::from_builders(std::move(labels)));
       return;
     }
     case Scheme::kSlack: {
@@ -467,6 +407,21 @@ std::size_t SketchStore::payload_bytes() const {
   return bytes;
 }
 
+std::size_t SketchStore::encoded_bytes() const {
+  return build_v3_payload().size();
+}
+
+std::size_t SketchStore::encoded_record_bytes(NodeId u) const {
+  DS_CHECK(u < n_);
+  std::vector<std::uint8_t> bytes;
+  for (const Segment& seg : segments_) {
+    encode_record_v3(scheme_, seg.arena.data() + seg.offsets[u],
+                     seg.offsets[u + 1] - seg.offsets[u],
+                     scheme_ == Scheme::kSlack ? seg.meta[0] : 0, bytes);
+  }
+  return bytes.size();
+}
+
 std::size_t SketchStore::node_record_words(NodeId u) const {
   DS_CHECK(u < n_ && !segments_.empty());
   const Segment& seg = segments_[0];
@@ -496,8 +451,7 @@ Capabilities SketchStore::capabilities() const {
 
 // ---- binary round trip ------------------------------------------------------
 
-void SketchStore::write(std::ostream& out) const {
-  const obs::Span span("store_write");
+std::vector<std::uint8_t> SketchStore::build_v2_payload() const {
   ByteWriter payload;
   for (const Segment& seg : segments_) {
     payload.u64(seg.meta.size());
@@ -507,23 +461,56 @@ void SketchStore::write(std::ostream& out) const {
     payload.u64(seg.arena.size());
     for (const std::uint32_t w : seg.arena) payload.u32(w);
   }
-  const auto& body = payload.bytes();
+  return payload.take();
+}
 
-  out.write(kMagicV2, 8);
+std::vector<std::uint8_t> SketchStore::build_v3_payload() const {
+  ByteWriter payload;
+  for (const Segment& seg : segments_) {
+    payload.u64(seg.meta.size());
+    for (const std::uint64_t m : seg.meta) payload.u64(m);
+    const std::uint64_t slack_net =
+        scheme_ == Scheme::kSlack ? seg.meta[0] : 0;
+    std::vector<std::uint8_t> blob;
+    std::vector<std::uint64_t> byte_offsets;
+    byte_offsets.reserve(n_ + 1);
+    byte_offsets.push_back(0);
+    for (NodeId u = 0; u < n_; ++u) {
+      encode_record_v3(scheme_, seg.arena.data() + seg.offsets[u],
+                       seg.offsets[u + 1] - seg.offsets[u], slack_net, blob);
+      byte_offsets.push_back(blob.size());
+    }
+    payload.u64(blob.size());
+    payload.pad_page();
+    for (const std::uint64_t o : byte_offsets) payload.u64(o);
+    payload.pad_page();
+    payload.raw(blob);
+    payload.pad_page();
+  }
+  return payload.take();
+}
+
+void SketchStore::write(std::ostream& out, StoreFormat format) const {
+  const obs::Span span("store_write");
+  const bool v3 = format == StoreFormat::kV3;
+  const std::vector<std::uint8_t> body =
+      v3 ? build_v3_payload() : build_v2_payload();
+
+  out.write(v3 ? sf::kMagicV3 : sf::kMagicV2, 8);
   ByteWriter h;
-  h.u32(kVersion);
+  h.u32(v3 ? 3u : 2u);
   h.u32(static_cast<std::uint32_t>(scheme_));
   h.u32(n_);
   h.u32(k_);
   h.u32(static_cast<std::uint32_t>(segments_.size()));
-  h.u32(epsilon_known_ ? kFlagEpsilonKnown : 0);
+  h.u32(epsilon_known_ ? sf::kFlagEpsilonKnown : 0);
   h.f64(epsilon_);
   h.u64(body.size());
-  h.u64(fnv1a64(body.data(), body.size()));
-  // v2: the header itself is checksummed. The payload checksum cannot
+  h.u64(sf::fnv1a64(body.data(), body.size()));
+  // v2+: the header itself is checksummed. The payload checksum cannot
   // cover it, so before this a bit flip in n/k/epsilon/payload_size was
   // detectable only if it happened to break a structural invariant.
-  h.u64(fnv1a64(h.bytes().data(), h.bytes().size()));
+  h.u64(sf::fnv1a64(h.bytes().data(), h.bytes().size()));
   out.write(reinterpret_cast<const char*>(h.bytes().data()),
             static_cast<std::streamsize>(h.bytes().size()));
   out.write(reinterpret_cast<const char*>(body.data()),
@@ -533,43 +520,34 @@ void SketchStore::write(std::ostream& out) const {
 
 namespace {
 
-struct StoreHeader {
-  std::uint32_t version = 0;
-  std::uint32_t scheme_raw = 0;
-  std::uint32_t n = 0;
-  std::uint32_t k = 0;
-  std::uint32_t segment_count = 0;
-  bool epsilon_known = false;
-  double epsilon = 0.0;
-  std::uint64_t payload_size = 0;
-  std::uint64_t checksum = 0;
-};
+using sf::StoreHeader;
 
 StoreHeader read_header(std::istream& in) {
   char magic[8];
   if (!in.read(magic, 8)) fail(StoreError::kBadMagic, "bad magic");
-  const bool v2 = std::memcmp(magic, kMagicV2, 8) == 0;
-  if (!v2 && std::memcmp(magic, kMagicV1, 8) != 0) {
-    fail(StoreError::kBadMagic, "bad magic");
-  }
-  std::uint8_t header_bytes[kHeaderBytes];
+  std::uint32_t magic_version = 0;
+  if (std::memcmp(magic, sf::kMagicV1, 8) == 0) magic_version = 1;
+  if (std::memcmp(magic, sf::kMagicV2, 8) == 0) magic_version = 2;
+  if (std::memcmp(magic, sf::kMagicV3, 8) == 0) magic_version = 3;
+  if (magic_version == 0) fail(StoreError::kBadMagic, "bad magic");
+  std::uint8_t header_bytes[sf::kHeaderBytes];
   if (!in.read(reinterpret_cast<char*>(header_bytes), sizeof(header_bytes))) {
     fail(StoreError::kTruncatedHeader, "truncated header");
   }
-  if (v2) {
+  if (magic_version >= 2) {
     std::uint8_t sum_bytes[8];
     if (!in.read(reinterpret_cast<char*>(sum_bytes), sizeof(sum_bytes))) {
       fail(StoreError::kTruncatedHeader, "truncated header checksum");
     }
     ByteReader sr(sum_bytes, sizeof(sum_bytes));
-    if (fnv1a64(header_bytes, sizeof(header_bytes)) != sr.u64()) {
+    if (sf::fnv1a64(header_bytes, sizeof(header_bytes)) != sr.u64()) {
       fail(StoreError::kHeaderChecksum, "header checksum mismatch");
     }
   }
   ByteReader h(header_bytes, sizeof(header_bytes));
   StoreHeader out;
   out.version = h.u32();
-  if (out.version != (v2 ? 2u : 1u)) {
+  if (out.version != magic_version) {
     fail(StoreError::kUnsupportedVersion,
          "unsupported version " + std::to_string(out.version));
   }
@@ -581,7 +559,7 @@ StoreHeader read_header(std::istream& in) {
   out.n = h.u32();
   out.k = h.u32();
   out.segment_count = h.u32();
-  out.epsilon_known = (h.u32() & kFlagEpsilonKnown) != 0;
+  out.epsilon_known = (h.u32() & sf::kFlagEpsilonKnown) != 0;
   out.epsilon = h.f64();
   out.payload_size = h.u64();
   out.checksum = h.u64();
@@ -615,6 +593,52 @@ std::vector<std::uint8_t> read_body(std::istream& in,
   return body;
 }
 
+/// v3 segment framing: meta words, blob size, and the page-aligned byte
+/// offset table. Shared by the strict read and the lenient recovery pass
+/// (which tolerates a truncated/garbage *blob* but not broken framing).
+struct V3Frame {
+  std::vector<std::uint64_t> meta;
+  std::uint64_t slack_net = 0;
+  std::uint64_t blob_bytes = 0;
+  std::vector<std::uint64_t> byte_offsets;  // n+1, into the blob
+};
+
+V3Frame read_v3_frame(ByteReader& r, Scheme scheme, NodeId n) {
+  V3Frame f;
+  const std::uint64_t meta_count = r.u64();
+  if (meta_count > r.remaining() / 8) {
+    fail(StoreError::kStructure, "corrupt meta count");
+  }
+  f.meta.reserve(meta_count);
+  for (std::uint64_t i = 0; i < meta_count; ++i) f.meta.push_back(r.u64());
+  if (scheme == Scheme::kSlack) {
+    if (f.meta.empty() || f.meta[0] + 1 != f.meta.size()) {
+      fail(StoreError::kStructure, "slack net meta size mismatch");
+    }
+    f.slack_net = f.meta[0];
+  } else if (!f.meta.empty()) {
+    fail(StoreError::kStructure, "unexpected segment meta");
+  }
+  f.blob_bytes = r.u64();
+  r.skip(sf::v3_pad(r.pos()));
+  const std::uint64_t offsets_count = static_cast<std::uint64_t>(n) + 1;
+  if (offsets_count > r.remaining() / 8) {
+    fail(StoreError::kStructure, "offset table size mismatch");
+  }
+  f.byte_offsets.reserve(offsets_count);
+  for (std::uint64_t i = 0; i < offsets_count; ++i) {
+    f.byte_offsets.push_back(r.u64());
+    if (i > 0 && f.byte_offsets[i] < f.byte_offsets[i - 1]) {
+      fail(StoreError::kStructure, "offsets not monotone");
+    }
+  }
+  if (f.byte_offsets.front() != 0 || f.byte_offsets.back() != f.blob_bytes) {
+    fail(StoreError::kStructure, "blob offset mismatch");
+  }
+  r.skip(sf::v3_pad(r.pos()));
+  return f;
+}
+
 }  // namespace
 
 SketchStore SketchStore::read(std::istream& in) {
@@ -629,42 +653,69 @@ SketchStore SketchStore::read(std::istream& in) {
 
   const std::vector<std::uint8_t> body =
       read_body(in, hdr.payload_size, /*allow_short=*/false);
-  if (fnv1a64(body.data(), body.size()) != hdr.checksum) {
+  if (sf::fnv1a64(body.data(), body.size()) != hdr.checksum) {
     fail(StoreError::kPayloadChecksum, "checksum mismatch");
   }
 
   ByteReader r(body.data(), body.size());
   store.segments_.reserve(hdr.segment_count);
-  for (std::uint32_t s = 0; s < hdr.segment_count; ++s) {
-    Segment seg;
-    const std::uint64_t meta_count = r.u64();
-    if (meta_count > r.remaining() / 8) {
-      fail(StoreError::kStructure, "corrupt meta count");
-    }
-    seg.meta.reserve(meta_count);
-    for (std::uint64_t i = 0; i < meta_count; ++i) seg.meta.push_back(r.u64());
-    const std::uint64_t offsets_count = r.u64();
-    if (offsets_count != static_cast<std::uint64_t>(store.n_) + 1 ||
-        offsets_count > r.remaining() / 8) {
-      fail(StoreError::kStructure, "offset table size mismatch");
-    }
-    seg.offsets.reserve(offsets_count);
-    for (std::uint64_t i = 0; i < offsets_count; ++i) {
-      seg.offsets.push_back(r.u64());
-      if (i > 0 && seg.offsets[i] < seg.offsets[i - 1]) {
-        fail(StoreError::kStructure, "offsets not monotone");
+  if (hdr.version == 3) {
+    for (std::uint32_t s = 0; s < hdr.segment_count; ++s) {
+      V3Frame f = read_v3_frame(r, store.scheme_, store.n_);
+      if (r.remaining() < f.blob_bytes) {
+        fail(StoreError::kTruncatedPayload, "truncated payload");
       }
+      const std::uint8_t* blob = r.ptr();
+      Segment seg;
+      seg.meta = std::move(f.meta);
+      seg.offsets.reserve(store.n_ + 1);
+      for (NodeId u = 0; u < store.n_; ++u) {
+        seg.offsets.push_back(seg.arena.size());
+        if (!decode_record_v3(store.scheme_, blob + f.byte_offsets[u],
+                              blob + f.byte_offsets[u + 1], f.slack_net,
+                              seg.arena)) {
+          fail(StoreError::kStructure, "invalid v3 record");
+        }
+      }
+      seg.offsets.push_back(seg.arena.size());
+      r.skip(f.blob_bytes);
+      r.skip(sf::v3_pad(r.pos()));
+      store.segments_.push_back(std::move(seg));
     }
-    const std::uint64_t arena_count = r.u64();
-    if (arena_count != seg.offsets.back() ||
-        arena_count > r.remaining() / 4) {
-      fail(StoreError::kStructure, "arena size mismatch");
+  } else {
+    for (std::uint32_t s = 0; s < hdr.segment_count; ++s) {
+      Segment seg;
+      const std::uint64_t meta_count = r.u64();
+      if (meta_count > r.remaining() / 8) {
+        fail(StoreError::kStructure, "corrupt meta count");
+      }
+      seg.meta.reserve(meta_count);
+      for (std::uint64_t i = 0; i < meta_count; ++i) {
+        seg.meta.push_back(r.u64());
+      }
+      const std::uint64_t offsets_count = r.u64();
+      if (offsets_count != static_cast<std::uint64_t>(store.n_) + 1 ||
+          offsets_count > r.remaining() / 8) {
+        fail(StoreError::kStructure, "offset table size mismatch");
+      }
+      seg.offsets.reserve(offsets_count);
+      for (std::uint64_t i = 0; i < offsets_count; ++i) {
+        seg.offsets.push_back(r.u64());
+        if (i > 0 && seg.offsets[i] < seg.offsets[i - 1]) {
+          fail(StoreError::kStructure, "offsets not monotone");
+        }
+      }
+      const std::uint64_t arena_count = r.u64();
+      if (arena_count != seg.offsets.back() ||
+          arena_count > r.remaining() / 4) {
+        fail(StoreError::kStructure, "arena size mismatch");
+      }
+      seg.arena.reserve(arena_count);
+      for (std::uint64_t i = 0; i < arena_count; ++i) {
+        seg.arena.push_back(r.u32());
+      }
+      store.segments_.push_back(std::move(seg));
     }
-    seg.arena.reserve(arena_count);
-    for (std::uint64_t i = 0; i < arena_count; ++i) {
-      seg.arena.push_back(r.u32());
-    }
-    store.segments_.push_back(std::move(seg));
   }
   if (!r.done()) fail(StoreError::kStructure, "trailing payload bytes");
   if (store.segments_.empty()) fail(StoreError::kStructure, "no segments");
@@ -753,7 +804,7 @@ void SketchStore::validate_structure() const {
   }
 }
 
-void SketchStore::save_file(const std::string& path) const {
+void SketchStore::save_file(const std::string& path, StoreFormat format) const {
   // Crash-safe publish: write the full store to a sibling temp file, force
   // it to stable storage, then atomically rename over the target. A reader
   // of `path` (or a crash at any point here) sees either the previous
@@ -763,7 +814,7 @@ void SketchStore::save_file(const std::string& path) const {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) fail(StoreError::kIo, "cannot open for write: " + tmp);
     try {
-      write(out);
+      write(out, format);
       out.flush();
     } catch (...) {
       out.close();
@@ -841,13 +892,51 @@ SketchStore::Recovery SketchStore::recover_file(const std::string& path) {
   std::vector<char> quarantined(store.n_, 0);
 
   // Segment framing (meta + offsets) must parse for a segment to be
-  // salvageable at all; the arena may be short (truncation) and individual
-  // records may be garbage (bit flips) — those quarantine per node.
+  // salvageable at all; the arena/blob may be short (truncation) and
+  // individual records may be garbage (bit flips) — those quarantine per
+  // node.
   ByteReader r(body.data(), body.size());
   for (std::uint32_t s = 0; s < hdr.segment_count; ++s) {
     Segment seg;
-    std::uint64_t declared = 0;
     std::uint64_t slack_words = 0;
+    if (hdr.version == 3) {
+      V3Frame f;
+      try {
+        f = read_v3_frame(r, store.scheme_, store.n_);
+      } catch (const StoreCorruptionError&) {
+        // Framing of this segment is gone. Extra graceful levels are
+        // redundant approximations, so keeping the earlier ones is sound;
+        // for single-segment schemes nothing remains to serve.
+        if (store.scheme_ == Scheme::kGraceful && !store.segments_.empty()) {
+          break;
+        }
+        throw;
+      }
+      slack_words = 2 * f.slack_net;
+      seg.meta = std::move(f.meta);
+      const std::uint64_t available =
+          std::min<std::uint64_t>(f.blob_bytes, r.remaining());
+      const std::uint8_t* blob = r.ptr();
+      seg.offsets.reserve(store.n_ + 1);
+      for (NodeId u = 0; u < store.n_; ++u) {
+        seg.offsets.push_back(seg.arena.size());
+        const bool ok =
+            f.byte_offsets[u + 1] <= available &&
+            decode_record_v3(store.scheme_, blob + f.byte_offsets[u],
+                             blob + f.byte_offsets[u + 1], f.slack_net,
+                             seg.arena);
+        if (!ok) {
+          quarantined[u] = 1;
+          append_empty_record(store.scheme_, seg.arena, slack_words);
+        }
+      }
+      seg.offsets.push_back(seg.arena.size());
+      r.skip_at_most(f.blob_bytes);
+      r.skip_at_most(sf::v3_pad(r.pos()));
+      store.segments_.push_back(std::move(seg));
+      continue;
+    }
+    std::uint64_t declared = 0;
     try {
       const std::uint64_t meta_count = r.u64();
       if (meta_count > r.remaining() / 8) {
@@ -877,9 +966,7 @@ SketchStore::Recovery SketchStore::recover_file(const std::string& path) {
       }
       declared = r.u64();
     } catch (const StoreCorruptionError&) {
-      // Framing of this segment is gone. Extra graceful levels are
-      // redundant approximations, so keeping the earlier ones is sound;
-      // for single-segment schemes nothing remains to serve.
+      // Framing of this segment is gone (see the v3 comment above).
       if (store.scheme_ == Scheme::kGraceful && !store.segments_.empty()) {
         break;
       }

@@ -17,14 +17,26 @@
 /// and answers are bit-identical to SketchEngine::query (tested).
 ///
 /// On-disk layout (little-endian):
-///   bytes 0..7   magic "DSKSTOR2"  (v1 files, magic "DSKSTOR1", still load)
+///   bytes 0..7   magic "DSKSTOR3"  (v1 "DSKSTOR1" / v2 "DSKSTOR2" files
+///                                   still load through the heap path)
 ///   u32 version, u32 scheme, u32 n, u32 k, u32 segments, u32 flags
 ///   f64 epsilon                       (flags bit 0: epsilon was recorded)
 ///   u64 payload_bytes, u64 checksum (FNV-1a 64 over the payload)
-///   u64 header_checksum             (v2 only: FNV-1a 64 over the 48
+///   u64 header_checksum             (v2/v3: FNV-1a 64 over the 48
 ///                                    header bytes after the magic)
-///   payload: per segment u64 meta_count, u64 meta[], u64 offsets[n+1],
-///            u64 arena_count, u32 arena[]
+///   v1/v2 payload: per segment u64 meta_count, u64 meta[],
+///            u64 offsets[n+1] (u32-word units), u64 arena_count,
+///            u32 arena[]
+///   v3 payload (starts at file offset 64): per segment
+///            u64 meta_count, u64 meta[], u64 blob_bytes,
+///            zero pad to the next 4096-byte file boundary,
+///            u64 offsets[n+1] (BYTE offsets into the blob; offsets[0]=0,
+///            offsets[n]=blob_bytes), pad to 4096,
+///            u8 blob[blob_bytes] (delta+varint records, see
+///            serve/label_codec.hpp), pad to 4096
+///   The v3 pads are inside the payload checksum. Page-aligning the
+///   offset table and the blob is what lets serve/mmap_store map the
+///   file and serve queries straight off the encoded bytes.
 ///
 /// Durability: save_file writes a temp file, fsyncs, then renames into
 /// place, so a crash mid-save never leaves a torn store at the target
@@ -80,6 +92,12 @@ class StoreCorruptionError : public std::runtime_error {
   StoreError kind_;
 };
 
+/// Which on-disk encoding write()/save_file() emit. v3 (the default) is
+/// the delta+varint page-aligned format mmap serving needs; v2 is the
+/// fixed-width word format, kept writable for back-compat tests and
+/// downgrade paths. Reads sniff the version from the magic.
+enum class StoreFormat { kV2 = 2, kV3 = 3 };
+
 /// Packed, checksummed, query-ready sketches for all four schemes. A
 /// SketchStore is itself a DistanceOracle — the serving-tier
 /// representation of one — so anything that takes an oracle (the query
@@ -114,9 +132,10 @@ class SketchStore final : public DistanceOracle {
   /// throwing StoreCorruptionError on any mismatch. save_file is atomic:
   /// temp file + fsync + rename, so readers of `path` see either the old
   /// complete store or the new complete store, never a torn write.
-  void write(std::ostream& out) const;
+  void write(std::ostream& out, StoreFormat format = StoreFormat::kV3) const;
   static SketchStore read(std::istream& in);
-  void save_file(const std::string& path) const;
+  void save_file(const std::string& path,
+                 StoreFormat format = StoreFormat::kV3) const;
   static SketchStore load_file(const std::string& path);
 
   /// Best-effort salvage of a corrupt store file. Parses the framing with
@@ -168,8 +187,21 @@ class SketchStore final : public DistanceOracle {
   /// Packed segments (1 for tz/slack/cdg; one per level for graceful).
   std::size_t num_segments() const { return segments_.size(); }
 
-  /// Total packed payload size (arena + offsets + meta), in bytes.
+  /// Total packed payload size (arena + offsets + meta), in bytes —
+  /// the fixed-width v1/v2 word model.
   std::size_t payload_bytes() const;
+
+  /// The v3 (delta+varint) payload size in bytes, including the
+  /// page-alignment padding — what `save_file` actually puts on disk
+  /// past the 64-byte header. The honest serving-footprint number the
+  /// benches report next to the word-model size.
+  std::size_t encoded_bytes() const;
+
+  /// v3-encoded bytes of node u's records, summed across segments — the
+  /// per-node serving footprint without file framing or padding. The
+  /// word model (size_words) double-counts against this: it bills 4
+  /// bytes per u32 word where the varint coding typically spends 1-2.
+  std::size_t encoded_record_bytes(NodeId u) const;
 
   /// Arena words backing node u's record in segment 0 (diagnostics).
   std::size_t node_record_words(NodeId u) const;
@@ -183,6 +215,8 @@ class SketchStore final : public DistanceOracle {
 
   Dist query_segment(const Segment& seg, NodeId u, NodeId v) const;
   void validate_structure() const;
+  std::vector<std::uint8_t> build_v2_payload() const;
+  std::vector<std::uint8_t> build_v3_payload() const;
 
   Scheme scheme_ = Scheme::kThorupZwick;
   NodeId n_ = 0;

@@ -1,0 +1,115 @@
+// On-disk framing constants shared by the heap store (sketch_store) and
+// the mmap store (mmap_store): magics, the fixed header layout, the
+// FNV-1a checksum, and the v3 page-alignment rule. The authoritative
+// layout description lives in serve/sketch_store.hpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "serve/sketch_store.hpp"
+
+namespace dsketch {
+namespace store_format {
+
+constexpr char kMagicV1[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '1'};
+constexpr char kMagicV2[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '2'};
+constexpr char kMagicV3[8] = {'D', 'S', 'K', 'S', 'T', 'O', 'R', '3'};
+constexpr std::uint32_t kFlagEpsilonKnown = 1;  // header flags word, bit 0
+constexpr std::size_t kHeaderBytes = 48;  // after the magic, pre-checksum
+/// v2/v3 payload starts here: 8 magic + 48 header + 8 header checksum.
+constexpr std::size_t kPayloadStart = 64;
+/// v3 offset tables and blobs are zero-padded to this file alignment.
+constexpr std::size_t kPageBytes = 4096;
+
+/// Pad needed after `payload_pos` payload bytes to reach the next
+/// page-aligned *file* position.
+inline std::size_t v3_pad(std::size_t payload_pos) {
+  return (kPageBytes - (kPayloadStart + payload_pos) % kPageBytes) %
+         kPageBytes;
+}
+
+inline std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// The decoded fixed header (identical field set across v1/v2/v3).
+struct StoreHeader {
+  std::uint32_t version = 0;
+  std::uint32_t scheme_raw = 0;
+  std::uint32_t n = 0;
+  std::uint32_t k = 0;
+  std::uint32_t segment_count = 0;
+  bool epsilon_known = false;
+  double epsilon = 0.0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return x;
+}
+
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return x;
+}
+
+/// Parses and validates a v3 header from the first `size` mapped bytes.
+/// Magic, header checksum, version, and scheme tag are all verified —
+/// these 64 bytes are the only part of the file the mmap store trusts
+/// eagerly. Throws StoreCorruptionError like the stream loader.
+inline StoreHeader parse_v3_header(const std::uint8_t* data,
+                                   std::size_t size) {
+  const auto fail = [](StoreError kind, const std::string& what) {
+    throw StoreCorruptionError(kind, "sketch store: " + what);
+  };
+  if (size < 8) fail(StoreError::kBadMagic, "bad magic");
+  if (std::memcmp(data, kMagicV3, 8) != 0) {
+    if (std::memcmp(data, kMagicV1, 8) == 0 ||
+        std::memcmp(data, kMagicV2, 8) == 0) {
+      fail(StoreError::kUnsupportedVersion,
+           "mmap serving requires a v3 store (convert with save_file)");
+    }
+    fail(StoreError::kBadMagic, "bad magic");
+  }
+  if (size < kPayloadStart) {
+    fail(StoreError::kTruncatedHeader, "truncated header");
+  }
+  const std::uint8_t* h = data + 8;
+  if (fnv1a64(h, kHeaderBytes) != load_u64(h + kHeaderBytes)) {
+    fail(StoreError::kHeaderChecksum, "header checksum mismatch");
+  }
+  StoreHeader out;
+  out.version = load_u32(h);
+  if (out.version != 3) {
+    fail(StoreError::kUnsupportedVersion,
+         "unsupported version " + std::to_string(out.version));
+  }
+  out.scheme_raw = load_u32(h + 4);
+  if (out.scheme_raw > static_cast<std::uint32_t>(Scheme::kGraceful)) {
+    fail(StoreError::kUnknownScheme,
+         "unknown scheme tag " + std::to_string(out.scheme_raw));
+  }
+  out.n = load_u32(h + 8);
+  out.k = load_u32(h + 12);
+  out.segment_count = load_u32(h + 16);
+  out.epsilon_known = (load_u32(h + 20) & kFlagEpsilonKnown) != 0;
+  std::uint64_t eps_bits = load_u64(h + 24);
+  std::memcpy(&out.epsilon, &eps_bits, sizeof(out.epsilon));
+  out.payload_size = load_u64(h + 32);
+  out.checksum = load_u64(h + 40);
+  return out;
+}
+
+}  // namespace store_format
+}  // namespace dsketch

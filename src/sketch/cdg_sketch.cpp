@@ -13,16 +13,18 @@
 
 namespace dsketch {
 
-std::vector<Word> serialize_label(const TzLabel& label) {
+std::vector<Word> serialize_label(const LabelView& label) {
   std::vector<Word> out;
-  out.reserve(2 + 2 * label.levels() + 3 * label.bunch().size());
-  out.push_back(label.levels());
-  out.push_back(label.bunch().size());
-  for (std::uint32_t i = 0; i < label.levels(); ++i) {
+  out.reserve(2 + 2 * static_cast<std::size_t>(label.levels) +
+              3 * static_cast<std::size_t>(label.count));
+  out.push_back(label.levels);
+  out.push_back(label.count);
+  for (std::uint32_t i = 0; i < label.levels; ++i) {
     out.push_back(label.pivot(i).id);
     out.push_back(label.pivot(i).dist);
   }
-  for (const BunchEntry& e : label.bunch()) {
+  for (std::uint32_t i = 0; i < label.count; ++i) {
+    const BunchEntry& e = label.bunch[i];
     out.push_back(e.node);
     out.push_back(e.level);
     out.push_back(e.dist);
@@ -30,12 +32,12 @@ std::vector<Word> serialize_label(const TzLabel& label) {
   return out;
 }
 
-TzLabel deserialize_label(NodeId owner, const std::vector<Word>& words) {
+TzLabelBuilder deserialize_label(NodeId owner, const std::vector<Word>& words) {
   DS_CHECK(words.size() >= 2);
   const auto levels = static_cast<std::uint32_t>(words[0]);
   const auto entries = static_cast<std::size_t>(words[1]);
   DS_CHECK(words.size() == 2 + 2 * levels + 3 * entries);
-  TzLabel label(owner, levels);
+  TzLabelBuilder label(owner, levels);
   std::size_t pos = 2;
   for (std::uint32_t i = 0; i < levels; ++i) {
     label.set_pivot(i, DistKey{words[pos + 1], static_cast<NodeId>(words[pos])});
@@ -47,6 +49,7 @@ TzLabel deserialize_label(NodeId owner, const std::vector<Word>& words) {
                                      words[pos + 2]});
     pos += 3;
   }
+  label.sort_bunch();
   return label;
 }
 
@@ -155,7 +158,7 @@ Dist CdgSketchSet::query(NodeId u, NodeId v) const {
   if (u == v) return 0;
   const NodeSketch& su = sketches_[u];
   const NodeSketch& sv = sketches_[v];
-  const Dist mid = tz_query(su.label, sv.label);
+  const Dist mid = tz_query(su.label.view(), sv.label.view());
   if (mid == kInfDist) return kInfDist;
   return su.net_dist + mid + sv.net_dist;
 }
@@ -208,7 +211,7 @@ CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
   // Step 4: stream each net node's label down its Voronoi tree.
   std::vector<std::vector<Word>> payloads(n);
   for (const NodeId w : result.net) {
-    payloads[w] = serialize_label(tz.labels[w]);
+    payloads[w] = serialize_label(tz.labels.view(w));
   }
   LabelDisseminationProtocol dissemination(voronoi, payloads);
   if (!custom_phase) step_cfg.phase = "cdg_dissemination";
@@ -224,7 +227,7 @@ CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
     s.net_node = voronoi.owner[u];
     s.net_dist = voronoi.dist[u];
     if (voronoi.owner[u] == u) {
-      s.label = tz.labels[u];
+      s.label = TzLabelBuilder::from_view(tz.labels.view(u));
     } else {
       s.label = deserialize_label(voronoi.owner[u], dissemination.received(u));
     }

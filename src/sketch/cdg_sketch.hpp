@@ -42,7 +42,7 @@ class CdgSketchSet {
   struct NodeSketch {
     NodeId net_node = kInvalidNode;  ///< u' — nearest net node
     Dist net_dist = kInfDist;        ///< d(u, u')
-    TzLabel label;                   ///< L(u'), as disseminated
+    TzLabelBuilder label;            ///< L(u'), as disseminated (finalized)
   };
 
   CdgSketchSet() = default;
@@ -83,7 +83,7 @@ CdgBuildResult build_cdg_sketches(const Graph& g, const CdgConfig& config,
 /// Label wire format used by the dissemination step (exposed for tests):
 /// [levels, bunch_count, (pivot id, pivot dist) x levels,
 ///  (node, level, dist) x bunch_count].
-std::vector<Word> serialize_label(const TzLabel& label);
-TzLabel deserialize_label(NodeId owner, const std::vector<Word>& words);
+std::vector<Word> serialize_label(const LabelView& label);
+TzLabelBuilder deserialize_label(NodeId owner, const std::vector<Word>& words);
 
 }  // namespace dsketch

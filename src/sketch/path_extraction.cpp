@@ -40,8 +40,7 @@ Dist path_weight(const Graph& g, const std::vector<NodeId>& nodes) {
   return total;
 }
 
-ApproxPath extract_approximate_path(const Graph& g,
-                                    const std::vector<TzLabel>& labels,
+ApproxPath extract_approximate_path(const Graph& g, const LabelArena& labels,
                                     const RoutingTable& table, NodeId u,
                                     NodeId v) {
   ApproxPath out;
@@ -50,11 +49,13 @@ ApproxPath extract_approximate_path(const Graph& g,
     out.witness = u;
     return out;
   }
-  const TzQueryTrace trace = tz_query_trace(labels[u], labels[v]);
+  const LabelView lu = labels.view(u);
+  const LabelView lv = labels.view(v);
+  const TzQueryTrace trace = tz_query_trace(lu, lv);
   DS_CHECK_MSG(trace.estimate != kInfDist, "query failed: malformed labels");
   // The witness pivot lies in both bunches; route each endpoint to it.
-  const NodeId w = trace.used_u_pivot ? labels[u].pivot(trace.level).id
-                                      : labels[v].pivot(trace.level).id;
+  const NodeId w = trace.used_u_pivot ? lu.pivot(trace.level).id
+                                      : lv.pivot(trace.level).id;
   std::vector<NodeId> from_u = route_to_target(g, table, u, w);
   std::vector<NodeId> from_v = route_to_target(g, table, v, w);
   out.nodes = std::move(from_u);

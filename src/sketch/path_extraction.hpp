@@ -33,8 +33,7 @@ struct ApproxPath {
 };
 
 /// End-to-end approximate path between u and v through the query witness.
-ApproxPath extract_approximate_path(const Graph& g,
-                                    const std::vector<TzLabel>& labels,
+ApproxPath extract_approximate_path(const Graph& g, const LabelArena& labels,
                                     const RoutingTable& table, NodeId u,
                                     NodeId v);
 

@@ -31,9 +31,8 @@ LevelGates compute_level_gates(const Graph& g, const Hierarchy& hierarchy,
   return out;
 }
 
-std::vector<TzLabel> build_tz_centralized(const Graph& g,
-                                          const Hierarchy& hierarchy,
-                                          ThreadPool* pool) {
+LabelArena build_tz_centralized(const Graph& g, const Hierarchy& hierarchy,
+                                ThreadPool* pool) {
   const obs::Span build_span("tz_centralized_build");
   ThreadPool& tp = pool != nullptr ? *pool : global_pool();
   const std::uint32_t k = hierarchy.k();
@@ -42,7 +41,7 @@ std::vector<TzLabel> build_tz_centralized(const Graph& g,
 
   const LevelGates gates = compute_level_gates(g, hierarchy, &tp);
 
-  std::vector<TzLabel> labels;
+  std::vector<TzLabelBuilder> labels;
   labels.reserve(n);
   for (NodeId u = 0; u < n; ++u) {
     labels.emplace_back(u, k);
@@ -95,7 +94,7 @@ std::vector<TzLabel> build_tz_centralized(const Graph& g,
   tp.for_each_dynamic(n, [&](std::size_t, std::size_t u) {
     labels[u].sort_bunch();
   });
-  return labels;
+  return LabelArena::from_builders(std::move(labels));
 }
 
 }  // namespace dsketch

@@ -27,11 +27,11 @@
 
 namespace dsketch {
 
-/// All labels for one hierarchy. labels[u] is the sketch stored at node u.
-/// `pool == nullptr` uses the global pool.
-std::vector<TzLabel> build_tz_centralized(const Graph& g,
-                                          const Hierarchy& hierarchy,
-                                          ThreadPool* pool = nullptr);
+/// All labels for one hierarchy, finalized into one contiguous arena;
+/// arena.view(u) is the sketch stored at node u. `pool == nullptr` uses
+/// the global pool.
+LabelArena build_tz_centralized(const Graph& g, const Hierarchy& hierarchy,
+                                ThreadPool* pool = nullptr);
 
 /// Gates (d(u, A_i), p_i(u)) for every node and level; exposed for tests.
 struct LevelGates {

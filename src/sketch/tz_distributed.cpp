@@ -156,20 +156,20 @@ class TzProtocol : public Protocol {
     return table;
   }
 
-  std::vector<TzLabel> take_labels() {
+  LabelArena take_labels() {
     const std::uint32_t k = hier_.k();
-    std::vector<TzLabel> labels;
-    labels.reserve(nodes_.size());
+    std::vector<TzLabelBuilder> builders;
+    builders.reserve(nodes_.size());
     for (NodeId u = 0; u < nodes_.size(); ++u) {
       NodeState& s = nodes_[u];
       DS_CHECK_MSG(s.phase == kPreStart, "node did not finish all phases");
-      TzLabel label(u, k);
+      TzLabelBuilder label(u, k);
       for (std::uint32_t i = 0; i < k; ++i) label.set_pivot(i, s.pivot[i]);
       for (const BunchEntry& e : s.bunch) label.add_bunch_entry(e);
       label.sort_bunch();
-      labels.push_back(std::move(label));
+      builders.push_back(std::move(label));
     }
-    return labels;
+    return LabelArena::from_builders(std::move(builders));
   }
 
   /// Network-wide end round of each phase, in execution order (k-1 first).

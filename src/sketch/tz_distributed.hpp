@@ -73,7 +73,7 @@ struct TzFaultTolerance {
 };
 
 struct TzDistributedResult {
-  std::vector<TzLabel> labels;
+  LabelArena labels;  ///< labels.view(u) is node u's sketch; empty on failure
   RoutingTable routing;
   SimStats stats;                ///< main construction run
   SimStats tree_stats;           ///< leader election + BFS tree (kEcho only)

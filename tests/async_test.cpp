@@ -72,7 +72,7 @@ TEST(Async, TzOracleLabelsIdenticalUnderDelays) {
   const auto async =
       build_tz_distributed(g, h, TerminationMode::kOracle, async_cfg(4));
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_TRUE(sync.labels[u] == async.labels[u]) << "node " << u;
+    EXPECT_TRUE(sync.labels.view(u) == async.labels.view(u)) << "node " << u;
   }
 }
 
@@ -86,7 +86,7 @@ TEST(Async, TzEchoTerminationCorrectUnderDelaysAndReordering) {
   const auto async =
       build_tz_distributed(g, h, TerminationMode::kEcho, async_cfg(5));
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_TRUE(central[u] == async.labels[u]) << "node " << u;
+    EXPECT_TRUE(central.view(u) == async.labels.view(u)) << "node " << u;
   }
 }
 
@@ -124,7 +124,7 @@ TEST(Async, DifferentDelaySeedsSameLabels) {
   const auto b =
       build_tz_distributed(g, h, TerminationMode::kEcho, async_cfg(4, 2));
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_TRUE(a.labels[u] == b.labels[u]) << "node " << u;
+    EXPECT_TRUE(a.labels.view(u) == b.labels.view(u)) << "node " << u;
   }
 }
 
@@ -140,7 +140,7 @@ TEST_P(AsyncSweep, EchoLabelsMatchCentralizedAcrossDelays) {
   const auto async = build_tz_distributed(g, h, TerminationMode::kEcho,
                                           async_cfg(max_delay, seed));
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    ASSERT_TRUE(central[u] == async.labels[u]) << "node " << u;
+    ASSERT_TRUE(central.view(u) == async.labels.view(u)) << "node " << u;
   }
 }
 

@@ -11,21 +11,21 @@ namespace dsketch {
 namespace {
 
 TEST(CdgLabelWire, SerializeRoundTrip) {
-  TzLabel l(9, 3);
+  TzLabelBuilder l(9, 3);
   l.set_pivot(0, {0, 9});
   l.set_pivot(1, {4, 2});
   l.set_pivot(2, {11, 5});
   l.add_bunch_entry({2, 1, 4});
   l.add_bunch_entry({5, 2, 11});
   l.sort_bunch();
-  const auto words = serialize_label(l);
-  const TzLabel back = deserialize_label(9, words);
+  const auto words = serialize_label(l.view());
+  const TzLabelBuilder back = deserialize_label(9, words);
   EXPECT_TRUE(l == back);
 }
 
 TEST(CdgLabelWire, EmptyLabel) {
-  TzLabel l(0, 2);
-  const TzLabel back = deserialize_label(0, serialize_label(l));
+  TzLabelBuilder l(0, 2);
+  const TzLabelBuilder back = deserialize_label(0, serialize_label(l.view()));
   EXPECT_TRUE(l == back);
 }
 

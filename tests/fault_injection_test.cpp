@@ -53,7 +53,7 @@ class TzUnderFaults : public ::testing::Test {
 
   Graph g_;
   Hierarchy h_;
-  std::vector<TzLabel> central_;
+  LabelArena central_;
 };
 
 TEST_F(TzUnderFaults, EchoTerminationConvergesToExactLabels) {
@@ -73,9 +73,9 @@ TEST_F(TzUnderFaults, EchoTerminationConvergesToExactLabels) {
   EXPECT_FALSE(result.stats.hit_round_limit);
   EXPECT_GT(result.retransmits, 0u);
   EXPECT_GT(result.stats.dropped, 0u);
-  ASSERT_EQ(result.labels.size(), central_.size());
+  ASSERT_EQ(result.labels.num_nodes(), central_.num_nodes());
   for (NodeId u = 0; u < g_.num_nodes(); ++u) {
-    EXPECT_TRUE(result.labels[u] == central_[u]) << "node " << u;
+    EXPECT_TRUE(result.labels.view(u) == central_.view(u)) << "node " << u;
   }
   // The BFS-tree pre-pass runs fault-free by contract.
   EXPECT_EQ(result.tree_stats.dropped, 0u);
@@ -104,7 +104,7 @@ TEST_F(TzUnderFaults, RepeatedRunsReplayExactly) {
   EXPECT_EQ(a.retransmits, b.retransmits);
   EXPECT_EQ(a.duplicate_discards, b.duplicate_discards);
   for (NodeId u = 0; u < g_.num_nodes(); ++u) {
-    EXPECT_TRUE(a.labels[u] == b.labels[u]) << "node " << u;
+    EXPECT_TRUE(a.labels.view(u) == b.labels.view(u)) << "node " << u;
   }
 }
 
@@ -136,7 +136,7 @@ TEST_F(TzUnderFaults, CleanRunsPayNoTolerancePenaltyInLabels) {
   EXPECT_EQ(result.retransmits, 0u);
   EXPECT_EQ(result.stats.dropped, 0u);
   for (NodeId u = 0; u < g_.num_nodes(); ++u) {
-    EXPECT_TRUE(result.labels[u] == central_[u]) << "node " << u;
+    EXPECT_TRUE(result.labels.view(u) == central_.view(u)) << "node " << u;
   }
 }
 

@@ -36,7 +36,7 @@ TEST(TzLabelOracle, MatchesTzQueryAndReportsCapabilities) {
   for (NodeId u = 0; u < g.num_nodes(); u += 3) {
     for (NodeId v = 0; v < g.num_nodes(); v += 5) {
       EXPECT_EQ(oracle->query(u, v),
-                tz_query(sketch.labels()[u], sketch.labels()[v]));
+                tz_query(sketch.labels().view(u), sketch.labels().view(v)));
     }
   }
   const Capabilities caps = oracle->capabilities();
@@ -51,13 +51,14 @@ TEST(TzDynamicSketch, FreshBuildIsExactPerEntryAndNeverUnderestimates) {
   TzDynamicSketch sketch(g, 3, 7);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     const std::vector<Dist> truth = dijkstra(g, u);
-    const TzLabel& label = sketch.labels()[u];
-    for (std::uint32_t i = 0; i < label.levels(); ++i) {
+    const LabelView label = sketch.labels().view(u);
+    for (std::uint32_t i = 0; i < label.levels; ++i) {
       const DistKey& p = label.pivot(i);
       if (p.id == kInvalidNode) continue;
       EXPECT_EQ(p.dist, truth[p.id]);
     }
-    for (const BunchEntry& e : label.bunch()) {
+    for (std::uint32_t j = 0; j < label.count; ++j) {
+      const BunchEntry& e = label.bunch[j];
       EXPECT_EQ(e.dist, truth[e.node]);
     }
   }
@@ -122,13 +123,14 @@ TEST(TzDynamicSketch, RepairKeepsEntriesExactUnderInsertsAndDecreases) {
 
   for (NodeId u = 0; u < current.num_nodes(); ++u) {
     const std::vector<Dist> truth = dijkstra(current, u);
-    const TzLabel& label = sketch.labels()[u];
-    for (std::uint32_t i = 0; i < label.levels(); ++i) {
+    const LabelView label = sketch.labels().view(u);
+    for (std::uint32_t i = 0; i < label.levels; ++i) {
       const DistKey& p = label.pivot(i);
       if (p.id == kInvalidNode) continue;
       EXPECT_EQ(p.dist, truth[p.id]) << "pivot at node " << u;
     }
-    for (const BunchEntry& e : label.bunch()) {
+    for (std::uint32_t j = 0; j < label.count; ++j) {
+      const BunchEntry& e = label.bunch[j];
       EXPECT_EQ(e.dist, truth[e.node])
           << "bunch entry (" << u << " -> " << e.node << ")";
     }

@@ -25,7 +25,9 @@ TEST(PathExtraction, RouteToBunchMemberIsExactShortestPath) {
   const auto r = build_tz_distributed(g, h, TerminationMode::kOracle);
   const ExactOracle oracle(g);
   for (NodeId u = 0; u < g.num_nodes(); u += 3) {
-    for (const BunchEntry& e : r.labels[u].bunch()) {
+    const LabelView lu = r.labels.view(u);
+    for (std::uint32_t j = 0; j < lu.count; ++j) {
+      const BunchEntry& e = lu.bunch[j];
       const auto path = route_to_target(g, r.routing, u, e.node);
       ASSERT_GE(path.size(), 1u);
       EXPECT_EQ(path.front(), u);
@@ -57,7 +59,7 @@ TEST(PathExtraction, EndToEndPathMatchesQueryEstimate) {
       EXPECT_EQ(p.nodes.front(), u);
       EXPECT_EQ(p.nodes.back(), v);
       // The realized path weight equals the sketch estimate exactly.
-      EXPECT_EQ(p.weight, tz_query(r.labels[u], r.labels[v]));
+      EXPECT_EQ(p.weight, tz_query(r.labels.view(u), r.labels.view(v)));
     }
   }
 }
@@ -112,7 +114,7 @@ TEST_P(PathExtractionSweep, RealizedPathsAcrossModes) {
     for (NodeId v = u + 1; v < g.num_nodes(); v += 7) {
       const ApproxPath p =
           extract_approximate_path(g, r.labels, r.routing, u, v);
-      EXPECT_EQ(p.weight, tz_query(r.labels[u], r.labels[v]));
+      EXPECT_EQ(p.weight, tz_query(r.labels.view(u), r.labels.view(v)));
       EXPECT_LE(p.weight, (2 * k - 1) * oracle.query(u, v));
     }
   }

@@ -22,9 +22,9 @@ TEST(Serialization, TzLabelsRoundTrip) {
   std::stringstream ss;
   write_tz_labels(ss, r.labels);
   const auto back = read_tz_labels(ss);
-  ASSERT_EQ(back.size(), r.labels.size());
+  ASSERT_EQ(back.num_nodes(), r.labels.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_TRUE(back[u] == r.labels[u]) << "node " << u;
+    EXPECT_TRUE(back.view(u) == r.labels.view(u)) << "node " << u;
   }
 }
 

@@ -353,7 +353,7 @@ TEST(SimFuzz, FaultTolerantTzLabelsIdenticalAcrossThreadCounts) {
   while (!h.top_level_nonempty()) {
     h = Hierarchy::sample(g.num_nodes(), k, 33 + bump++);
   }
-  const std::vector<TzLabel> central = build_tz_centralized(g, h);
+  const LabelArena central = build_tz_centralized(g, h);
   FaultConfig fc;
   fc.drop_rate = 0.03;
   fc.duplicate_rate = 0.02;
@@ -375,9 +375,9 @@ TEST(SimFuzz, FaultTolerantTzLabelsIdenticalAcrossThreadCounts) {
         build_tz_distributed(g, h, TerminationMode::kOracle, cfg, false, 0, ft);
     ASSERT_TRUE(result.completed);
     EXPECT_GT(result.retransmits, 0u);
-    ASSERT_EQ(result.labels.size(), central.size());
+    ASSERT_EQ(result.labels.num_nodes(), central.num_nodes());
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      EXPECT_TRUE(result.labels[u] == central[u]) << "node " << u;
+      EXPECT_TRUE(result.labels.view(u) == central.view(u)) << "node " << u;
     }
   }
 }
@@ -397,8 +397,8 @@ TEST(EchoEdgeCases, SingleNodeGraph) {
   const Hierarchy h = Hierarchy::sample(1, 2, 3);
   const auto central = build_tz_centralized(g, h);
   const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
-  ASSERT_EQ(echo.labels.size(), 1u);
-  EXPECT_TRUE(echo.labels[0] == central[0]);
+  ASSERT_EQ(echo.labels.num_nodes(), 1u);
+  EXPECT_TRUE(echo.labels.view(0) == central.view(0));
   EXPECT_EQ(echo.stats.messages, 0u);
 }
 
@@ -424,9 +424,9 @@ TEST(EchoEdgeCases, IsolatedVerticesAndMultipleComponents) {
   const Hierarchy h = Hierarchy::sample(6, 2, 9);
   const auto central = build_tz_centralized(g, h);
   const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
-  ASSERT_EQ(echo.labels.size(), 6u);
+  ASSERT_EQ(echo.labels.num_nodes(), 6u);
   for (NodeId u = 0; u < 6; ++u) {
-    EXPECT_TRUE(echo.labels[u] == central[u]) << "node " << u;
+    EXPECT_TRUE(echo.labels.view(u) == central.view(u)) << "node " << u;
   }
 }
 

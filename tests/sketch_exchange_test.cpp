@@ -104,11 +104,11 @@ TEST(SketchExchange, EndToEndWithRealLabel) {
   }
   const auto built = build_tz_distributed(g, h, TerminationMode::kOracle);
   const NodeId u = 4, v = 77;
-  const auto r = exchange_sketch(g, u, v, serialize_label(built.labels[v]));
+  const auto r = exchange_sketch(g, u, v, serialize_label(built.labels.view(v)));
   ASSERT_TRUE(r.complete);
-  const TzLabel fetched = deserialize_label(v, r.words);
-  EXPECT_EQ(tz_query(built.labels[u], fetched),
-            tz_query(built.labels[u], built.labels[v]));
+  const TzLabelBuilder fetched = deserialize_label(v, r.words);
+  EXPECT_EQ(tz_query(built.labels.view(u), fetched.view()),
+            tz_query(built.labels.view(u), built.labels.view(v)));
 }
 
 }  // namespace

@@ -85,14 +85,14 @@ INSTANTIATE_TEST_SUITE_P(Schemes, SketchStoreSchemes,
 
 class SketchStoreCorruption : public ::testing::Test {
  protected:
-  std::string valid_bytes() {
+  std::string valid_bytes(StoreFormat format = StoreFormat::kV3) {
     const Graph g = erdos_renyi(40, 0.1, {1, 5}, 3);
     BuildConfig cfg;
     cfg.scheme = Scheme::kThorupZwick;
     cfg.k = 2;
     const SketchEngine engine(g, cfg);
     std::stringstream ss;
-    SketchStore::from_engine(engine).write(ss);
+    SketchStore::from_engine(engine).write(ss, format);
     return ss.str();
   }
 };
@@ -136,8 +136,9 @@ TEST_F(SketchStoreCorruption, RejectsChecksumValidStructuralCorruption) {
   // The checksum only detects accidental corruption; a crafted file can
   // recompute it. Inflate the first TZ record's level count and patch
   // the checksum: the structural validator must still reject the file
-  // (otherwise the first query would read out of bounds).
-  std::string bytes = valid_bytes();
+  // (otherwise the first query would read out of bounds). This aims at
+  // the fixed-width v2 layout; store_v3_test covers the v3 equivalent.
+  std::string bytes = valid_bytes(StoreFormat::kV2);
   const auto u32_at = [&](std::size_t pos) {
     return static_cast<std::uint32_t>(
         static_cast<std::uint8_t>(bytes[pos]) |
@@ -209,7 +210,10 @@ class SketchStoreRecovery : public ::testing::Test {
     engine_ = std::make_unique<SketchEngine>(graph_, cfg);
     store_ = SketchStore::from_engine(*engine_);
     path_ = ::testing::TempDir() + "/dsketch_recovery_test.bin";
-    store_.save_file(path_);
+    // The byte-offset map below is the fixed-width v2 layout; these tests
+    // double as legacy-format recovery coverage (store_v3_test has the v3
+    // counterparts).
+    store_.save_file(path_, StoreFormat::kV2);
     std::ifstream in(path_, std::ios::binary);
     bytes_.assign(std::istreambuf_iterator<char>(in),
                   std::istreambuf_iterator<char>());
@@ -429,7 +433,7 @@ TEST(SketchStorePacking, TzLabelOraclePacksAndAnswersIdentically) {
   while (!h.top_level_nonempty()) {
     h = Hierarchy::sample(g.num_nodes(), k, 42 + bump++);
   }
-  const std::vector<TzLabel> labels = build_tz_centralized(g, h);
+  const LabelArena labels = build_tz_centralized(g, h);
   const TzLabelOracle oracle(labels, k);
   ASSERT_TRUE(SketchStore::packable(oracle));
   const SketchStore store = SketchStore::from_oracle(oracle);

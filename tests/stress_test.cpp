@@ -21,7 +21,7 @@ TEST(Stress, TzAtFourThousandNodes) {
   SimConfig cfg;
   cfg.threads = 0;  // use all cores
   const auto r = build_tz_distributed(g, h, TerminationMode::kOracle, cfg);
-  ASSERT_EQ(r.labels.size(), n);
+  ASSERT_EQ(r.labels.num_nodes(), n);
 
   // Spot-check soundness against sampled ground truth.
   const SampledGroundTruth gt(g, 4, 3);
@@ -29,14 +29,14 @@ TEST(Stress, TzAtFourThousandNodes) {
   opts.max_pairs_per_source = 300;
   const auto report = evaluate_stretch(
       g, gt,
-      [&](NodeId u, NodeId v) { return tz_query(r.labels[u], r.labels[v]); },
+      [&](NodeId u, NodeId v) { return tz_query(r.labels.view(u), r.labels.view(v)); },
       opts);
   EXPECT_EQ(report.underestimates, 0u);
   EXPECT_LE(report.max_stretch(), 7.0);  // 2k-1
   // Size sanity: far below the n words of an APSP row.
   double words = 0;
   for (NodeId u = 0; u < n; ++u) {
-    words += static_cast<double>(r.labels[u].size_words());
+    words += static_cast<double>(r.labels.size_words(u));
   }
   EXPECT_LT(words / n, 300.0);
 }
@@ -48,9 +48,9 @@ TEST(Stress, EchoTerminationAtTwoThousandNodes) {
   while (!h.top_level_nonempty()) h = Hierarchy::sample(n, 3, 12);
   const auto echo = build_tz_distributed(g, h, TerminationMode::kEcho);
   const auto oracle = build_tz_distributed(g, h, TerminationMode::kOracle);
-  ASSERT_EQ(echo.labels.size(), n);
+  ASSERT_EQ(echo.labels.num_nodes(), n);
   for (NodeId u = 0; u < n; u += 97) {
-    EXPECT_TRUE(echo.labels[u] == oracle.labels[u]) << "node " << u;
+    EXPECT_TRUE(echo.labels.view(u) == oracle.labels.view(u)) << "node " << u;
   }
 }
 

@@ -13,11 +13,11 @@ namespace {
 
 /// Brute-force labels straight from the definitions in §3.1, using full
 /// APSP: B_i(u) = {w in A_i : key(d(u,w),w) < key(d(u,A_{i+1}))}.
-std::vector<TzLabel> brute_force_labels(const Graph& g, const Hierarchy& h) {
+LabelArena brute_force_labels(const Graph& g, const Hierarchy& h) {
   const ExactOracle oracle(g);
   const NodeId n = g.num_nodes();
   const std::uint32_t k = h.k();
-  std::vector<TzLabel> labels;
+  std::vector<TzLabelBuilder> labels;
   for (NodeId u = 0; u < n; ++u) {
     labels.emplace_back(u, k);
     // gates[i] = key of nearest A_i node.
@@ -43,7 +43,7 @@ std::vector<TzLabel> brute_force_labels(const Graph& g, const Hierarchy& h) {
     }
     labels[u].sort_bunch();
   }
-  return labels;
+  return LabelArena::from_builders(std::move(labels));
 }
 
 class TzCentralizedSweep
@@ -60,9 +60,9 @@ TEST_P(TzCentralizedSweep, MatchesBruteForceDefinitions) {
   }
   const auto built = build_tz_centralized(g, h);
   const auto brute = brute_force_labels(g, h);
-  ASSERT_EQ(built.size(), brute.size());
+  ASSERT_EQ(built.num_nodes(), brute.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_TRUE(built[u] == brute[u]) << "label mismatch at node " << u;
+    EXPECT_TRUE(built.view(u) == brute.view(u)) << "label mismatch at node " << u;
   }
 }
 
@@ -82,7 +82,7 @@ TEST(TzCentralized, StretchBoundHolds) {
   for (NodeId u = 0; u < g.num_nodes(); u += 3) {
     for (NodeId v = u + 1; v < g.num_nodes(); v += 5) {
       const Dist d = oracle.query(u, v);
-      const Dist est = tz_query(labels[u], labels[v]);
+      const Dist est = tz_query(labels.view(u), labels.view(v));
       EXPECT_GE(est, d);
       EXPECT_LE(est, (2 * k - 1) * d);
     }
@@ -96,10 +96,10 @@ TEST(TzCentralized, KEqualsOneIsExact) {
   const ExactOracle oracle(g);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     // k=1: every node's bunch is all of V — sketch degenerates to APSP rows.
-    EXPECT_EQ(labels[u].bunch().size(), g.num_nodes());
+    EXPECT_EQ(labels.view(u).count, g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (u == v) continue;
-      EXPECT_EQ(tz_query(labels[u], labels[v]), oracle.query(u, v));
+      EXPECT_EQ(tz_query(labels.view(u), labels.view(v)), oracle.query(u, v));
     }
   }
 }
@@ -112,8 +112,8 @@ TEST(TzCentralized, PivotZeroIsSelf) {
   }
   const auto labels = build_tz_centralized(g, h);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_EQ(labels[u].pivot(0).id, u);
-    EXPECT_EQ(labels[u].pivot(0).dist, 0u);
+    EXPECT_EQ(labels.view(u).pivot(0).id, u);
+    EXPECT_EQ(labels.view(u).pivot(0).dist, 0u);
   }
 }
 
@@ -132,11 +132,11 @@ TEST(TzCentralized, ParallelBuildIsByteIdenticalToSerial) {
   const auto serial = build_tz_centralized(g, h, &serial_pool);
   const auto wide = build_tz_centralized(g, h, &wide_pool);
   const auto global = build_tz_centralized(g, h);
-  ASSERT_EQ(serial.size(), wide.size());
+  ASSERT_EQ(serial.num_nodes(), wide.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_EQ(serialize_label(serial[u]), serialize_label(wide[u]))
+    EXPECT_EQ(serialize_label(serial.view(u)), serialize_label(wide.view(u)))
         << "label words diverge at node " << u;
-    EXPECT_EQ(serialize_label(serial[u]), serialize_label(global[u]))
+    EXPECT_EQ(serialize_label(serial.view(u)), serialize_label(global.view(u)))
         << "global-pool label words diverge at node " << u;
   }
 }
@@ -154,8 +154,8 @@ TEST(TzCentralized, BunchSizeGrowsAsLevelsShrink) {
   const auto l4 = build_tz_centralized(g, h4);
   double s1 = 0, s4 = 0;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    s1 += static_cast<double>(l1[u].size_words());
-    s4 += static_cast<double>(l4[u].size_words());
+    s1 += static_cast<double>(l1.size_words(u));
+    s4 += static_cast<double>(l4.size_words(u));
   }
   EXPECT_LT(s4, 0.6 * s1);
 }

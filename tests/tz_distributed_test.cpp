@@ -29,7 +29,7 @@ TEST(TzDistributed, OracleStretchAndSoundness) {
   for (NodeId u = 0; u < g.num_nodes(); u += 2) {
     for (NodeId v = u + 1; v < g.num_nodes(); v += 3) {
       const Dist d = oracle.query(u, v);
-      const Dist est = tz_query(r.labels[u], r.labels[v]);
+      const Dist est = tz_query(r.labels.view(u), r.labels.view(v));
       ASSERT_NE(est, kInfDist);
       EXPECT_GE(est, d);
       EXPECT_LE(est, (2 * k - 1) * d);
@@ -53,9 +53,9 @@ TEST(TzDistributed, EchoModeProducesSameLabelsAsOracle) {
   const auto oracle_run =
       build_tz_distributed(g, h, TerminationMode::kOracle);
   const auto echo_run = build_tz_distributed(g, h, TerminationMode::kEcho);
-  ASSERT_EQ(oracle_run.labels.size(), echo_run.labels.size());
+  ASSERT_EQ(oracle_run.labels.num_nodes(), echo_run.labels.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    EXPECT_TRUE(oracle_run.labels[u] == echo_run.labels[u])
+    EXPECT_TRUE(oracle_run.labels.view(u) == echo_run.labels.view(u))
         << "echo/oracle label divergence at node " << u;
   }
 }
@@ -89,7 +89,7 @@ TEST(TzDistributed, KEqualsOneLearnsExactDistances) {
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (u == v) continue;
-      EXPECT_EQ(tz_query(r.labels[u], r.labels[v]), oracle.query(u, v));
+      EXPECT_EQ(tz_query(r.labels.view(u), r.labels.view(v)), oracle.query(u, v));
     }
   }
 }
@@ -102,7 +102,7 @@ TEST(TzDistributed, WeightedGraphEchoMode) {
   for (NodeId u = 0; u < g.num_nodes(); u += 2) {
     for (NodeId v = 1; v < g.num_nodes(); v += 3) {
       if (u == v) continue;
-      const Dist est = tz_query(r.labels[u], r.labels[v]);
+      const Dist est = tz_query(r.labels.view(u), r.labels.view(v));
       EXPECT_GE(est, oracle.query(u, v));
       EXPECT_LE(est, 3 * oracle.query(u, v));
     }
@@ -116,8 +116,8 @@ TEST(TzDistributed, ExhaustiveQueryNeverWorseAndStillSound) {
   const ExactOracle oracle(g);
   for (NodeId u = 0; u < g.num_nodes(); u += 3) {
     for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
-      const Dist standard = tz_query(r.labels[u], r.labels[v]);
-      const Dist exhaustive = tz_query_exhaustive(r.labels[u], r.labels[v]);
+      const Dist standard = tz_query(r.labels.view(u), r.labels.view(v));
+      const Dist exhaustive = tz_query_exhaustive(r.labels.view(u), r.labels.view(v));
       ASSERT_NE(exhaustive, kInfDist);
       EXPECT_LE(exhaustive, standard);           // pivot is a common member
       EXPECT_GE(exhaustive, oracle.query(u, v));  // still one-sided
@@ -138,7 +138,7 @@ TEST_P(TzDistributedSweep, StretchBoundAcrossTopologiesAndModes) {
   for (NodeId u = 0; u < g.num_nodes(); u += 3) {
     for (NodeId v = u + 1; v < g.num_nodes(); v += 4) {
       const Dist d = oracle.query(u, v);
-      const Dist est = tz_query(r.labels[u], r.labels[v]);
+      const Dist est = tz_query(r.labels.view(u), r.labels.view(v));
       ASSERT_NE(est, kInfDist);
       EXPECT_GE(est, d);
       EXPECT_LE(est, (2 * k - 1) * d) << "pair " << u << "," << v;

@@ -31,11 +31,10 @@ Hierarchy sampled_hierarchy(NodeId n, std::uint32_t k, std::uint64_t seed) {
   return h;
 }
 
-void expect_equal_labels(const std::vector<TzLabel>& a,
-                         const std::vector<TzLabel>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t u = 0; u < a.size(); ++u) {
-    ASSERT_TRUE(a[u] == b[u]) << "label mismatch at node " << u;
+void expect_equal_labels(const LabelArena& a, const LabelArena& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    ASSERT_TRUE(a.view(u) == b.view(u)) << "label mismatch at node " << u;
   }
 }
 
@@ -245,7 +244,7 @@ TEST(ServePath, DistributedBuildPackServeMatchesCentralized) {
   service.query_batch(pairs, answers);
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     EXPECT_EQ(answers[i],
-              tz_query(central[pairs[i].first], central[pairs[i].second]))
+              tz_query(central.view(pairs[i].first), central.view(pairs[i].second)))
         << "pair (" << pairs[i].first << ", " << pairs[i].second << ")";
   }
 }

@@ -52,6 +52,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/shortest_paths.hpp"
+#include "serve/mmap_store.hpp"
 #include "serve/query_service.hpp"
 #include "serve/sketch_store.hpp"
 #include "serve/workload.hpp"
@@ -72,12 +73,15 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: dsketch "
-               "<gen|info|build|query|eval|convert|serve-bench|"
+               "<gen|ingest|info|build|query|eval|convert|serve-bench|"
                "dynamic-bench|list-schemes|faults|repro>"
                " [--flags]\n"
                "  gen   --topology er|grid|ring|path|ba|ws|geometric|tree|"
                "isp|ring_chords --n N [--p P] [--m M] [--wmin W --wmax W] "
                "[--seed S] --out FILE\n"
+               "  ingest --in FILE --out FILE [--format auto|snap|dimacs]   "
+               "(stream an external edge list into the native graph format; "
+               "manifests can also name one directly with topology=\"file\")\n"
                "  info  --graph FILE [--exact-diameters]\n"
                "  build --graph FILE --scheme NAME [--k K] "
                "[--epsilon E] [--echo|--known-s] [--async DMAX] "
@@ -90,9 +94,12 @@ int usage() {
                "[--epsilon-far E]\n"
                "  list-schemes   (every registered oracle scheme with its "
                "guarantee and capabilities)\n"
-               "  convert --in FILE --out FILE   (text <-> binary store, "
-               "direction auto-detected from the input magic)\n"
-               "  serve-bench (--store FILE | --graph FILE --scheme NAME) "
+               "  convert --in FILE --out FILE [--format v2|v3]   "
+               "(text <-> binary store, direction auto-detected from the "
+               "input magic; --format forces a binary store in that layout, "
+               "including binary -> binary re-encoding)\n"
+               "  serve-bench (--store FILE [--mmap [--verify-checksum]] | "
+               "--graph FILE --scheme NAME) "
                "[--queries N] [--batch B,B,...] [--threads T,T,...] "
                "[--shards S] [--cache C] [--workload uniform|zipf] "
                "[--zipf-s S] [--hot-pairs H] [--mirror] [--ordered-keys] "
@@ -395,6 +402,13 @@ int cmd_eval(const FlagSet& flags) {
   return 0;
 }
 
+StoreFormat parse_store_format(const std::string& name) {
+  if (name == "v2") return StoreFormat::kV2;
+  if (name == "v3") return StoreFormat::kV3;
+  throw std::runtime_error("unknown store format: " + name +
+                           " (expected v2|v3)");
+}
+
 int cmd_convert(const FlagSet& flags) {
   const std::string in_path = flags.require("in");
   const std::string out_path = flags.require("out");
@@ -405,6 +419,23 @@ int cmd_convert(const FlagSet& flags) {
   in.clear();
   in.seekg(0);
   const bool input_is_binary = std::string(magic, 7) == "DSKSTOR";
+  // --format forces a binary output (v2 fixed-width or v3 delta+varint),
+  // which also makes binary -> binary re-encoding — upgrading a v1/v2
+  // store to the mmap-servable v3 layout, or downgrading — a one-liner.
+  if (flags.has("format")) {
+    const StoreFormat format =
+        parse_store_format(flags.get("format", std::string("v3")));
+    const SketchStore store = input_is_binary
+                                  ? SketchStore::read(in)
+                                  : SketchStore::from_text(in);
+    store.save_file(out_path, format);
+    std::printf("converted %s %s -> %s binary store %s (%zu bytes)\n",
+                input_is_binary ? "binary" : "text", in_path.c_str(),
+                format == StoreFormat::kV3 ? "v3" : "v2", out_path.c_str(),
+                format == StoreFormat::kV3 ? store.encoded_bytes()
+                                           : store.payload_bytes());
+    return 0;
+  }
   if (input_is_binary) {
     const SketchStore store = SketchStore::read(in);
     std::ofstream out(out_path);
@@ -421,10 +452,35 @@ int cmd_convert(const FlagSet& flags) {
   return 0;
 }
 
+int cmd_ingest(const FlagSet& flags) {
+  const std::string in_path = flags.require("in");
+  const std::string out_path = flags.require("out");
+  IngestStats stats;
+  Timer timer;
+  const Graph g = ingest_edge_list_file(
+      in_path, parse_ingest_format(flags.get("format", std::string("auto"))),
+      &stats);
+  const double seconds = timer.seconds();
+  write_graph_file(out_path, g);
+  std::printf(
+      "ingested %s: %u nodes, %zu edges (%zu edge lines, %zu self-loops "
+      "dropped) in %.2fs -> %s\n",
+      in_path.c_str(), g.num_nodes(), g.num_edges(), stats.edge_lines,
+      stats.self_loops, seconds, out_path.c_str());
+  return 0;
+}
+
 int cmd_serve_bench(const FlagSet& flags) {
-  const std::unique_ptr<DistanceOracle> oracle = [&] {
+  const std::unique_ptr<DistanceOracle> oracle = [&]() -> std::unique_ptr<DistanceOracle> {
     if (flags.has("store")) {
-      return SketchStore::load_oracle(flags.get("store", std::string{}));
+      const std::string store_path = flags.get("store", std::string{});
+      if (flags.get_bool("mmap")) {
+        // Zero-copy serving: queries decode straight off the mapped v3
+        // bytes; --verify-checksum pays one full payload pass up front.
+        return MmapSketchStore::open(store_path,
+                                     flags.get_bool("verify-checksum"));
+      }
+      return SketchStore::load_oracle(store_path);
     }
     // No store on disk: build in-process so one command covers the
     // whole build-once/serve-many pipeline — any registered scheme
@@ -792,9 +848,9 @@ int cmd_faults(const FlagSet& flags) {
   std::uint64_t label_mismatches = 0;
   bool verified = false;
   if (r.completed && g.num_nodes() <= 4096) {
-    const std::vector<TzLabel> central = build_tz_centralized(g, h);
+    const LabelArena central = build_tz_centralized(g, h);
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      if (!(r.labels[u] == central[u])) ++label_mismatches;
+      if (!(r.labels.view(u) == central.view(u))) ++label_mismatches;
     }
     verified = true;
   }
@@ -884,6 +940,7 @@ int main(int argc, char** argv) {
   const FlagSet flags(argc - 1, argv + 1);
   try {
     if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "ingest") return cmd_ingest(flags);
     if (cmd == "info") return cmd_info(flags);
     if (cmd == "build") return cmd_build(flags);
     if (cmd == "query") return cmd_query(flags);
